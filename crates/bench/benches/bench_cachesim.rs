@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the cache simulator itself — probe throughput
+//! on hit-heavy, miss-heavy, and PIC-trace-shaped access streams (the
+//! simulator's speed bounds how large a Table II replay is practical).
+
+use cachesim::{AccessKind, Hierarchy, HierarchyConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim_probe");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("l1_hits", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::haswell());
+        b.iter(|| {
+            for i in 0..n {
+                h.access(black_box((i % 512) * 8), 8, AccessKind::Read);
+            }
+        })
+    });
+    g.bench_function("streaming", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::haswell());
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..n {
+                h.access(black_box(base + i * 8), 8, AccessKind::Read);
+            }
+            base += n * 8;
+        })
+    });
+    g.bench_function("random_l3_resident", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::haswell());
+        let mut s = 0x9e3779b9u64;
+        b.iter(|| {
+            for _ in 0..n {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                h.access(black_box((s % (1 << 24)) & !7), 8, AccessKind::Read);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_probe
+}
+
+/// Short-run Criterion config so `cargo bench --workspace` completes in
+/// minutes on one core (raise for precision runs).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! Criterion benchmarks for the particle-loop kernels — the micro version
+//! of Tables III/IV: each optimization variant of each loop, on a sorted
+//! particle population.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pic_core::fields::{Field2D, RedundantE, RedundantRho};
+use pic_core::grid::Grid2D;
+use pic_core::kernels::{accumulate, position, velocity};
+use pic_core::particles::{initialize, InitialDistribution, ParticlesSoA};
+use pic_core::sort::sort_out_of_place;
+use sfc::{CellLayout, Morton, RowMajor};
+
+const N: usize = 100_000;
+const SIDE: usize = 128;
+
+fn setup(layout: &dyn CellLayout) -> ParticlesSoA {
+    let grid = Grid2D::new(SIDE, SIDE, 1.0, 1.0).unwrap();
+    let mut p = initialize(&grid, layout, InitialDistribution::Uniform, N, 42);
+    // Grid-unit velocities ~ half a cell per step.
+    for v in p.vx.iter_mut().chain(p.vy.iter_mut()) {
+        *v *= 0.5;
+    }
+    let mut scratch = ParticlesSoA::zeroed(0);
+    sort_out_of_place(&mut p, &mut scratch, layout.ncells());
+    p
+}
+
+fn field(layout: &dyn CellLayout) -> (Field2D, RedundantE) {
+    let grid = Grid2D::new(SIDE, SIDE, 1.0, 1.0).unwrap();
+    let mut f = Field2D::new(&grid);
+    for i in 0..f.ex.len() {
+        f.ex[i] = ((i * 37) % 101) as f64 * 0.001;
+        f.ey[i] = ((i * 53) % 97) as f64 * -0.001;
+    }
+    let mut e8 = RedundantE::new(layout);
+    e8.fill_from(&f, layout, 1.0, 1.0);
+    (f, e8)
+}
+
+fn bench_update_velocities(c: &mut Criterion) {
+    let layout = Morton::new(SIDE, SIDE).unwrap();
+    let p = setup(&layout);
+    let (f, e8) = field(&layout);
+    let mut g = c.benchmark_group("update_velocities");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let mut vx = p.vx.clone();
+    let mut vy = p.vy.clone();
+    g.bench_function("redundant_hoisted", |b| {
+        b.iter(|| {
+            velocity::update_velocities_redundant_hoisted(
+                black_box(&p.icell),
+                &p.dx,
+                &p.dy,
+                &mut vx,
+                &mut vy,
+                &e8.e8,
+            );
+            black_box(vx[0])
+        })
+    });
+    g.bench_function("redundant_coeff", |b| {
+        b.iter(|| {
+            velocity::update_velocities_redundant(
+                black_box(&p.icell),
+                &p.dx,
+                &p.dy,
+                &mut vx,
+                &mut vy,
+                &e8.e8,
+                0.5,
+                0.5,
+            );
+            black_box(vx[0])
+        })
+    });
+    g.bench_function("standard_gather", |b| {
+        b.iter(|| {
+            velocity::update_velocities_standard(
+                black_box(&p.ix),
+                &p.iy,
+                &p.dx,
+                &p.dy,
+                &mut vx,
+                &mut vy,
+                &f,
+                0.5,
+                0.5,
+            );
+            black_box(vx[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_update_positions(c: &mut Criterion) {
+    let rm = RowMajor::new(SIDE, SIDE).unwrap();
+    let mo = Morton::new(SIDE, SIDE).unwrap();
+    let base = setup(&rm);
+    let mut g = c.benchmark_group("update_positions");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("naive_if", |b| {
+        let mut p = base.clone();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        b.iter(|| {
+            position::update_positions_naive_if(
+                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, SIDE, SIDE,
+                1.0,
+            );
+            black_box(p.icell[0])
+        })
+    });
+    g.bench_function("modulo_int", |b| {
+        let mut p = base.clone();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        b.iter(|| {
+            position::update_positions_modulo(
+                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, SIDE, SIDE,
+                1.0,
+            );
+            black_box(p.icell[0])
+        })
+    });
+    g.bench_function("branchless", |b| {
+        let mut p = base.clone();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        b.iter(|| {
+            position::update_positions_branchless(
+                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, SIDE, SIDE,
+                1.0,
+            );
+            black_box(p.icell[0])
+        })
+    });
+    g.bench_function("branchless_morton", |b| {
+        let mut p = base.clone();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        b.iter(|| {
+            position::update_positions_branchless_layout(
+                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, &mo, 1.0,
+            );
+            black_box(p.icell[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    let layout = Morton::new(SIDE, SIDE).unwrap();
+    let p = setup(&layout);
+    let mut g = c.benchmark_group("accumulate");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("redundant", |b| {
+        let mut acc = RedundantRho::new(&layout);
+        b.iter(|| {
+            accumulate::accumulate_redundant(black_box(&p.icell), &p.dx, &p.dy, &mut acc.rho4, 1.0);
+            black_box(acc.rho4[0][0])
+        })
+    });
+    g.bench_function("standard_scatter", |b| {
+        let mut rho = vec![0.0; SIDE * SIDE];
+        b.iter(|| {
+            accumulate::accumulate_standard(
+                black_box(&p.ix),
+                &p.iy,
+                &p.dx,
+                &p.dy,
+                &mut rho,
+                SIDE,
+                SIDE,
+                1.0,
+            );
+            black_box(rho[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_update_velocities, bench_update_positions, bench_accumulate
+}
+
+/// Short-run Criterion config so `cargo bench --workspace` completes in
+/// minutes on one core (raise for precision runs).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

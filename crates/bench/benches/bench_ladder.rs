@@ -1,0 +1,44 @@
+//! Criterion version of Table IV: one benchmark per optimization rung,
+//! each timing a full PIC step at a fixed (small) scale so regressions in
+//! any single rung show up in CI-style runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_bench::workloads::table4_ladder;
+use pic_core::sim::Simulation;
+
+fn bench_ladder(c: &mut Criterion) {
+    let particles = 100_000;
+    let grid = 64;
+    let mut g = c.benchmark_group("table4_ladder_step");
+    g.throughput(Throughput::Elements(particles as u64));
+    g.sample_size(10);
+
+    for (label, cfg) in table4_ladder(particles, grid) {
+        let mut sim = Simulation::new(cfg).expect("valid config");
+        sim.run(2); // warm
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                sim.step();
+                black_box(sim.steps())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_ladder
+}
+
+/// Short-run Criterion config so `cargo bench --workspace` completes in
+/// minutes on one core (raise for precision runs).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

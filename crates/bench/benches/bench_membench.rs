@@ -1,0 +1,39 @@
+//! Criterion wrapper around the STREAM kernels (Fig. 8's bandwidth ceiling).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_bench::membench;
+
+fn bench_stream(c: &mut Criterion) {
+    let n = 4_000_000usize;
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let pool = membench::pool(threads);
+        g.throughput(Throughput::Bytes((3 * 8 * n) as u64));
+        g.bench_with_input(BenchmarkId::new("triad", threads), &threads, |b, _| {
+            b.iter(|| black_box(membench::triad(n, 1, &pool).best_bytes_per_s))
+        });
+        g.throughput(Throughput::Bytes((2 * 8 * n) as u64));
+        g.bench_with_input(BenchmarkId::new("copy", threads), &threads, |b, _| {
+            b.iter(|| black_box(membench::copy(n, 1, &pool).best_bytes_per_s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_stream
+}
+
+/// Short-run Criterion config so `cargo bench --workspace` completes in
+/// minutes on one core (raise for precision runs).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the space-filling-curve encoders —
+//! the per-particle `(ix, iy) → icell` cost that Table III charges to the
+//! update-positions loop, including the paper's arithmetic-vs-LUT Morton
+//! comparison (§IV-B: the LUT indirection blocks vectorization).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfc::{CellLayout, Hilbert, L4D, Morton, MortonLut, RowMajor};
+
+fn coords(n: usize, side: usize) -> (Vec<usize>, Vec<usize>) {
+    let xs = (0..n).map(|i| (i * 7919) % side).collect();
+    let ys = (0..n).map(|i| (i * 104729) % side).collect();
+    (xs, ys)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let side = 128;
+    let n = 8192;
+    let (xs, ys) = coords(n, side);
+    let mut out = vec![0usize; n];
+
+    let mut g = c.benchmark_group("sfc_encode_batch");
+    g.throughput(Throughput::Elements(n as u64));
+
+    let layouts: Vec<(&str, Box<dyn CellLayout>)> = vec![
+        ("row_major", Box::new(RowMajor::new(side, side).unwrap())),
+        ("l4d_8", Box::new(L4D::new(side, side, 8).unwrap())),
+        ("morton", Box::new(Morton::new(side, side).unwrap())),
+        ("morton_lut", Box::new(MortonLut::new(side, side).unwrap())),
+        ("hilbert", Box::new(Hilbert::new(side, side).unwrap())),
+    ];
+    for (name, layout) in &layouts {
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                layout.encode_batch(black_box(&xs), black_box(&ys), &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let side = 128;
+    let n = 8192;
+    let cells: Vec<usize> = (0..n).map(|i| (i * 7919) % (side * side)).collect();
+
+    let mut g = c.benchmark_group("sfc_decode");
+    g.throughput(Throughput::Elements(n as u64));
+    let layouts: Vec<(&str, Box<dyn CellLayout>)> = vec![
+        ("row_major", Box::new(RowMajor::new(side, side).unwrap())),
+        ("l4d_8", Box::new(L4D::new(side, side, 8).unwrap())),
+        ("morton", Box::new(Morton::new(side, side).unwrap())),
+        ("hilbert", Box::new(Hilbert::new(side, side).unwrap())),
+    ];
+    for (name, layout) in &layouts {
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &cell in &cells {
+                    let (x, y) = layout.decode(black_box(cell));
+                    acc ^= x ^ y;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_encode, bench_decode
+}
+
+/// Short-run Criterion config so `cargo bench --workspace` completes in
+/// minutes on one core (raise for precision runs).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

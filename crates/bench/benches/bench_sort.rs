@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the counting sorts — the paper's §V-B1
+//! in-place vs out-of-place comparison (out-of-place ≈ 2× faster) and the
+//! parallel cell-partitioned variant.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_core::particles::ParticlesSoA;
+use pic_core::sort::{par_sort_out_of_place, sort_in_place, sort_out_of_place};
+
+const NCELLS: usize = 128 * 128;
+
+fn randomized(n: usize) -> ParticlesSoA {
+    let mut p = ParticlesSoA::zeroed(n);
+    let mut s = 0x12345u64;
+    for i in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        p.icell[i] = (s % NCELLS as u64) as u32;
+        p.vx[i] = i as f64;
+    }
+    p
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let n = 500_000;
+    let base = randomized(n);
+    let mut g = c.benchmark_group("counting_sort");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    g.bench_function("out_of_place", |b| {
+        b.iter_with_setup(
+            || (base.clone(), ParticlesSoA::zeroed(n)),
+            |(mut p, mut scratch)| {
+                sort_out_of_place(&mut p, &mut scratch, NCELLS);
+                black_box(p.icell[0])
+            },
+        )
+    });
+    g.bench_function("in_place", |b| {
+        b.iter_with_setup(
+            || base.clone(),
+            |mut p| {
+                sort_in_place(&mut p, NCELLS);
+                black_box(p.icell[0])
+            },
+        )
+    });
+    for tasks in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_out_of_place", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter_with_setup(
+                    || (base.clone(), ParticlesSoA::zeroed(n)),
+                    |(mut p, mut scratch)| {
+                        par_sort_out_of_place(&mut p, &mut scratch, NCELLS, tasks);
+                        black_box(p.icell[0])
+                    },
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_sorts
+}
+
+/// Short-run Criterion config so `cargo bench --workspace` completes in
+/// minutes on one core (raise for precision runs).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Figures 3 & 4 — the layout pictures: the Morton Z-order on an 8×8 grid
+//! and the L4D tiling on a 128×128 grid (corners shown), plus the unit-move
+//! locality statistics behind the paper's §IV-B cache argument.
+//!
+//! Usage: fig3_fig4_layouts
+
+use pic_bench::table::Table;
+use sfc::locality::{axis_move_stats, Axis};
+use sfc::{CellLayout, Hilbert, L4D, Morton, RowMajor};
+
+fn main() {
+    println!("# Fig. 3 — Morton layout of an 8 x 8 matrix (iy →, ix ↓)");
+    let m = Morton::new(8, 8).unwrap();
+    for ix in 0..8 {
+        for iy in 0..8 {
+            print!("{:>4}", m.encode(ix, iy));
+        }
+        println!();
+    }
+
+    println!("\n# Fig. 4 — L4D layout of a 128 x 128 matrix, SIZE=8 (selected cells)");
+    let l = L4D::new(128, 128, 8).unwrap();
+    for &(ix, iy) in &[
+        (0usize, 0usize),
+        (0, 7),
+        (1, 0),
+        (1, 7),
+        (63, 7),
+        (64, 7),
+        (65, 7),
+        (126, 0),
+        (127, 7),
+        (0, 8),
+        (127, 120),
+        (127, 127),
+    ] {
+        println!("  ({ix:>3},{iy:>3}) -> {}", l.encode(ix, iy));
+    }
+
+    println!("\n# Unit-move index-delta statistics, 128 x 128 (threshold 8 cells)");
+    let layouts: Vec<Box<dyn CellLayout>> = vec![
+        Box::new(RowMajor::new(128, 128).unwrap()),
+        Box::new(L4D::new(128, 128, 8).unwrap()),
+        Box::new(Morton::new(128, 128).unwrap()),
+        Box::new(Hilbert::new(128, 128).unwrap()),
+    ];
+    let mut t = Table::new(&[
+        "Layout",
+        "x-move unit",
+        "x-move near",
+        "x mean |d|",
+        "y-move unit",
+        "y-move near",
+        "y mean |d|",
+    ]);
+    for l in &layouts {
+        let x = axis_move_stats(l.as_ref(), Axis::X, 8);
+        let y = axis_move_stats(l.as_ref(), Axis::Y, 8);
+        t.row(&[
+            l.name().to_string(),
+            format!("{:.0}%", 100.0 * x.unit_fraction),
+            format!("{:.0}%", 100.0 * x.near_fraction),
+            format!("{:.1}", x.mean_abs_delta),
+            format!("{:.0}%", 100.0 * y.unit_fraction),
+            format!("{:.0}%", 100.0 * y.near_fraction),
+            format!("{:.1}", y.mean_abs_delta),
+        ]);
+    }
+    t.print();
+    println!("\n# Paper §IV-B: row-major is perfect along y but jumps ncy=128 along x;");
+    println!("# L4D keeps 7/8 of y-moves unit-stride and every x-move at distance 8.");
+}

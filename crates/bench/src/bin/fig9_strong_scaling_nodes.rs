@@ -1,0 +1,110 @@
+//! Figure 9 — strong scaling of the hybrid parallelism: a fixed total
+//! problem (paper: 800 M particles, 256×256 grid) spread over more and more
+//! nodes, speedup vs the ideal line.
+//!
+//! Stage 1 measures real `minimpi` runs (total particles fixed, divided
+//! among ranks); stage 2 extrapolates with the calibrated LogGP model.
+//!
+//! Usage: fig9_strong_scaling_nodes [--particles N] [--grid G] [--iters I]
+//!                                  [--max-ranks R]
+//!
+//! Expected shape (paper Fig. 9): near-ideal up to ~16 nodes, then the
+//! speedup bends away as the fixed-size allreduce stops shrinking while the
+//! per-rank compute does (32 % communication at 64 nodes).
+
+use minimpi::cost::{strong_scaling, CostModel};
+use minimpi::World;
+use pic_bench::cli::Args;
+use pic_bench::table::Table;
+use pic_bench::workloads;
+use pic_core::sim::Simulation;
+use sfc::Ordering;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let total_particles = args.get("particles", 2_000_000usize);
+    let grid = args.get("grid", 256usize);
+    let iters = args.get("iters", 10usize);
+    let max_ranks = args.get(
+        "max-ranks",
+        std::thread::available_parallelism().map_or(4, |c| c.get()),
+    );
+
+    println!("# Fig. 9 — strong scaling (fixed {total_particles} particles, {grid}x{grid} grid)");
+
+    println!("\n## Measured (minimpi thread ranks)");
+    let mut t = Table::new(&["Ranks", "Time (s)", "Speedup", "Ideal", "Comm %"]);
+    let grid_bytes = grid * grid * 8;
+    let mut base_time = None;
+    let mut samples: Vec<(usize, usize, f64)> = Vec::new();
+    let mut ranks = 1usize;
+    while ranks <= max_ranks {
+        eprintln!("measuring {ranks} rank(s) ...");
+        let per_rank = (total_particles / ranks).max(1);
+        let results = World::run(ranks, |comm| {
+            // The fixed global population, sliced across ranks (§V-A).
+            let mut cfg = workloads::table1(per_rank * comm.size(), grid, Ordering::Morton);
+            let r = comm.rank();
+            cfg.keep_range = Some((r * per_rank, (r + 1) * per_rank));
+            let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))
+                .expect("valid config");
+            let wall = Instant::now();
+            for _ in 0..iters {
+                sim.step_with_reduce(|rho| comm.allreduce_sum(rho));
+            }
+            (wall.elapsed().as_secs_f64(), comm.comm_time())
+        });
+        let time = results.iter().map(|r| r.0).sum::<f64>() / ranks as f64;
+        let comm = results.iter().map(|r| r.1).sum::<f64>() / ranks as f64;
+        let base = *base_time.get_or_insert(time);
+        t.row(&[
+            ranks.to_string(),
+            format!("{time:.2}"),
+            format!("{:.2}", base / time),
+            format!("{ranks}"),
+            format!("{:.1}%", 100.0 * comm / time),
+        ]);
+        if ranks > 1 {
+            samples.push((ranks, grid_bytes, comm / iters as f64));
+        }
+        ranks *= 2;
+    }
+    t.print();
+
+    let fitted = CostModel::fit_tree(&samples);
+    let model = fitted.unwrap_or_else(CostModel::curie_like);
+    println!(
+        "\n## Extrapolation to 64 nodes / 1024 cores (alpha={:.2e}s beta={:.2e}s/B, {})",
+        model.alpha,
+        model.beta,
+        if fitted.is_some() { "fitted" } else { "Curie-like constants" }
+    );
+    // Per-step compute of the whole problem on one reference rank.
+    let compute_total = {
+        let n = (total_particles / max_ranks.max(1)).max(1);
+        let cfg = workloads::table1(n, grid, Ordering::Morton);
+        let mut sim = Simulation::new(cfg).expect("valid config");
+        let wall = Instant::now();
+        sim.run(iters);
+        wall.elapsed().as_secs_f64() / iters as f64 * (total_particles as f64 / n as f64)
+    };
+    // Hybrid: 2 ranks per node (one per socket), 8 threads each.
+    let node_counts: Vec<usize> = (0..7).map(|i| 1usize << i).collect(); // 1..64
+    let rank_counts: Vec<usize> = node_counts.iter().map(|n| n * 2).collect();
+    let pts = strong_scaling(&model, compute_total / 8.0, grid_bytes, &rank_counts);
+    let mut t = Table::new(&["Nodes", "Cores", "Time/step (s)", "Speedup", "Ideal", "Comm %"]);
+    let base = pts[0].total();
+    for (nodes, p) in node_counts.iter().zip(&pts) {
+        t.row(&[
+            nodes.to_string(),
+            (nodes * 16).to_string(),
+            format!("{:.4}", p.total()),
+            format!("{:.1}", base / p.total()),
+            format!("{:.0}", nodes),
+            format!("{:.0}%", p.comm_percent()),
+        ]);
+    }
+    t.print();
+    println!("\n# Paper Fig. 9: speedup 64 nodes / 1024 cores well below ideal; comm = 32% of total there.");
+}

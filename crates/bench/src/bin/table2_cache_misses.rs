@@ -1,0 +1,111 @@
+//! Table II — average millions of cache misses per iteration (L1/L2/L3)
+//! during the update-velocities and accumulate loops, per cell ordering,
+//! with the improvement row w.r.t. row-major.
+//!
+//! Usage: table2_cache_misses [--particles N] [--grid G] [--iters I] [--haswell]
+//!
+//! Expected shape (paper): L1 nearly identical across orderings (−3.5 %);
+//! L2 and L3 down ~36 % for L4D/Morton/Hilbert vs row-major.
+
+use cachesim::{CacheConfig, Hierarchy, HierarchyConfig};
+use pic_bench::cli::Args;
+use pic_bench::literature::TABLE_II_PAPER;
+use pic_bench::table::Table;
+use pic_bench::workloads;
+use pic_core::sim::Simulation;
+use pic_core::trace::{trace_accumulate, trace_update_velocities, MemoryMap};
+use sfc::Ordering;
+
+fn hierarchy(haswell: bool) -> Hierarchy {
+    if haswell {
+        Hierarchy::new(HierarchyConfig::haswell())
+    } else {
+        Hierarchy::new(HierarchyConfig {
+            levels: vec![
+                CacheConfig {
+                    size_bytes: 32 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                    prefetch: true,
+                },
+                CacheConfig {
+                    size_bytes: 256 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                    prefetch: true,
+                },
+                CacheConfig {
+                    size_bytes: 2 * 1024 * 1024,
+                    ways: 16,
+                    line_bytes: 64,
+                    prefetch: true,
+                },
+            ],
+        })
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let particles = args.get("particles", 300_000usize);
+    let grid = args.get("grid", 128usize);
+    let iters = args.get("iters", 100usize);
+    let haswell = args.has("haswell");
+
+    println!("# Table II — average cache misses per iteration (millions)");
+    println!("# update-velocities + accumulate loops; particles={particles} grid={grid} iters={iters}");
+
+    let mut rows: Vec<(Ordering, [f64; 3])> = Vec::new();
+    for &ordering in &Ordering::paper_set() {
+        eprintln!("running {ordering} ...");
+        let cfg = workloads::table1(particles, grid, ordering);
+        let mut sim = Simulation::new(cfg).expect("valid config");
+        let ncells = grid * grid * 2;
+        let map = MemoryMap::contiguous(0, particles, ncells);
+        let mut h = hierarchy(haswell);
+        for _ in 0..iters {
+            trace_update_velocities(sim.particles(), &map, &mut h);
+            sim.step();
+            trace_accumulate(sim.particles(), &map, &mut h);
+        }
+        let s = h.stats();
+        let per_iter = |lvl: usize| s.level(lvl).misses() as f64 / iters as f64 / 1e6;
+        rows.push((ordering, [per_iter(0), per_iter(1), per_iter(2)]));
+    }
+
+    let mut t = Table::new(&["Ordering", "L1 (M)", "L2 (M)", "L3 (M)"]);
+    for (o, m) in &rows {
+        t.row(&[
+            o.to_string(),
+            format!("{:.2}", m[0]),
+            format!("{:.2}", m[1]),
+            format!("{:.3}", m[2]),
+        ]);
+    }
+    let rm = rows[0].1;
+    let best = |lvl: usize| {
+        rows[1..]
+            .iter()
+            .map(|(_, m)| m[lvl])
+            .fold(f64::MAX, f64::min)
+    };
+    t.row(&[
+        "Improvement (w.r.t. row-major)".into(),
+        format!("{:+.1}%", 100.0 * (best(0) / rm[0] - 1.0)),
+        format!("{:+.1}%", 100.0 * (best(1) / rm[1] - 1.0)),
+        format!("{:+.1}%", 100.0 * (best(2) / rm[2] - 1.0)),
+    ]);
+    t.print();
+
+    println!("\n# Paper values (50 M particles, hardware counters):");
+    let mut p = Table::new(&["Ordering", "L1 (M)", "L2 (M)", "L3 (M)"]);
+    for r in &TABLE_II_PAPER {
+        p.row(&[
+            r.ordering.into(),
+            format!("{:.1}", r.l1),
+            format!("{:.1}", r.l2),
+            format!("{:.2}", r.l3),
+        ]);
+    }
+    p.print();
+}

@@ -1,0 +1,66 @@
+//! Table III — wall-clock seconds spent in each particle loop per ordering,
+//! including the 2-D standard layout and the Hilbert row.
+//!
+//! Usage: table3_loop_times [--particles N] [--grid G] [--iters I]
+//!                          [--l4d-sweep]   # also sweep the L4D SIZE knob
+//!
+//! Expected shape (paper Table III): Morton/L4D fastest in accumulate
+//! (redundant layout + locality), a few extra seconds in update-positions
+//! (the layout `encode` per particle), and Hilbert catastrophically slow in
+//! update-positions (no cheap bijection) — which is why the paper discards
+//! it despite its good cache behaviour.
+
+use pic_bench::cli::Args;
+use pic_bench::table::{secs, Table};
+use pic_bench::workloads::{self, run_fresh};
+use pic_core::sim::{FieldLayout, PhaseTimes};
+use sfc::Ordering;
+
+fn run(label: &str, cfg: pic_core::sim::PicConfig, iters: usize, t: &mut Table) -> PhaseTimes {
+    eprintln!("running {label} ...");
+    let sim = run_fresh(cfg, iters);
+    let ph = sim.timers();
+    t.row(&[
+        label.to_string(),
+        secs(ph.update_v),
+        secs(ph.update_x),
+        secs(ph.accumulate),
+        secs(ph.total()),
+    ]);
+    ph
+}
+
+fn main() {
+    let args = Args::from_env();
+    let particles = args.get("particles", workloads::DEFAULT_PARTICLES);
+    let grid = args.get("grid", workloads::DEFAULT_GRID);
+    let iters = args.get("iters", workloads::DEFAULT_ITERS);
+
+    println!("# Table III — time spent in the different loops (seconds)");
+    println!("# particles={particles} grid={grid} iters={iters} sort-every=20");
+
+    let mut t = Table::new(&["Layout", "Update v", "Update x", "Accumulate", "Total"]);
+
+    // 2-D standard: standard field arrays, row-major.
+    let mut cfg = workloads::table1(particles, grid, Ordering::RowMajor);
+    cfg.field_layout = FieldLayout::Standard;
+    cfg.hoisted = false; // standard layout has no pre-scaled redundant copy
+    run("2d standard", cfg, iters, &mut t);
+
+    // Redundant layout under each ordering.
+    for ordering in Ordering::paper_set() {
+        let cfg = workloads::table1(particles, grid, ordering);
+        run(&ordering.to_string(), cfg, iters, &mut t);
+    }
+    t.print();
+
+    if args.has("l4d-sweep") {
+        println!("\n# L4D SIZE sweep (paper: SIZE=8 best on Haswell)");
+        let mut t = Table::new(&["SIZE", "Update v", "Update x", "Accumulate", "Total"]);
+        for size in [4usize, 8, 16, 32] {
+            let cfg = workloads::table1(particles, grid, Ordering::L4D(size));
+            run(&format!("L4D SIZE={size}"), cfg, iters, &mut t);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal `--flag value` command-line parsing for the harness binaries.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: `--key value` pairs plus bare `--switch` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an iterator of tokens.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        out.values.insert(key.to_string(), iter.next().unwrap());
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            }
+        }
+        out
+    }
+
+    /// A `--key value` as a parsed type, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// True if `--key` was passed as a bare switch.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args("--particles 1000 --quick --grid 64");
+        assert_eq!(a.get("particles", 0usize), 1000);
+        assert_eq!(a.get("grid", 0usize), 64);
+        assert!(a.has("quick"));
+        assert!(!a.has("slow"));
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn bad_values_fall_back_to_default() {
+        let a = args("--particles lots");
+        // "lots" is consumed as the value but fails to parse as usize.
+        assert_eq!(a.get("particles", 42usize), 42);
+    }
+
+    #[test]
+    fn float_values() {
+        let a = args("--dt 0.05");
+        assert!((a.get("dt", 0.0f64) - 0.05).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pic-bench — experiment harnesses for every table and figure
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index); this library holds what they share:
+//!
+//! * [`cli`] — a tiny `--flag value` parser (no external dependency);
+//! * [`table`] — fixed-width table printing;
+//! * [`workloads`] — the standard experiment configurations, scaled-down
+//!   versions of the paper's Table I test case;
+//! * [`membench`] — the STREAM kernels (McCalpin) used as the bandwidth
+//!   ceiling in Fig. 8;
+//! * [`literature`] — published comparison constants (Decyk & Singh 2014,
+//!   Table V), quoted rather than re-measured, exactly as the paper does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod literature;
+pub mod membench;
+pub mod table;
+pub mod workloads;
+
+/// Seconds → nanoseconds-per-particle-per-iteration (the unit of Table V).
+pub fn ns_per_particle(seconds: f64, particles: usize, iterations: usize) -> f64 {
+    seconds * 1e9 / (particles as f64 * iterations as f64)
+}
+
+/// Particles·iterations per second in millions (the unit of Table VI).
+pub fn mp_per_s(particles: usize, iterations: usize, seconds: f64) -> f64 {
+    particles as f64 * iterations as f64 / seconds / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unit_conversions() {
+        // 1 s for 1M particles × 100 iters = 10 ns per particle-iter.
+        assert!((super::ns_per_particle(1.0, 1_000_000, 100) - 10.0).abs() < 1e-12);
+        assert!((super::mp_per_s(1_000_000, 100, 1.0) - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Published comparison constants quoted by the paper.
+//!
+//! Table V compares against Decyk & Singh, *Particle-in-Cell algorithms for
+//! emerging computer architectures*, Comput. Phys. Commun. 185 (2014): their
+//! per-loop nanoseconds-per-particle-per-iteration on a single Nehalem core.
+//! The paper quotes these numbers rather than rerunning that code, and so do
+//! we.
+
+/// One column of Table V: ns per particle per iteration, by loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableVColumn {
+    /// Label of the machine/code.
+    pub label: &'static str,
+    /// The combined update-velocities + update-positions time (“Push”).
+    pub push_ns: f64,
+    /// Charge accumulation.
+    pub accumulate_ns: f64,
+    /// Their partial “reorder” step (not a full sort); `None` where a full
+    /// sort is used instead.
+    pub reorder_ns: Option<f64>,
+    /// Full counting sort; `None` for the reorder-based code.
+    pub sorting_ns: Option<f64>,
+}
+
+impl TableVColumn {
+    /// Total ns per particle per iteration.
+    pub fn total(&self) -> f64 {
+        self.push_ns
+            + self.accumulate_ns
+            + self.reorder_ns.unwrap_or(0.0)
+            + self.sorting_ns.unwrap_or(0.0)
+    }
+}
+
+/// Decyk & Singh 2014 on Nehalem (paper's Table V, first column).
+pub const DECYK_SINGH_NEHALEM: TableVColumn = TableVColumn {
+    label: "Decyk & Singh (Nehalem)",
+    push_ns: 19.9,
+    accumulate_ns: 9.0,
+    reorder_ns: Some(0.3),
+    sorting_ns: None,
+};
+
+/// The paper's own measurements on Sandy Bridge (Table V, second column).
+pub const BARSAMIAN_SANDY_BRIDGE: TableVColumn = TableVColumn {
+    label: "Paper (Sandy Bridge)",
+    push_ns: 15.6,
+    accumulate_ns: 4.3,
+    reorder_ns: None,
+    sorting_ns: Some(1.9),
+};
+
+/// The paper's own measurements on Haswell (Table V, third column).
+pub const BARSAMIAN_HASWELL: TableVColumn = TableVColumn {
+    label: "Paper (Haswell)",
+    push_ns: 9.1,
+    accumulate_ns: 2.6,
+    reorder_ns: None,
+    sorting_ns: Some(2.0),
+};
+
+/// Paper Table II reference values: millions of cache misses per iteration
+/// (update-velocities + accumulate loops, Table I test case, 50 M particles).
+pub struct TableIIRow {
+    /// Ordering label.
+    pub ordering: &'static str,
+    /// L1 misses, millions.
+    pub l1: f64,
+    /// L2 misses, millions.
+    pub l2: f64,
+    /// L3 misses, millions.
+    pub l3: f64,
+}
+
+/// All four rows of the paper's Table II.
+pub const TABLE_II_PAPER: [TableIIRow; 4] = [
+    TableIIRow {
+        ordering: "Row-major",
+        l1: 95.4,
+        l2: 43.3,
+        l3: 4.94,
+    },
+    TableIIRow {
+        ordering: "L4D",
+        l1: 92.0,
+        l2: 27.8,
+        l3: 3.14,
+    },
+    TableIIRow {
+        ordering: "Morton",
+        l1: 91.1,
+        l2: 27.0,
+        l3: 3.20,
+    },
+    TableIIRow {
+        ordering: "Hilbert",
+        l1: 90.9,
+        l2: 27.1,
+        l3: 3.29,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        assert!((DECYK_SINGH_NEHALEM.total() - 29.2).abs() < 1e-9);
+        assert!((BARSAMIAN_SANDY_BRIDGE.total() - 21.8).abs() < 1e-9);
+        assert!((BARSAMIAN_HASWELL.total() - 13.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_shows_36_percent_l2_improvement() {
+        let rm = &TABLE_II_PAPER[0];
+        let mo = &TABLE_II_PAPER[2];
+        let improvement = 1.0 - mo.l2 / rm.l2;
+        assert!((improvement - 0.376).abs() < 0.01);
+    }
+}

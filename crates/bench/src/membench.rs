@@ -1,0 +1,148 @@
+//! The STREAM kernels (McCalpin 1995) — the sustained-bandwidth ceiling the
+//! paper compares its particle loops against in Fig. 8.
+//!
+//! Four canonical kernels over `f64` arrays: copy (`c = a`), scale
+//! (`b = s·c`), add (`c = a + b`), triad (`a = b + s·c`). Bandwidth counts
+//! bytes read + written per element, as STREAM does (2, 2, 3, 3 × 8 bytes).
+
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Result of one kernel run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamResult {
+    /// Best (max) bandwidth over the repetitions, bytes/second.
+    pub best_bytes_per_s: f64,
+    /// Mean bandwidth, bytes/second.
+    pub mean_bytes_per_s: f64,
+}
+
+impl StreamResult {
+    /// Best bandwidth in GB/s (decimal).
+    pub fn gbs(&self) -> f64 {
+        self.best_bytes_per_s / 1e9
+    }
+}
+
+fn time_kernel(reps: usize, bytes_per_rep: f64, mut f: impl FnMut()) -> StreamResult {
+    let mut best = f64::MAX;
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    StreamResult {
+        best_bytes_per_s: bytes_per_rep / best,
+        mean_bytes_per_s: bytes_per_rep * reps as f64 / total,
+    }
+}
+
+/// STREAM triad `a = b + s·c`, parallel over `threads` rayon tasks.
+pub fn triad(n: usize, reps: usize, pool: &rayon::ThreadPool) -> StreamResult {
+    let mut a = vec![0.0f64; n];
+    let b = vec![1.5f64; n];
+    let c = vec![2.5f64; n];
+    let s = 3.0f64;
+    let r = time_kernel(reps, (3 * 8 * n) as f64, || {
+        pool.install(|| {
+            a.par_chunks_mut(65536)
+                .zip(b.par_chunks(65536))
+                .zip(c.par_chunks(65536))
+                .for_each(|((a, b), c)| {
+                    for i in 0..a.len() {
+                        a[i] = b[i] + s * c[i];
+                    }
+                });
+        });
+    });
+    assert_eq!(a[0], 1.5 + 3.0 * 2.5);
+    r
+}
+
+/// STREAM copy `c = a`.
+pub fn copy(n: usize, reps: usize, pool: &rayon::ThreadPool) -> StreamResult {
+    let a = vec![1.0f64; n];
+    let mut c = vec![0.0f64; n];
+    let r = time_kernel(reps, (2 * 8 * n) as f64, || {
+        pool.install(|| {
+            c.par_chunks_mut(65536)
+                .zip(a.par_chunks(65536))
+                .for_each(|(c, a)| c.copy_from_slice(a));
+        });
+    });
+    assert_eq!(c[0], 1.0);
+    r
+}
+
+/// STREAM scale `b = s·c`.
+pub fn scale(n: usize, reps: usize, pool: &rayon::ThreadPool) -> StreamResult {
+    let c = vec![2.0f64; n];
+    let mut b = vec![0.0f64; n];
+    let s = 0.5f64;
+    let r = time_kernel(reps, (2 * 8 * n) as f64, || {
+        pool.install(|| {
+            b.par_chunks_mut(65536)
+                .zip(c.par_chunks(65536))
+                .for_each(|(b, c)| {
+                    for i in 0..b.len() {
+                        b[i] = s * c[i];
+                    }
+                });
+        });
+    });
+    assert_eq!(b[0], 1.0);
+    r
+}
+
+/// STREAM add `c = a + b`.
+pub fn add(n: usize, reps: usize, pool: &rayon::ThreadPool) -> StreamResult {
+    let a = vec![1.0f64; n];
+    let b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+    let r = time_kernel(reps, (3 * 8 * n) as f64, || {
+        pool.install(|| {
+            c.par_chunks_mut(65536)
+                .zip(a.par_chunks(65536))
+                .zip(b.par_chunks(65536))
+                .for_each(|((c, a), b)| {
+                    for i in 0..c.len() {
+                        c[i] = a[i] + b[i];
+                    }
+                });
+        });
+    });
+    assert_eq!(c[0], 3.0);
+    r
+}
+
+/// Build a rayon pool with `threads` workers.
+pub fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("rayon pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_run_and_report_positive_bandwidth() {
+        let p = pool(2);
+        let n = 1 << 16;
+        for r in [
+            copy(n, 3, &p),
+            scale(n, 3, &p),
+            add(n, 3, &p),
+            triad(n, 3, &p),
+        ] {
+            assert!(r.best_bytes_per_s > 0.0);
+            assert!(r.mean_bytes_per_s > 0.0);
+            assert!(r.best_bytes_per_s >= r.mean_bytes_per_s * 0.99);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fixed-width text-table printing for the harness binaries, so their
+//! output reads like the paper's tables.
+
+/// A simple left-header table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!("{:<w$}", c, w = width[i])
+                    } else {
+                        format!("{:>w$}", c, w = width[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with 2 decimals.
+pub fn secs(t: f64) -> String {
+    format!("{t:.2}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Format millions with 1 decimal.
+pub fn millions(x: f64) -> String {
+    format!("{:.1}", x / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Ordering", "L2", "L3"]);
+        t.row(&["Row-major".into(), "43.3".into(), "4.94".into()]);
+        t.row(&["Morton".into(), "27.0".into(), "3.20".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Ordering"));
+        assert!(lines[2].contains("43.3"));
+        // Right-aligned numeric columns line up.
+        let c1 = lines[2].find("43.3").unwrap() + 4;
+        let c2 = lines[3].find("27.0").unwrap() + 4;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(f1(43.26), "43.3");
+        assert_eq!(pct(36.04), "36.0%");
+        assert_eq!(millions(65_400_000.0), "65.4");
+    }
+}

@@ -1,0 +1,135 @@
+//! Automatic selection of the sorting period — the future work the paper
+//! names explicitly (§IV-E: “the optimal number of iterations between two
+//! sorting steps can vary according to the architecture. Therefore it will
+//! be interesting to implement an automatic finding of this optimal
+//! number.”).
+//!
+//! The cost model is simple and measured, not assumed: sorting every `P`
+//! steps costs `sort_time / P` per step but keeps the particle traversal of
+//! the field arrays cache-friendly; as particles randomize, the per-step
+//! particle-loop time creeps up. [`autotune_sort_period`] measures the
+//! per-step wall time of short trial windows at several candidate periods
+//! on the *live* simulation state and returns the cheapest.
+
+use crate::sim::Simulation;
+use std::time::Instant;
+
+/// Result of one tuning trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// The sorting period tried.
+    pub period: usize,
+    /// Measured mean seconds per step, including amortized sorting.
+    pub secs_per_step: f64,
+}
+
+/// Outcome of the auto-tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// All trials, in the order they ran.
+    pub trials: Vec<TrialResult>,
+    /// The winning period.
+    pub best_period: usize,
+}
+
+/// Measure `window` steps per candidate period on `sim` (which keeps
+/// advancing — the tuner is designed to run inside a long simulation, the
+/// way the paper imagines deploying it) and return the report. The
+/// simulation's configured sort period is NOT changed; the caller applies
+/// `report.best_period` via its config for subsequent runs.
+///
+/// `candidates` must be non-empty; `window` should be at least as large as
+/// the largest candidate so each trial pays its sort exactly once.
+pub fn autotune_sort_period(
+    sim: &mut Simulation,
+    candidates: &[usize],
+    window: usize,
+) -> TuneReport {
+    assert!(!candidates.is_empty(), "need at least one candidate period");
+    let mut trials = Vec::with_capacity(candidates.len());
+    for &period in candidates {
+        assert!(period > 0, "periods must be positive");
+        let w = window.max(period);
+        let t = Instant::now();
+        let mut left = w;
+        while left > 0 {
+            // Emulate "sort every `period`" within the window: run
+            // period−1 unsorted steps, then one step with a forced sort.
+            let run = period.min(left);
+            for i in 0..run {
+                if i == run - 1 && run == period {
+                    sim.force_sort();
+                }
+                sim.step();
+            }
+            left -= run;
+        }
+        trials.push(TrialResult {
+            period,
+            secs_per_step: t.elapsed().as_secs_f64() / w as f64,
+        });
+    }
+    let best_period = trials
+        .iter()
+        .min_by(|a, b| a.secs_per_step.partial_cmp(&b.secs_per_step).unwrap())
+        .unwrap()
+        .period;
+    TuneReport {
+        trials,
+        best_period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::PicConfig;
+
+    fn sim(n: usize) -> Simulation {
+        let mut cfg = PicConfig::landau_table1(n);
+        cfg.grid_nx = 32;
+        cfg.grid_ny = 32;
+        cfg.sort_period = 0; // the tuner drives sorting itself
+        Simulation::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn returns_a_candidate() {
+        let mut s = sim(5_000);
+        let report = autotune_sort_period(&mut s, &[5, 10, 20], 20);
+        assert_eq!(report.trials.len(), 3);
+        assert!([5, 10, 20].contains(&report.best_period));
+        for t in &report.trials {
+            assert!(t.secs_per_step > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulation_keeps_advancing() {
+        let mut s = sim(2_000);
+        let before = s.steps();
+        autotune_sort_period(&mut s, &[4, 8], 8);
+        assert!(s.steps() >= before + 16);
+    }
+
+    #[test]
+    fn physics_unchanged_by_tuning_schedule() {
+        // Sorting is a permutation: a tuned run and a never-sorted run end
+        // with the same ρ.
+        let mut a = sim(2_000);
+        let mut b = sim(2_000);
+        autotune_sort_period(&mut a, &[3], 6);
+        b.run(6);
+        let (ra, rb) = (a.rho(), b.rho());
+        for i in 0..ra.len() {
+            assert!((ra[i] - rb[i]).abs() < 1e-9, "rho[{i}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one candidate")]
+    fn empty_candidates_panic() {
+        let mut s = sim(1_000);
+        autotune_sort_period(&mut s, &[], 10);
+    }
+}

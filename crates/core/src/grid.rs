@@ -1,0 +1,190 @@
+//! The spatial grid: geometry, normalization, and periodic wrapping.
+//!
+//! Positions are kept in *grid units*: a particle is `(ix, iy, dx, dy)` with
+//! integer cell coordinates and offsets in `[0, 1)` (paper §II). Physical
+//! positions map through `x_grid = (x_phys − x_min)/Δx`.
+
+use crate::PicError;
+
+/// Geometry of the periodic Cartesian grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grid2D {
+    /// Cells along x (power of two, for the bitwise periodic wrap).
+    pub ncx: usize,
+    /// Cells along y (power of two).
+    pub ncy: usize,
+    /// Physical domain length along x.
+    pub lx: f64,
+    /// Physical domain length along y.
+    pub ly: f64,
+}
+
+impl Grid2D {
+    /// Create a grid. Both cell counts must be powers of two — the paper's
+    /// branchless position update (§IV-C2) relies on `mod 2^k = & (2^k − 1)`,
+    /// and the radix-2 Poisson solver needs it too.
+    pub fn new(ncx: usize, ncy: usize, lx: f64, ly: f64) -> Result<Self, PicError> {
+        if ncx == 0 || !ncx.is_power_of_two() || ncy == 0 || !ncy.is_power_of_two() {
+            return Err(PicError::Config(format!(
+                "grid dims must be nonzero powers of two, got {ncx} x {ncy}"
+            )));
+        }
+        if !(lx > 0.0) || !(ly > 0.0) {
+            return Err(PicError::Config(format!(
+                "domain lengths must be positive, got {lx} x {ly}"
+            )));
+        }
+        Ok(Self { ncx, ncy, lx, ly })
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn ncells(&self) -> usize {
+        self.ncx * self.ncy
+    }
+
+    /// Cell size along x.
+    #[inline]
+    pub fn dx(&self) -> f64 {
+        self.lx / self.ncx as f64
+    }
+
+    /// Cell size along y.
+    #[inline]
+    pub fn dy(&self) -> f64 {
+        self.ly / self.ncy as f64
+    }
+
+    /// Map a physical x to grid units in `[0, ncx)` (periodic wrap applied).
+    #[inline]
+    pub fn to_grid_x(&self, x_phys: f64) -> f64 {
+        let g = x_phys / self.dx();
+        wrap_grid(g, self.ncx)
+    }
+
+    /// Map a physical y to grid units in `[0, ncy)`.
+    #[inline]
+    pub fn to_grid_y(&self, y_phys: f64) -> f64 {
+        let g = y_phys / self.dy();
+        wrap_grid(g, self.ncy)
+    }
+
+    /// Split a grid-unit coordinate into `(cell, offset)` with the branchless
+    /// floor + bitwise wrap of §IV-C (valid because `n` is a power of two).
+    #[inline]
+    pub fn split_x(&self, x_grid: f64) -> (usize, f64) {
+        split_periodic(x_grid, self.ncx)
+    }
+
+    /// Same along y.
+    #[inline]
+    pub fn split_y(&self, y_grid: f64) -> (usize, f64) {
+        split_periodic(y_grid, self.ncy)
+    }
+}
+
+/// Wrap a grid coordinate into `[0, n)` using real modulo — the reference
+/// (slow-path) semantics the branchless kernels must match.
+#[inline]
+pub fn wrap_grid(g: f64, n: usize) -> f64 {
+    let n = n as f64;
+    let w = g - (g / n).floor() * n;
+    // `g` exactly n (or a tiny negative rounded up) must land inside.
+    if w >= n {
+        w - n
+    } else {
+        w
+    }
+}
+
+/// The paper's branchless split (§IV-C3):
+/// `floor` via int-cast minus sign bit, periodic wrap via bitwise AND.
+///
+/// Requires `n` power of two and `|g|` within `i64` range (PIC positions move
+/// a few cells per step, so this always holds).
+#[inline]
+pub fn split_periodic(g: f64, n: usize) -> (usize, f64) {
+    debug_assert!(n.is_power_of_two());
+    let fl = (g as i64) - i64::from(g < 0.0 && g.trunc() != g);
+    let cell = (fl & (n as i64 - 1)) as usize;
+    (cell, g - fl as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Grid2D::new(128, 128, 1.0, 1.0).is_ok());
+        assert!(Grid2D::new(100, 128, 1.0, 1.0).is_err());
+        assert!(Grid2D::new(0, 128, 1.0, 1.0).is_err());
+        assert!(Grid2D::new(128, 128, -1.0, 1.0).is_err());
+        assert!(Grid2D::new(128, 128, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cell_sizes() {
+        let g = Grid2D::new(64, 32, 4.0 * std::f64::consts::PI, 2.0).unwrap();
+        assert!((g.dx() - 4.0 * std::f64::consts::PI / 64.0).abs() < 1e-15);
+        assert!((g.dy() - 0.0625).abs() < 1e-15);
+        assert_eq!(g.ncells(), 2048);
+    }
+
+    #[test]
+    fn wrap_grid_reference() {
+        assert_eq!(wrap_grid(0.0, 8), 0.0);
+        assert_eq!(wrap_grid(7.75, 8), 7.75);
+        assert_eq!(wrap_grid(8.0, 8), 0.0);
+        assert_eq!(wrap_grid(9.5, 8), 1.5);
+        assert_eq!(wrap_grid(-0.25, 8), 7.75);
+        assert_eq!(wrap_grid(-8.25, 8), 7.75);
+        assert_eq!(wrap_grid(17.0, 8), 1.0);
+    }
+
+    #[test]
+    fn split_periodic_matches_reference_semantics() {
+        for n in [8usize, 128] {
+            for &g in &[
+                0.0, 0.5, 1.0, 6.9999, 7.0, 7.5, 8.0, 9.25, 127.9, -0.5, -1.0, -7.75, -8.0,
+                -16.5, 300.25,
+            ] {
+                let (cell, off) = split_periodic(g, n);
+                assert!(cell < n, "g={g} n={n} cell={cell}");
+                assert!((0.0..1.0).contains(&off), "g={g} off={off}");
+                // cell+off must equal g modulo n.
+                let rebuilt = wrap_grid(cell as f64 + off, n);
+                let reference = wrap_grid(g, n);
+                assert!(
+                    (rebuilt - reference).abs() < 1e-12
+                        || (rebuilt - reference).abs() > n as f64 - 1e-12,
+                    "g={g} n={n}: rebuilt {rebuilt} vs reference {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_negative_integer_exact() {
+        // g = −1.0 is exactly an integer: floor = −1, offset 0, cell n−1.
+        let (cell, off) = split_periodic(-1.0, 8);
+        assert_eq!(cell, 7);
+        assert_eq!(off, 0.0);
+        // g = −0.25: floor = −1, offset 0.75.
+        let (cell, off) = split_periodic(-0.25, 8);
+        assert_eq!(cell, 7);
+        assert!((off - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn physical_to_grid_roundtrip() {
+        let g = Grid2D::new(16, 16, 8.0, 8.0).unwrap();
+        // Δx = 0.5: physical 1.25 → grid 2.5.
+        assert!((g.to_grid_x(1.25) - 2.5).abs() < 1e-15);
+        // Wraps: physical 8.5 → grid 17 → 1.
+        assert!((g.to_grid_x(8.5) - 1.0).abs() < 1e-12);
+        let (c, o) = g.split_x(g.to_grid_x(1.25));
+        assert_eq!(c, 2);
+        assert!((o - 0.5).abs() < 1e-15);
+    }
+}

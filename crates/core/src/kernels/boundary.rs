@@ -1,0 +1,295 @@
+//! Non-periodic boundary conditions — the paper's §VI outlook (“adapt our
+//! vectorization techniques when dealing with other boundary conditions
+//! like reflecting or escaping particles”).
+//!
+//! Two position-update variants are provided beyond the periodic wrap:
+//!
+//! * [`update_positions_reflecting`] — specular walls: a particle crossing
+//!   a boundary is mirrored back and the corresponding velocity component
+//!   flips sign. Implemented branch-lean via the triangular-wave identity
+//!   (fold into `[0, 2n)`, mirror the upper half), which handles multiple
+//!   wall crossings in one step, in the same spirit as the paper's
+//!   modulo-based periodic wrap;
+//! * [`update_positions_absorbing`] — open walls: escaping particles are
+//!   marked dead (`icell = DEAD`) and later removed with
+//!   [`compact_alive`], the bookkeeping a bounded-plasma simulation needs.
+//!
+//! These kernels are library extensions exercised by tests and benches;
+//! the `Simulation` driver itself remains periodic, as in the paper.
+
+use crate::particles::ParticlesSoA;
+
+/// Sentinel cell index marking an absorbed (dead) particle.
+pub const DEAD: u32 = u32::MAX;
+
+/// Fold a coordinate into `[0, n)` with specular reflection; returns the
+/// folded coordinate and `true` if the velocity must flip.
+#[inline]
+fn reflect_fold(x: f64, n: f64) -> (f64, bool) {
+    // Triangular wave of period 2n: fold into [0, 2n), mirror upper half.
+    let period = 2.0 * n;
+    let m = x - (x / period).floor() * period; // in [0, 2n)
+    if m < n {
+        (m, false)
+    } else {
+        // Mirror; guard the m == n edge so the result stays inside [0, n).
+        let r = period - m;
+        (if r >= n { n - f64::EPSILON * n } else { r }, true)
+    }
+}
+
+/// Reflecting-wall position update (row-major cell indexing).
+///
+/// Velocities are in grid units per step (`scale = 1`) or physical
+/// (`scale = Δt/Δx`), as in the periodic kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn update_positions_reflecting(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    ncx: usize,
+    ncy: usize,
+    scale: f64,
+) {
+    let n = icell.len();
+    let (fx, fy) = (ncx as f64, ncy as f64);
+    for i in 0..n {
+        let x = ix[i] as f64 + dx[i] + vx[i] * scale;
+        let y = iy[i] as f64 + dy[i] + vy[i] * scale;
+        let (xr, flip_x) = reflect_fold(x, fx);
+        let (yr, flip_y) = reflect_fold(y, fy);
+        if flip_x {
+            vx[i] = -vx[i];
+        }
+        if flip_y {
+            vy[i] = -vy[i];
+        }
+        let cx = (xr.floor() as usize).min(ncx - 1);
+        let cy = (yr.floor() as usize).min(ncy - 1);
+        dx[i] = xr - cx as f64;
+        dy[i] = yr - cy as f64;
+        ix[i] = cx as u32;
+        iy[i] = cy as u32;
+        icell[i] = (cx * ncy + cy) as u32;
+    }
+}
+
+/// Absorbing-wall position update: particles leaving `[0, ncx) × [0, ncy)`
+/// are marked [`DEAD`] and left in place; everything else updates as usual.
+/// Returns the number of particles absorbed this call.
+#[allow(clippy::too_many_arguments)]
+pub fn update_positions_absorbing(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &[f64],
+    vy: &[f64],
+    ncx: usize,
+    ncy: usize,
+    scale: f64,
+) -> usize {
+    let n = icell.len();
+    let (fx, fy) = (ncx as f64, ncy as f64);
+    let mut absorbed = 0usize;
+    for i in 0..n {
+        if icell[i] == DEAD {
+            continue;
+        }
+        let x = ix[i] as f64 + dx[i] + vx[i] * scale;
+        let y = iy[i] as f64 + dy[i] + vy[i] * scale;
+        if x < 0.0 || x >= fx || y < 0.0 || y >= fy {
+            icell[i] = DEAD;
+            absorbed += 1;
+            continue;
+        }
+        let cx = x.floor() as usize;
+        let cy = y.floor() as usize;
+        dx[i] = x - cx as f64;
+        dy[i] = y - cy as f64;
+        ix[i] = cx as u32;
+        iy[i] = cy as u32;
+        icell[i] = (cx * ncy + cy) as u32;
+    }
+    absorbed
+}
+
+/// Remove dead particles in place, preserving the order of the survivors.
+/// Returns the new particle count.
+pub fn compact_alive(p: &mut ParticlesSoA) -> usize {
+    let mut w = 0usize;
+    for r in 0..p.len() {
+        if p.icell[r] != DEAD {
+            if w != r {
+                p.icell[w] = p.icell[r];
+                p.ix[w] = p.ix[r];
+                p.iy[w] = p.iy[r];
+                p.dx[w] = p.dx[r];
+                p.dy[w] = p.dy[r];
+                p.vx[w] = p.vx[r];
+                p.vy[w] = p.vy[r];
+            }
+            w += 1;
+        }
+    }
+    p.icell.truncate(w);
+    p.ix.truncate(w);
+    p.iy.truncate(w);
+    p.dx.truncate(w);
+    p.dy.truncate(w);
+    p.vx.truncate(w);
+    p.vy.truncate(w);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(ix: u32, dx: f64, vx: f64) -> ParticlesSoA {
+        let mut p = ParticlesSoA::zeroed(1);
+        p.ix[0] = ix;
+        p.dx[0] = dx;
+        p.vx[0] = vx;
+        p.iy[0] = 4;
+        p.dy[0] = 0.5;
+        p
+    }
+
+    #[test]
+    fn interior_move_matches_periodic() {
+        let mut p = one(3, 0.5, 1.25);
+        let (vx, vy) = (p.vx.clone(), p.vy.clone());
+        let mut vx = vx;
+        let mut vy = vy;
+        update_positions_reflecting(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+        );
+        assert_eq!(p.ix[0], 4);
+        assert!((p.dx[0] - 0.75).abs() < 1e-12);
+        assert_eq!(vx[0], 1.25, "no wall touched, velocity unchanged");
+    }
+
+    #[test]
+    fn reflection_at_upper_wall() {
+        // x = 7.5 + 1.0 = 8.5 → reflected to 7.5, vx flips.
+        let mut p = one(7, 0.5, 1.0);
+        let mut vx = p.vx.clone();
+        let mut vy = p.vy.clone();
+        update_positions_reflecting(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+        );
+        assert_eq!(p.ix[0], 7);
+        assert!((p.dx[0] - 0.5).abs() < 1e-12);
+        assert_eq!(vx[0], -1.0);
+    }
+
+    #[test]
+    fn reflection_at_lower_wall() {
+        // x = 0.25 − 1.0 = −0.75 → reflected to 0.75, vx flips.
+        let mut p = one(0, 0.25, -1.0);
+        let mut vx = p.vx.clone();
+        let mut vy = p.vy.clone();
+        update_positions_reflecting(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+        );
+        assert_eq!(p.ix[0], 0);
+        assert!((p.dx[0] - 0.75).abs() < 1e-12);
+        assert_eq!(vx[0], 1.0);
+    }
+
+    #[test]
+    fn double_reflection_in_one_step() {
+        // x = 0.5 + 17.0 = 17.5; period-16 triangular fold: 17.5 → 14.5,
+        // i.e. one bounce off each wall (even count ⇒ net flip twice = flip
+        // zero times? No: 17.5 mod 16 = 1.5 ≥ 8? no… walk it: fold(17.5, 8):
+        // m = 17.5 − 16 = 1.5 < 8 → lands at 1.5 with NO net flip (two
+        // bounces cancel).
+        let mut p = one(0, 0.5, 17.0);
+        let mut vx = p.vx.clone();
+        let mut vy = p.vy.clone();
+        update_positions_reflecting(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+        );
+        assert_eq!(p.ix[0], 1);
+        assert!((p.dx[0] - 0.5).abs() < 1e-12);
+        assert_eq!(vx[0], 17.0, "even number of bounces: velocity restored");
+    }
+
+    #[test]
+    fn positions_always_in_range() {
+        let n = 1000;
+        let mut p = ParticlesSoA::zeroed(n);
+        for i in 0..n {
+            p.ix[i] = (i % 8) as u32;
+            p.iy[i] = ((i * 3) % 8) as u32;
+            p.dx[i] = ((i * 7) % 100) as f64 / 100.0;
+            p.dy[i] = ((i * 11) % 100) as f64 / 100.0;
+            p.vx[i] = ((i % 29) as f64 - 14.0) * 1.7;
+            p.vy[i] = ((i % 31) as f64 - 15.0) * 2.3;
+        }
+        let mut vx = p.vx.clone();
+        let mut vy = p.vy.clone();
+        let speed_before: Vec<f64> = vx.iter().zip(&vy).map(|(a, b)| a.abs() + b.abs()).collect();
+        update_positions_reflecting(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+        );
+        for i in 0..n {
+            assert!((p.ix[i] as usize) < 8);
+            assert!((0.0..1.0).contains(&p.dx[i]), "dx {}", p.dx[i]);
+            assert!((0.0..1.0).contains(&p.dy[i]), "dy {}", p.dy[i]);
+            // Specular walls preserve speed exactly.
+            assert!((vx[i].abs() + vy[i].abs() - speed_before[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn absorbing_marks_and_counts() {
+        let mut p = ParticlesSoA::zeroed(3);
+        // stays, leaves right, leaves left
+        p.ix.copy_from_slice(&[3, 7, 0]);
+        p.dx.copy_from_slice(&[0.5, 0.9, 0.1]);
+        p.vx.copy_from_slice(&[0.2, 1.0, -1.0]);
+        let (vx, vy) = (p.vx.clone(), p.vy.clone());
+        let absorbed = update_positions_absorbing(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+        );
+        assert_eq!(absorbed, 2);
+        assert_ne!(p.icell[0], DEAD);
+        assert_eq!(p.icell[1], DEAD);
+        assert_eq!(p.icell[2], DEAD);
+        // Dead particles are skipped on the next call.
+        let again = update_positions_absorbing(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+        );
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn compact_removes_dead_preserving_order() {
+        let mut p = ParticlesSoA::zeroed(5);
+        for i in 0..5 {
+            p.vx[i] = i as f64;
+        }
+        p.icell[1] = DEAD;
+        p.icell[3] = DEAD;
+        let n = compact_alive(&mut p);
+        assert_eq!(n, 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.vx, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn compact_all_dead_and_none_dead() {
+        let mut p = ParticlesSoA::zeroed(3);
+        assert_eq!(compact_alive(&mut p), 3);
+        p.icell.fill(DEAD);
+        assert_eq!(compact_alive(&mut p), 0);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! The single fused particle loop — velocity kick, position push, and
+//! charge deposition in one pass (the paper's Fig. 1, lines 8–12, before
+//! the loop-splitting optimization of §IV-A).
+//!
+//! The fused shape scans the particle arrays once, but interleaves the E
+//! reads and ρ writes, spoiling both vectorization and the per-array memory
+//! behaviour; the paper measures an 18–25 % loss against the split loops.
+//! These kernels exist to reproduce that comparison (Tables IV and VII).
+
+use crate::fields::{Field2D, RedundantRho, CX, CY, SX, SY};
+use crate::particles::ParticlesSoA;
+
+/// Fused SoA loop over the *standard* field/ρ structures, unhoisted: the
+/// per-particle multiplies by `coeff_*` (velocity kick) and `scale`
+/// (position push) happen inside the loop, and the periodic wrap is the
+/// naive `if` + real-modulo form. This is the Table IV baseline shape
+/// (modulo its AoS storage — see [`super::aos`]).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_standard_soa(
+    p: &mut ParticlesSoA,
+    field: &Field2D,
+    rho: &mut [f64],
+    coeff_x: f64,
+    coeff_y: f64,
+    scale: f64,
+    w: f64,
+) {
+    let n = p.len();
+    let (ncx, ncy) = (field.ncx, field.ncy);
+    assert_eq!(rho.len(), ncx * ncy);
+    let (fx, fy) = (ncx as f64, ncy as f64);
+    for i in 0..n {
+        // Kick at the old position.
+        let cx = p.ix[i] as usize;
+        let cy = p.iy[i] as usize;
+        let cxp = (cx + 1) & (ncx - 1);
+        let cyp = (cy + 1) & (ncy - 1);
+        let (odx, ody) = (p.dx[i], p.dy[i]);
+        let w00 = (1.0 - odx) * (1.0 - ody);
+        let w01 = (1.0 - odx) * ody;
+        let w10 = odx * (1.0 - ody);
+        let w11 = odx * ody;
+        let g00 = cx * ncy + cy;
+        let g01 = cx * ncy + cyp;
+        let g10 = cxp * ncy + cy;
+        let g11 = cxp * ncy + cyp;
+        let ex =
+            w00 * field.ex[g00] + w01 * field.ex[g01] + w10 * field.ex[g10] + w11 * field.ex[g11];
+        let ey =
+            w00 * field.ey[g00] + w01 * field.ey[g01] + w10 * field.ey[g10] + w11 * field.ey[g11];
+        p.vx[i] += coeff_x * ex;
+        p.vy[i] += coeff_y * ey;
+
+        // Push, naive-if wrap.
+        let mut x = cx as f64 + odx + p.vx[i] * scale;
+        let mut y = cy as f64 + ody + p.vy[i] * scale;
+        if x < 0.0 || x >= fx {
+            x = super::position::modulo_real(x, fx);
+        }
+        if y < 0.0 || y >= fy {
+            y = super::position::modulo_real(y, fy);
+        }
+        let nx = (x.floor() as usize).min(ncx - 1);
+        let ny = (y.floor() as usize).min(ncy - 1);
+        let ndx = x - x.floor();
+        let ndy = y - y.floor();
+        p.ix[i] = nx as u32;
+        p.iy[i] = ny as u32;
+        p.dx[i] = ndx;
+        p.dy[i] = ndy;
+        p.icell[i] = (nx * ncy + ny) as u32;
+
+        // Deposit at the new position, scattered.
+        let nxp = (nx + 1) & (ncx - 1);
+        let nyp = (ny + 1) & (ncy - 1);
+        rho[nx * ncy + ny] += w * (1.0 - ndx) * (1.0 - ndy);
+        rho[nx * ncy + nyp] += w * (1.0 - ndx) * ndy;
+        rho[nxp * ncy + ny] += w * ndx * (1.0 - ndy);
+        rho[nxp * ncy + nyp] += w * ndx * ndy;
+    }
+}
+
+/// Fused SoA loop over the *redundant* structures with hoisted coefficients
+/// and the branchless wrap — the optimized data structures in the
+/// unsplit loop shape, i.e. the “SoA, 1 loop” column of Table VII.
+pub fn fused_redundant_soa(
+    p: &mut ParticlesSoA,
+    e8: &[[f64; 8]],
+    rho4: &mut RedundantRho,
+    ncx: usize,
+    ncy: usize,
+    w: f64,
+) {
+    fused_redundant_slices(
+        &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut p.vx, &mut p.vy, e8,
+        &mut rho4.rho4, ncx, ncy, w,
+    );
+}
+
+/// Slice-based core of [`fused_redundant_soa`], usable on SoA chunk views.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_redundant_slices(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &mut [f64],
+    vy: &mut [f64],
+    e8: &[[f64; 8]],
+    rho4: &mut [[f64; 4]],
+    ncx: usize,
+    ncy: usize,
+    w: f64,
+) {
+    debug_assert!(ncx.is_power_of_two() && ncy.is_power_of_two());
+    let n = icell.len();
+    let mx = ncx as i64 - 1;
+    let my = ncy as i64 - 1;
+    for i in 0..n {
+        // Kick (hoisted: e8 is pre-scaled, velocities in grid units/step).
+        let e = &e8[icell[i] as usize];
+        let (odx, ody) = (dx[i], dy[i]);
+        let w00 = (1.0 - odx) * (1.0 - ody);
+        let w01 = (1.0 - odx) * ody;
+        let w10 = odx * (1.0 - ody);
+        let w11 = odx * ody;
+        vx[i] += w00 * e[0] + w01 * e[1] + w10 * e[2] + w11 * e[3];
+        vy[i] += w00 * e[4] + w01 * e[5] + w10 * e[6] + w11 * e[7];
+
+        // Push, branchless.
+        let x = ix[i] as f64 + odx + vx[i];
+        let y = iy[i] as f64 + ody + vy[i];
+        let fxi = (x as i64) - i64::from(x < 0.0);
+        let fyi = (y as i64) - i64::from(y < 0.0);
+        let nx = (fxi & mx) as usize;
+        let ny = (fyi & my) as usize;
+        let ndx = x - fxi as f64;
+        let ndy = y - fyi as f64;
+        ix[i] = nx as u32;
+        iy[i] = ny as u32;
+        dx[i] = ndx;
+        dy[i] = ndy;
+        let cell = nx * ncy + ny;
+        icell[i] = cell as u32;
+
+        // Deposit (redundant, contiguous).
+        let dst = &mut rho4[cell];
+        for corner in 0..4 {
+            dst[corner] += w * (CX[corner] + SX[corner] * ndx) * (CY[corner] + SY[corner] * ndy);
+        }
+    }
+}
+
+/// Rayon-parallel fused redundant loop: per-task private ρ₄ copies, reduced
+/// pairwise (the array-section reduction applied to the fused shape).
+pub fn par_fused_redundant_soa(
+    p: &mut ParticlesSoA,
+    e8: &[[f64; 8]],
+    rho4: &mut RedundantRho,
+    ncx: usize,
+    ncy: usize,
+    w: f64,
+    nchunks: usize,
+) {
+    use rayon::prelude::*;
+    let ncells = rho4.rho4.len();
+    let views = super::split_soa_mut(p, nchunks);
+    let total = views
+        .into_par_iter()
+        .map(|v| {
+            let mut local = vec![[0.0f64; 4]; ncells];
+            fused_redundant_slices(
+                v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, e8, &mut local, ncx, ncy, w,
+            );
+            local
+        })
+        .reduce(
+            || vec![[0.0f64; 4]; ncells],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    for k in 0..4 {
+                        x[k] += y[k];
+                    }
+                }
+                a
+            },
+        );
+    for (dst, src) in rho4.rho4.iter_mut().zip(&total) {
+        for k in 0..4 {
+            dst[k] += src[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::RedundantE;
+    use crate::grid::Grid2D;
+    use crate::kernels::{accumulate, position, velocity};
+    use sfc::RowMajor;
+
+    fn mk(n: usize, ncx: usize, ncy: usize) -> ParticlesSoA {
+        let mut p = ParticlesSoA::zeroed(n);
+        for i in 0..n {
+            let cx = (i * 3 + 1) % ncx;
+            let cy = (i * 7 + 5) % ncy;
+            p.ix[i] = cx as u32;
+            p.iy[i] = cy as u32;
+            p.icell[i] = (cx * ncy + cy) as u32;
+            p.dx[i] = ((i * 29) % 97) as f64 / 97.0;
+            p.dy[i] = ((i * 43) % 89) as f64 / 89.0;
+            p.vx[i] = ((i % 11) as f64 - 5.0) * 0.3;
+            p.vy[i] = ((i % 9) as f64 - 4.0) * 0.4;
+        }
+        p
+    }
+
+    fn mk_field(ncx: usize, ncy: usize) -> Field2D {
+        let g = Grid2D::new(ncx, ncy, 1.0, 1.0).unwrap();
+        let mut f = Field2D::new(&g);
+        for i in 0..f.ex.len() {
+            f.ex[i] = ((i * 37 + 3) % 41) as f64 * 0.05;
+            f.ey[i] = ((i * 23 + 7) % 31) as f64 * -0.08;
+        }
+        f
+    }
+
+    /// The central invariant of §IV-A: splitting the loop must not change
+    /// physics — fused and split pipelines produce identical states.
+    #[test]
+    fn fused_standard_equals_split_pipeline() {
+        let (ncx, ncy) = (16, 16);
+        let f = mk_field(ncx, ncy);
+        let base = mk(500, ncx, ncy);
+        let (coeff_x, coeff_y, scale, w) = (0.9, 1.1, 1.0, 0.75);
+
+        // Fused.
+        let mut a = base.clone();
+        let mut rho_a = vec![0.0; ncx * ncy];
+        fused_standard_soa(&mut a, &f, &mut rho_a, coeff_x, coeff_y, scale, w);
+
+        // Split: kick, push, deposit.
+        let mut b = base.clone();
+        velocity::update_velocities_standard(
+            &b.ix.clone(),
+            &b.iy.clone(),
+            &b.dx.clone(),
+            &b.dy.clone(),
+            &mut b.vx,
+            &mut b.vy,
+            &f,
+            coeff_x,
+            coeff_y,
+        );
+        let (vx, vy) = (b.vx.clone(), b.vy.clone());
+        position::update_positions_naive_if(
+            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, ncx, ncy, scale,
+        );
+        let mut rho_b = vec![0.0; ncx * ncy];
+        accumulate::accumulate_standard(&b.ix, &b.iy, &b.dx, &b.dy, &mut rho_b, ncx, ncy, w);
+
+        assert_eq!(a.icell, b.icell);
+        for i in 0..a.len() {
+            assert!((a.vx[i] - b.vx[i]).abs() < 1e-13);
+            assert!((a.dx[i] - b.dx[i]).abs() < 1e-12);
+        }
+        for i in 0..ncx * ncy {
+            assert!((rho_a[i] - rho_b[i]).abs() < 1e-10, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn fused_redundant_equals_split_pipeline() {
+        let (ncx, ncy) = (16, 16);
+        let layout = RowMajor::new(ncx, ncy).unwrap();
+        let f = mk_field(ncx, ncy);
+        let mut e8 = RedundantE::new(&layout);
+        e8.fill_from(&f, &layout, 1.0, 1.0);
+        let base = mk(500, ncx, ncy);
+        let w = 1.5;
+
+        let mut a = base.clone();
+        let mut rho4_a = RedundantRho::new(&layout);
+        fused_redundant_soa(&mut a, &e8.e8, &mut rho4_a, ncx, ncy, w);
+
+        let mut b = base.clone();
+        velocity::update_velocities_redundant_hoisted(
+            &b.icell.clone(),
+            &b.dx.clone(),
+            &b.dy.clone(),
+            &mut b.vx,
+            &mut b.vy,
+            &e8.e8,
+        );
+        let (vx, vy) = (b.vx.clone(), b.vy.clone());
+        position::update_positions_branchless(
+            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, ncx, ncy, 1.0,
+        );
+        let mut rho4_b = RedundantRho::new(&layout);
+        accumulate::accumulate_redundant(&b.icell, &b.dx, &b.dy, &mut rho4_b.rho4, w);
+
+        assert_eq!(a.icell, b.icell);
+        for i in 0..a.len() {
+            assert!((a.vx[i] - b.vx[i]).abs() < 1e-13);
+        }
+        for (ca, cb) in rho4_a.rho4.iter().zip(&rho4_b.rho4) {
+            for k in 0..4 {
+                assert!((ca[k] - cb[k]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_conserves_charge() {
+        let (ncx, ncy) = (8, 8);
+        let layout = RowMajor::new(ncx, ncy).unwrap();
+        let f = mk_field(ncx, ncy);
+        let mut e8 = RedundantE::new(&layout);
+        e8.fill_from(&f, &layout, 1.0, 1.0);
+        let mut p = mk(1000, ncx, ncy);
+        let mut rho4 = RedundantRho::new(&layout);
+        fused_redundant_soa(&mut p, &e8.e8, &mut rho4, ncx, ncy, 2.0);
+        let total: f64 = rho4.rho4.iter().flat_map(|c| c.iter()).sum();
+        assert!((total - 2000.0).abs() < 1e-9);
+    }
+}

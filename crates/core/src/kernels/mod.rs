@@ -1,0 +1,151 @@
+//! The particle-loop kernels, one per optimization variant of the paper.
+//!
+//! Layout of this module tree:
+//!
+//! * [`velocity`] — the update-velocities loop (field interpolation), over
+//!   standard vs redundant field storage;
+//! * [`position`] — the update-positions loop in the paper's three shapes:
+//!   `if`+real-modulo, integer-modulo, and branchless bitwise (§IV-C);
+//! * [`accumulate`] — the charge-deposition loop, standard (scattered) vs
+//!   redundant (contiguous, vectorizable — Fig. 2);
+//! * [`fused`] — the single fused particle loop (velocity + position +
+//!   deposition in one pass), the shape the paper *splits away from*
+//!   (§IV-A), for AoS and SoA;
+//! * [`aos`] — AoS mirrors of the split kernels for the Table IV / VII
+//!   comparisons.
+//!
+//! All SoA kernels take plain slices so that the rayon wrappers can hand
+//! them disjoint chunks; [`SoaChunksMut`] produces those chunks safely.
+//!
+//! ### Hoisting convention
+//!
+//! Every kernel exists in a *coefficient* form (multiplies by `coeff` /
+//! `scale` per particle — the unhoisted baseline) and callers get the
+//! hoisted variant of §IV-D by pre-scaling the stored fields/velocities and
+//! passing `1.0`; the dedicated `*_hoisted` entry points omit the multiply
+//! entirely so the generated loop body matches the paper's optimized code.
+
+pub mod accumulate;
+pub mod aos;
+pub mod boundary;
+pub mod fused;
+pub mod position;
+pub mod velocity;
+
+use crate::particles::ParticlesSoA;
+
+/// A mutable view over one contiguous range of a [`ParticlesSoA`].
+pub struct SoaViewMut<'a> {
+    /// Cell indices.
+    pub icell: &'a mut [u32],
+    /// Cell x-coordinates.
+    pub ix: &'a mut [u32],
+    /// Cell y-coordinates.
+    pub iy: &'a mut [u32],
+    /// In-cell x offsets.
+    pub dx: &'a mut [f64],
+    /// In-cell y offsets.
+    pub dy: &'a mut [f64],
+    /// x velocities.
+    pub vx: &'a mut [f64],
+    /// y velocities.
+    pub vy: &'a mut [f64],
+}
+
+impl<'a> SoaViewMut<'a> {
+    /// Particles in this view.
+    pub fn len(&self) -> usize {
+        self.icell.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.icell.is_empty()
+    }
+}
+
+/// Split a particle store into `nchunks` disjoint mutable views of
+/// near-equal size (for rayon fan-out). Returns fewer chunks when there are
+/// fewer particles than chunks.
+pub fn split_soa_mut(p: &mut ParticlesSoA, nchunks: usize) -> Vec<SoaViewMut<'_>> {
+    let n = p.len();
+    let nchunks = nchunks.max(1).min(n.max(1));
+    let base = n / nchunks;
+    let extra = n % nchunks;
+
+    let mut views = Vec::with_capacity(nchunks);
+    let (mut icell, mut ix, mut iy, mut dx, mut dy, mut vx, mut vy) = (
+        p.icell.as_mut_slice(),
+        p.ix.as_mut_slice(),
+        p.iy.as_mut_slice(),
+        p.dx.as_mut_slice(),
+        p.dy.as_mut_slice(),
+        p.vx.as_mut_slice(),
+        p.vy.as_mut_slice(),
+    );
+    for c in 0..nchunks {
+        let len = base + usize::from(c < extra);
+        let (a, b) = icell.split_at_mut(len);
+        icell = b;
+        let (a2, b2) = ix.split_at_mut(len);
+        ix = b2;
+        let (a3, b3) = iy.split_at_mut(len);
+        iy = b3;
+        let (a4, b4) = dx.split_at_mut(len);
+        dx = b4;
+        let (a5, b5) = dy.split_at_mut(len);
+        dy = b5;
+        let (a6, b6) = vx.split_at_mut(len);
+        vx = b6;
+        let (a7, b7) = vy.split_at_mut(len);
+        vy = b7;
+        views.push(SoaViewMut {
+            icell: a,
+            ix: a2,
+            iy: a3,
+            dx: a4,
+            dy: a5,
+            vx: a6,
+            vy: a7,
+        });
+    }
+    views
+}
+
+/// Alias kept for discoverability in docs.
+pub type SoaChunksMut<'a> = Vec<SoaViewMut<'a>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_once() {
+        let mut p = ParticlesSoA::zeroed(10);
+        for i in 0..10 {
+            p.icell[i] = i as u32;
+        }
+        let views = split_soa_mut(&mut p, 3);
+        assert_eq!(views.len(), 3);
+        let lens: Vec<usize> = views.iter().map(|v| v.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+        let all: Vec<u32> = views.iter().flat_map(|v| v.icell.iter().copied()).collect();
+        assert_eq!(all, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn split_more_chunks_than_particles() {
+        let mut p = ParticlesSoA::zeroed(2);
+        let views = split_soa_mut(&mut p, 8);
+        assert_eq!(views.len(), 2);
+        assert!(views.iter().all(|v| v.len() == 1));
+    }
+
+    #[test]
+    fn split_empty_store() {
+        let mut p = ParticlesSoA::zeroed(0);
+        let views = split_soa_mut(&mut p, 4);
+        assert_eq!(views.len(), 1);
+        assert!(views[0].is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! The update-positions loop in the paper's three shapes (§IV-C).
+//!
+//! A particle's position is `x = ix + dx` in grid units. The push adds the
+//! (grid-unit) velocity, wraps periodically, and re-splits into
+//! `(cell, offset)`:
+//!
+//! 1. [`update_positions_naive_if`] — test `if (x < 0 || x >= ncx)` and call
+//!    a real-valued modulo, plus `floor()`: branches and a libm call, the
+//!    shape compilers refuse to vectorize (GNU) or vectorize poorly (Intel);
+//! 2. [`update_positions_modulo`] — unconditional integer modulo
+//!    (`rem_euclid`): branch-free but still an integer division when the
+//!    divisor is not known;
+//! 3. [`update_positions_branchless`] — the paper's final form: floor by
+//!    int-cast minus sign bit, wrap by bitwise AND with `nc − 1` (grid dims
+//!    are powers of two). Pure straight-line arithmetic, auto-vectorizable.
+//!
+//! Each shape has a row-major variant (recomputes `icell = ix·ncy + iy`
+//! directly — no per-particle `(ix, iy)` needed) and a layout-generic
+//! variant (updates the stored `(ix, iy)` and calls `layout.encode`,
+//! monomorphized — the “3 extra seconds” of Table III).
+
+use sfc::CellLayout;
+
+use rayon::prelude::*;
+
+/// Reference modulo over the reals (paper §IV-C2 footnote):
+/// the unique value in `[0, b)` congruent to `a`.
+#[inline]
+pub fn modulo_real(a: f64, b: f64) -> f64 {
+    a - (a / b).floor() * b
+}
+
+/// Shape 1: `if` + real modulo + `floor()` call. Row-major cell indexing.
+pub fn update_positions_naive_if(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &[f64],
+    vy: &[f64],
+    ncx: usize,
+    ncy: usize,
+    scale: f64,
+) {
+    let n = icell.len();
+    let (fx, fy) = (ncx as f64, ncy as f64);
+    for i in 0..n {
+        let mut x = ix[i] as f64 + dx[i] + vx[i] * scale;
+        let mut y = iy[i] as f64 + dy[i] + vy[i] * scale;
+        if x < 0.0 || x >= fx {
+            x = modulo_real(x, fx);
+        }
+        if y < 0.0 || y >= fy {
+            y = modulo_real(y, fy);
+        }
+        let cx = x.floor();
+        let cy = y.floor();
+        dx[i] = x - cx;
+        dy[i] = y - cy;
+        // Guard the x == fx-ε rounding edge: floor may round up to fx.
+        let cix = (cx as usize).min(ncx - 1);
+        let ciy = (cy as usize).min(ncy - 1);
+        ix[i] = cix as u32;
+        iy[i] = ciy as u32;
+        icell[i] = (cix * ncy + ciy) as u32;
+    }
+}
+
+/// Shape 2: unconditional integer modulo (`rem_euclid`), no inside test.
+pub fn update_positions_modulo(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &[f64],
+    vy: &[f64],
+    ncx: usize,
+    ncy: usize,
+    scale: f64,
+) {
+    let n = icell.len();
+    for i in 0..n {
+        let x = ix[i] as f64 + dx[i] + vx[i] * scale;
+        let y = iy[i] as f64 + dy[i] + vy[i] * scale;
+        let fx = x.floor();
+        let fy = y.floor();
+        let cx = (fx as i64).rem_euclid(ncx as i64) as usize;
+        let cy = (fy as i64).rem_euclid(ncy as i64) as usize;
+        dx[i] = x - fx;
+        dy[i] = y - fy;
+        ix[i] = cx as u32;
+        iy[i] = cy as u32;
+        icell[i] = (cx * ncy + cy) as u32;
+    }
+}
+
+/// Shape 3 (the paper's optimized form), row-major indexing:
+/// branchless floor + bitwise wrap, straight-line arithmetic throughout.
+pub fn update_positions_branchless(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &[f64],
+    vy: &[f64],
+    ncx: usize,
+    ncy: usize,
+    scale: f64,
+) {
+    debug_assert!(ncx.is_power_of_two() && ncy.is_power_of_two());
+    let n = icell.len();
+    let mx = ncx as i64 - 1;
+    let my = ncy as i64 - 1;
+    for i in 0..n {
+        let x = ix[i] as f64 + dx[i] + vx[i] * scale;
+        let y = iy[i] as f64 + dy[i] + vy[i] * scale;
+        // floor(x) = (int)x − (x < 0): exact unless x is a negative integer,
+        // which has measure zero for PIC positions (paper §IV-C3).
+        let fx = (x as i64) - i64::from(x < 0.0);
+        let fy = (y as i64) - i64::from(y < 0.0);
+        let cx = (fx & mx) as usize;
+        let cy = (fy & my) as usize;
+        dx[i] = x - fx as f64;
+        dy[i] = y - fy as f64;
+        ix[i] = cx as u32;
+        iy[i] = cy as u32;
+        icell[i] = (cx * ncy + cy) as u32;
+    }
+}
+
+/// Shape 3 under an arbitrary layout: same branchless arithmetic, then the
+/// (monomorphized) `layout.encode` — the extra work Table III charges to
+/// the L4D/Morton/Hilbert orderings.
+pub fn update_positions_branchless_layout<L: CellLayout>(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &[f64],
+    vy: &[f64],
+    layout: &L,
+    scale: f64,
+) {
+    let (ncx, ncy) = (layout.ncx(), layout.ncy());
+    debug_assert!(ncx.is_power_of_two() && ncy.is_power_of_two());
+    let n = icell.len();
+    let mx = ncx as i64 - 1;
+    let my = ncy as i64 - 1;
+    for i in 0..n {
+        let x = ix[i] as f64 + dx[i] + vx[i] * scale;
+        let y = iy[i] as f64 + dy[i] + vy[i] * scale;
+        let fx = (x as i64) - i64::from(x < 0.0);
+        let fy = (y as i64) - i64::from(y < 0.0);
+        let cx = (fx & mx) as usize;
+        let cy = (fy & my) as usize;
+        dx[i] = x - fx as f64;
+        dy[i] = y - fy as f64;
+        ix[i] = cx as u32;
+        iy[i] = cy as u32;
+        icell[i] = layout.encode(cx, cy) as u32;
+    }
+}
+
+/// Naive-if shape under an arbitrary layout (for the Table III Hilbert row).
+pub fn update_positions_naive_if_layout<L: CellLayout>(
+    icell: &mut [u32],
+    ix: &mut [u32],
+    iy: &mut [u32],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    vx: &[f64],
+    vy: &[f64],
+    layout: &L,
+    scale: f64,
+) {
+    let (ncx, ncy) = (layout.ncx(), layout.ncy());
+    let n = icell.len();
+    let (fxm, fym) = (ncx as f64, ncy as f64);
+    for i in 0..n {
+        let mut x = ix[i] as f64 + dx[i] + vx[i] * scale;
+        let mut y = iy[i] as f64 + dy[i] + vy[i] * scale;
+        if x < 0.0 || x >= fxm {
+            x = modulo_real(x, fxm);
+        }
+        if y < 0.0 || y >= fym {
+            y = modulo_real(y, fym);
+        }
+        let cx = (x.floor() as usize).min(ncx - 1);
+        let cy = (y.floor() as usize).min(ncy - 1);
+        dx[i] = x - x.floor();
+        dy[i] = y - y.floor();
+        ix[i] = cx as u32;
+        iy[i] = cy as u32;
+        icell[i] = layout.encode(cx, cy) as u32;
+    }
+}
+
+/// Rayon-parallel branchless row-major push.
+pub fn par_update_positions_branchless(
+    p: &mut crate::particles::ParticlesSoA,
+    ncx: usize,
+    ncy: usize,
+    scale: f64,
+    nchunks: usize,
+) {
+    let views = super::split_soa_mut(p, nchunks);
+    views.into_par_iter().for_each(|v| {
+        update_positions_branchless(v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, ncx, ncy, scale);
+    });
+}
+
+/// Rayon-parallel branchless layout-generic push.
+pub fn par_update_positions_branchless_layout<L: CellLayout>(
+    p: &mut crate::particles::ParticlesSoA,
+    layout: &L,
+    scale: f64,
+    nchunks: usize,
+) {
+    let views = super::split_soa_mut(p, nchunks);
+    views.into_par_iter().for_each(|v| {
+        update_positions_branchless_layout(
+            v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, layout, scale,
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc::{Morton, RowMajor};
+
+    fn mk(n: usize, ncx: usize, ncy: usize) -> crate::particles::ParticlesSoA {
+        let mut p = crate::particles::ParticlesSoA::zeroed(n);
+        for i in 0..n {
+            let cx = (i * 5) % ncx;
+            let cy = (i * 11) % ncy;
+            p.ix[i] = cx as u32;
+            p.iy[i] = cy as u32;
+            p.icell[i] = (cx * ncy + cy) as u32;
+            p.dx[i] = ((i * 29) % 97) as f64 / 97.0;
+            p.dy[i] = ((i * 43) % 89) as f64 / 89.0;
+            // Velocities spanning multiple cells in both directions,
+            // including the "crosses more than one cell" general case.
+            p.vx[i] = ((i % 13) as f64 - 6.0) * 0.7;
+            p.vy[i] = ((i % 17) as f64 - 8.0) * 0.9;
+        }
+        p
+    }
+
+    fn assert_same(a: &crate::particles::ParticlesSoA, b: &crate::particles::ParticlesSoA) {
+        assert_eq!(a.icell, b.icell);
+        assert_eq!(a.ix, b.ix);
+        assert_eq!(a.iy, b.iy);
+        for i in 0..a.len() {
+            assert!((a.dx[i] - b.dx[i]).abs() < 1e-12, "dx i={i}");
+            assert!((a.dy[i] - b.dy[i]).abs() < 1e-12, "dy i={i}");
+        }
+    }
+
+    #[test]
+    fn all_three_shapes_agree() {
+        let (ncx, ncy) = (16, 32);
+        let base = mk(500, ncx, ncy);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let mut c = base.clone();
+        update_positions_naive_if(
+            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &a.vx.clone(),
+            &a.vy.clone(), ncx, ncy, 1.0,
+        );
+        update_positions_modulo(
+            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &b.vx.clone(),
+            &b.vy.clone(), ncx, ncy, 1.0,
+        );
+        update_positions_branchless(
+            &mut c.icell, &mut c.ix, &mut c.iy, &mut c.dx, &mut c.dy, &c.vx.clone(),
+            &c.vy.clone(), ncx, ncy, 1.0,
+        );
+        assert_same(&a, &b);
+        assert_same(&a, &c);
+    }
+
+    #[test]
+    fn results_stay_in_range() {
+        let (ncx, ncy) = (8, 8);
+        let mut p = mk(300, ncx, ncy);
+        let (vx, vy) = (p.vx.clone(), p.vy.clone());
+        update_positions_branchless(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, ncx, ncy, 1.0,
+        );
+        for i in 0..p.len() {
+            assert!((p.ix[i] as usize) < ncx);
+            assert!((p.iy[i] as usize) < ncy);
+            assert!((0.0..1.0).contains(&p.dx[i]), "dx {}", p.dx[i]);
+            assert!((0.0..1.0).contains(&p.dy[i]), "dy {}", p.dy[i]);
+            assert_eq!(p.icell[i] as usize, p.ix[i] as usize * ncy + p.iy[i] as usize);
+        }
+    }
+
+    #[test]
+    fn periodic_wrap_is_exact() {
+        // One particle at cell 7 + 0.5 moving +1.0 cells wraps to cell 0.
+        let mut p = crate::particles::ParticlesSoA::zeroed(2);
+        p.ix[0] = 7;
+        p.dx[0] = 0.5;
+        p.vx[0] = 1.0;
+        // And one at cell 0 + 0.25 moving −1.0 wraps to cell 7.
+        p.ix[1] = 0;
+        p.dx[1] = 0.25;
+        p.vx[1] = -1.0;
+        let (vx, vy) = (p.vx.clone(), p.vy.clone());
+        update_positions_branchless(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+        );
+        assert_eq!(p.ix[0], 0);
+        assert!((p.dx[0] - 0.5).abs() < 1e-14);
+        assert_eq!(p.ix[1], 7);
+        assert!((p.dx[1] - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn multi_cell_crossing() {
+        // The general case the paper insists on: moving 3.75 cells at once.
+        let mut p = crate::particles::ParticlesSoA::zeroed(1);
+        p.ix[0] = 6;
+        p.dx[0] = 0.5;
+        p.vx[0] = 3.75; // x: 6.5 → 10.25 → cell 2, offset 0.25 (mod 8)
+        let (vx, vy) = (p.vx.clone(), p.vy.clone());
+        update_positions_branchless(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+        );
+        assert_eq!(p.ix[0], 2);
+        assert!((p.dx[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_factor_applies() {
+        // Unhoisted path: physical v = 4, scale = Δt/Δx = 0.25 → 1 cell.
+        let mut p = crate::particles::ParticlesSoA::zeroed(1);
+        p.vx[0] = 4.0;
+        let (vx, vy) = (p.vx.clone(), p.vy.clone());
+        update_positions_branchless(
+            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 0.25,
+        );
+        assert_eq!(p.ix[0], 1);
+        assert_eq!(p.dx[0], 0.0);
+    }
+
+    #[test]
+    fn layout_variant_matches_rowmajor_then_reencodes() {
+        let (ncx, ncy) = (16, 16);
+        let base = mk(400, ncx, ncy);
+        let mo = Morton::new(ncx, ncy).unwrap();
+        let rm = RowMajor::new(ncx, ncy).unwrap();
+
+        let mut a = base.clone();
+        let (vx, vy) = (a.vx.clone(), a.vy.clone());
+        update_positions_branchless_layout(
+            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &vx, &vy, &mo, 1.0,
+        );
+        let mut b = base.clone();
+        update_positions_branchless(
+            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, ncx, ncy, 1.0,
+        );
+        // Same geometry; icell differs by the layout bijection only.
+        assert_eq!(a.ix, b.ix);
+        assert_eq!(a.iy, b.iy);
+        for i in 0..a.len() {
+            assert_eq!(a.icell[i] as usize, mo.encode(a.ix[i] as usize, a.iy[i] as usize));
+            assert_eq!(b.icell[i] as usize, rm.encode(b.ix[i] as usize, b.iy[i] as usize));
+        }
+    }
+
+    #[test]
+    fn naive_layout_variant_agrees_with_branchless_layout() {
+        let (ncx, ncy) = (32, 32);
+        let base = mk(300, ncx, ncy);
+        let mo = Morton::new(ncx, ncy).unwrap();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        let mut a = base.clone();
+        update_positions_naive_if_layout(
+            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &vx, &vy, &mo, 1.0,
+        );
+        let mut b = base.clone();
+        update_positions_branchless_layout(
+            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, &mo, 1.0,
+        );
+        assert_eq!(a.icell, b.icell);
+        for i in 0..a.len() {
+            assert!((a.dx[i] - b.dx[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (ncx, ncy) = (16, 16);
+        let base = mk(5000, ncx, ncy);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        update_positions_branchless(
+            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &vx, &vy, ncx, ncy, 1.0,
+        );
+        par_update_positions_branchless(&mut b, ncx, ncy, 1.0, 8);
+        assert_same(&a, &b);
+    }
+
+    #[test]
+    fn modulo_real_reference() {
+        assert_eq!(modulo_real(5.0, 8.0), 5.0);
+        assert_eq!(modulo_real(8.5, 8.0), 0.5);
+        assert_eq!(modulo_real(-0.5, 8.0), 7.5);
+        assert_eq!(modulo_real(-16.25, 8.0), 7.75);
+    }
+}

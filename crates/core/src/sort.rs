@@ -1,0 +1,351 @@
+//! Periodic particle sorting by cell index (paper §II and §V-B1).
+//!
+//! The number of cells is far smaller than the number of particles, so a
+//! counting (bucket) sort runs in `O(N)`:
+//!
+//! * [`sort_out_of_place`] — count, prefix-sum, scatter into a second
+//!   buffer. One store per particle; the variant the paper measures to be
+//!   ~2× faster than in-place (at the cost of a second particle array).
+//! * [`sort_in_place`] — cycle-chasing counting sort; no extra array but
+//!   roughly three moves per displaced particle.
+//! * [`par_sort_out_of_place`] — the paper's thread parallelization: the
+//!   *cells* are partitioned into contiguous ranges, one per task; because
+//!   the destination of a cell range is a contiguous slice of the output
+//!   array, every task writes disjoint memory. Each task scans the whole
+//!   particle array (the paper accepts this read amplification).
+
+use crate::particles::ParticlesSoA;
+use rayon::prelude::*;
+
+/// Histogram of particles per cell. `ncells` must exceed every `icell`.
+pub fn cell_counts(icell: &[u32], ncells: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; ncells];
+    for &c in icell {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+/// Exclusive prefix sum of the histogram: `starts[c]` = first output slot of
+/// cell `c`. The returned vector has `ncells + 1` entries (the last is `n`).
+pub fn cell_starts(counts: &[u32]) -> Vec<u32> {
+    let mut starts = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    starts.push(0);
+    for &c in counts {
+        acc += c;
+        starts.push(acc);
+    }
+    starts
+}
+
+/// Out-of-place counting sort. `scratch` is resized as needed and holds the
+/// sorted result, which is swapped back into `p`.
+pub fn sort_out_of_place(p: &mut ParticlesSoA, scratch: &mut ParticlesSoA, ncells: usize) {
+    let n = p.len();
+    if scratch.len() != n {
+        *scratch = ParticlesSoA::zeroed(n);
+    }
+    let counts = cell_counts(&p.icell, ncells);
+    let starts = cell_starts(&counts);
+    let mut cursor: Vec<u32> = starts[..ncells].to_vec();
+    for i in 0..n {
+        let c = p.icell[i] as usize;
+        let dst = cursor[c] as usize;
+        cursor[c] += 1;
+        scratch.icell[dst] = p.icell[i];
+        scratch.ix[dst] = p.ix[i];
+        scratch.iy[dst] = p.iy[i];
+        scratch.dx[dst] = p.dx[i];
+        scratch.dy[dst] = p.dy[i];
+        scratch.vx[dst] = p.vx[i];
+        scratch.vy[dst] = p.vy[i];
+    }
+    std::mem::swap(p, scratch);
+}
+
+/// In-place cycle-chasing counting sort (no scratch array; ~3 moves per
+/// displaced particle — the paper's measured 2× slower variant).
+pub fn sort_in_place(p: &mut ParticlesSoA, ncells: usize) {
+    let counts = cell_counts(&p.icell, ncells);
+    let starts = cell_starts(&counts);
+    // `next[c]`: next free slot within cell c's output range.
+    let mut next: Vec<u32> = starts[..ncells].to_vec();
+    // Walk output slots; for each, chase the displacement cycle.
+    for cell in 0..ncells {
+        let end = starts[cell + 1];
+        while next[cell] < end {
+            let i = next[cell] as usize;
+            let c = p.icell[i] as usize;
+            if c == cell {
+                next[cell] += 1;
+            } else {
+                // Swap particle i to its destination cell's cursor.
+                let j = next[c] as usize;
+                next[c] += 1;
+                p.icell.swap(i, j);
+                p.ix.swap(i, j);
+                p.iy.swap(i, j);
+                p.dx.swap(i, j);
+                p.dy.swap(i, j);
+                p.vx.swap(i, j);
+                p.vy.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Parallel out-of-place counting sort (the paper's cell-partitioned
+/// scheme). `ntasks` controls the cell partition; each task scans the whole
+/// input but writes only its own contiguous output range.
+pub fn par_sort_out_of_place(
+    p: &mut ParticlesSoA,
+    scratch: &mut ParticlesSoA,
+    ncells: usize,
+    ntasks: usize,
+) {
+    let n = p.len();
+    if scratch.len() != n {
+        *scratch = ParticlesSoA::zeroed(n);
+    }
+    let counts = cell_counts(&p.icell, ncells);
+    let starts = cell_starts(&counts);
+
+    // Partition cells into `ntasks` contiguous ranges with near-equal
+    // particle counts (greedy sweep).
+    let ntasks = ntasks.max(1).min(ncells);
+    let target = n.div_ceil(ntasks).max(1);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(ntasks);
+    let mut begin = 0usize;
+    let mut acc = 0usize;
+    for cell in 0..ncells {
+        acc += counts[cell] as usize;
+        if acc >= target && ranges.len() + 1 < ntasks {
+            ranges.push((begin, cell + 1));
+            begin = cell + 1;
+            acc = 0;
+        }
+    }
+    ranges.push((begin, ncells));
+
+    // Split the scratch arrays at the range boundaries so each task owns a
+    // disjoint contiguous output slice.
+    struct OutSlices<'a> {
+        icell: &'a mut [u32],
+        ix: &'a mut [u32],
+        iy: &'a mut [u32],
+        dx: &'a mut [f64],
+        dy: &'a mut [f64],
+        vx: &'a mut [f64],
+        vy: &'a mut [f64],
+    }
+    let mut outs: Vec<(usize, usize, OutSlices<'_>)> = Vec::with_capacity(ranges.len());
+    {
+        let (mut icell, mut ix, mut iy, mut dx, mut dy, mut vx, mut vy) = (
+            scratch.icell.as_mut_slice(),
+            scratch.ix.as_mut_slice(),
+            scratch.iy.as_mut_slice(),
+            scratch.dx.as_mut_slice(),
+            scratch.dy.as_mut_slice(),
+            scratch.vx.as_mut_slice(),
+            scratch.vy.as_mut_slice(),
+        );
+        let mut consumed = 0usize;
+        for &(c0, c1) in &ranges {
+            let len = starts[c1] as usize - starts[c0] as usize;
+            let (a1, b1) = icell.split_at_mut(len);
+            icell = b1;
+            let (a2, b2) = ix.split_at_mut(len);
+            ix = b2;
+            let (a3, b3) = iy.split_at_mut(len);
+            iy = b3;
+            let (a4, b4) = dx.split_at_mut(len);
+            dx = b4;
+            let (a5, b5) = dy.split_at_mut(len);
+            dy = b5;
+            let (a6, b6) = vx.split_at_mut(len);
+            vx = b6;
+            let (a7, b7) = vy.split_at_mut(len);
+            vy = b7;
+            outs.push((
+                c0,
+                c1,
+                OutSlices {
+                    icell: a1,
+                    ix: a2,
+                    iy: a3,
+                    dx: a4,
+                    dy: a5,
+                    vx: a6,
+                    vy: a7,
+                },
+            ));
+            consumed += len;
+        }
+        debug_assert_eq!(consumed, n);
+    }
+
+    let pi = &*p;
+    outs.par_iter_mut().for_each(|(c0, c1, out)| {
+        let base = starts[*c0] as usize;
+        // Local cursors relative to this task's slice.
+        let mut cursor: Vec<u32> = (starts[*c0..*c1])
+            .iter()
+            .map(|&s| s - base as u32)
+            .collect();
+        for i in 0..n {
+            let c = pi.icell[i] as usize;
+            if c >= *c0 && c < *c1 {
+                let k = c - *c0;
+                let dst = cursor[k] as usize;
+                cursor[k] += 1;
+                out.icell[dst] = pi.icell[i];
+                out.ix[dst] = pi.ix[i];
+                out.iy[dst] = pi.iy[i];
+                out.dx[dst] = pi.dx[i];
+                out.dy[dst] = pi.dy[i];
+                out.vx[dst] = pi.vx[i];
+                out.vy[dst] = pi.vy[i];
+            }
+        }
+    });
+    std::mem::swap(p, scratch);
+}
+
+/// True if particles are sorted by cell index (diagnostic).
+pub fn is_sorted_by_cell(p: &ParticlesSoA) -> bool {
+    p.icell.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n: usize, ncells: usize, seed: u64) -> ParticlesSoA {
+        let mut p = ParticlesSoA::zeroed(n);
+        let mut s = seed | 1;
+        for i in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let c = (s % ncells as u64) as u32;
+            p.icell[i] = c;
+            p.ix[i] = c / 8;
+            p.iy[i] = c % 8;
+            p.dx[i] = (i as f64 * 0.37) % 1.0;
+            p.vx[i] = i as f64; // unique payload to check permutation fidelity
+        }
+        p
+    }
+
+    fn payload_multiset(p: &ParticlesSoA) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = (0..p.len())
+            .map(|i| (p.icell[i], p.vx[i].to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn out_of_place_sorts_and_permutes() {
+        let mut p = mk(5000, 64, 42);
+        let before = payload_multiset(&p);
+        let mut scratch = ParticlesSoA::zeroed(0);
+        sort_out_of_place(&mut p, &mut scratch, 64);
+        assert!(is_sorted_by_cell(&p));
+        assert_eq!(payload_multiset(&p), before);
+    }
+
+    #[test]
+    fn out_of_place_is_stable() {
+        // Counting sort with a forward scan is stable: equal cells keep
+        // their relative order (vx payload ascends within each cell).
+        let mut p = mk(2000, 16, 7);
+        let mut scratch = ParticlesSoA::zeroed(0);
+        sort_out_of_place(&mut p, &mut scratch, 16);
+        for w in 0..p.len() - 1 {
+            if p.icell[w] == p.icell[w + 1] {
+                assert!(p.vx[w] < p.vx[w + 1], "stability broken at {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_sorts_and_permutes() {
+        let mut p = mk(5000, 64, 43);
+        let before = payload_multiset(&p);
+        sort_in_place(&mut p, 64);
+        assert!(is_sorted_by_cell(&p));
+        assert_eq!(payload_multiset(&p), before);
+    }
+
+    #[test]
+    fn parallel_sorts_and_permutes() {
+        for ntasks in [1usize, 2, 3, 8, 64] {
+            let mut p = mk(3000, 64, 44);
+            let before = payload_multiset(&p);
+            let mut scratch = ParticlesSoA::zeroed(0);
+            par_sort_out_of_place(&mut p, &mut scratch, 64, ntasks);
+            assert!(is_sorted_by_cell(&p), "ntasks={ntasks}");
+            assert_eq!(payload_multiset(&p), before, "ntasks={ntasks}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        // Same stable order, not just sorted.
+        let mut a = mk(3000, 32, 45);
+        let mut b = a.clone();
+        let mut s1 = ParticlesSoA::zeroed(0);
+        let mut s2 = ParticlesSoA::zeroed(0);
+        sort_out_of_place(&mut a, &mut s1, 32);
+        par_sort_out_of_place(&mut b, &mut s2, 32, 4);
+        assert_eq!(a.icell, b.icell);
+        assert_eq!(a.vx, b.vx);
+    }
+
+    #[test]
+    fn already_sorted_is_noop_permutation() {
+        let mut p = mk(1000, 16, 46);
+        let mut scratch = ParticlesSoA::zeroed(0);
+        sort_out_of_place(&mut p, &mut scratch, 16);
+        let snapshot = p.clone();
+        sort_in_place(&mut p, 16);
+        assert_eq!(p.icell, snapshot.icell);
+        assert_eq!(p.vx, snapshot.vx);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut p = ParticlesSoA::zeroed(0);
+        let mut scratch = ParticlesSoA::zeroed(0);
+        sort_out_of_place(&mut p, &mut scratch, 16);
+        sort_in_place(&mut p, 16);
+        assert!(p.is_empty());
+
+        let mut p = mk(1, 16, 47);
+        sort_in_place(&mut p, 16);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn all_same_cell() {
+        let mut p = mk(100, 64, 48);
+        p.icell.fill(5);
+        let before = payload_multiset(&p);
+        sort_in_place(&mut p, 64);
+        assert_eq!(payload_multiset(&p), before);
+        let mut scratch = ParticlesSoA::zeroed(0);
+        sort_out_of_place(&mut p, &mut scratch, 64);
+        assert_eq!(payload_multiset(&p), before);
+    }
+
+    #[test]
+    fn counts_and_starts() {
+        let icell = vec![2u32, 0, 2, 3, 2];
+        let counts = cell_counts(&icell, 4);
+        assert_eq!(counts, vec![1, 0, 3, 1]);
+        let starts = cell_starts(&counts);
+        assert_eq!(starts, vec![0, 1, 1, 4, 5]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Memory-trace mirrors of the PIC kernels, for the cache-miss experiments.
+//!
+//! The paper's Figs. 5–6 and Table II count hardware L1/L2/L3 misses during
+//! the update-velocities and accumulate loops. We reproduce those counts
+//! deterministically: the functions here emit the *exact byte-address
+//! streams* those kernels issue — sequential reads of the particle arrays
+//! and indexed accesses into the redundant `E`/`ρ` structures — into any
+//! [`cachesim::MemSink`] (normally a [`cachesim::Hierarchy`]).
+//!
+//! A [`MemoryMap`] assigns non-overlapping base addresses to each array,
+//! mimicking a contiguous allocation (the arrays are placed far apart so no
+//! accidental aliasing occurs — matching distinct heap allocations).
+
+use crate::particles::ParticlesSoA;
+use cachesim::MemSink;
+
+/// Sizes of the traced elements, in bytes.
+const U32: u32 = 4;
+const F64: u32 = 8;
+/// One redundant E cell: `[f64; 8]`.
+const E8: u32 = 64;
+/// One redundant ρ cell: `[f64; 4]`.
+const RHO4: u32 = 32;
+
+/// Synthetic base addresses of every traced array.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryMap {
+    /// Base of the `icell` array.
+    pub icell: u64,
+    /// Base of the `dx` array.
+    pub dx: u64,
+    /// Base of the `dy` array.
+    pub dy: u64,
+    /// Base of the `vx` array.
+    pub vx: u64,
+    /// Base of the `vy` array.
+    pub vy: u64,
+    /// Base of the redundant E array (`[f64; 8]` per cell).
+    pub e8: u64,
+    /// Base of the redundant ρ array (`[f64; 4]` per cell).
+    pub rho4: u64,
+}
+
+impl MemoryMap {
+    /// Lay the arrays out end to end (64-B aligned) for `n` particles and
+    /// `ncells` cells, starting at `base`.
+    pub fn contiguous(base: u64, n: usize, ncells: usize) -> Self {
+        let align = |x: u64| (x + 63) & !63;
+        let icell = align(base);
+        let dx = align(icell + (n as u64) * U32 as u64);
+        let dy = align(dx + (n as u64) * F64 as u64);
+        let vx = align(dy + (n as u64) * F64 as u64);
+        let vy = align(vx + (n as u64) * F64 as u64);
+        let e8 = align(vy + (n as u64) * F64 as u64);
+        let rho4 = align(e8 + (ncells as u64) * E8 as u64);
+        Self {
+            icell,
+            dx,
+            dy,
+            vx,
+            vy,
+            e8,
+            rho4,
+        }
+    }
+}
+
+/// Trace the update-velocities loop (redundant field layout): per particle,
+/// sequential reads of `icell`, `dx`, `dy`, one 64-byte read of
+/// `e8[icell]`, and read-modify-write of `vx`, `vy`.
+pub fn trace_update_velocities(p: &ParticlesSoA, map: &MemoryMap, sink: &mut impl MemSink) {
+    for i in 0..p.len() {
+        let o = i as u64;
+        sink.read(map.icell + o * U32 as u64, U32);
+        sink.read(map.dx + o * F64 as u64, F64);
+        sink.read(map.dy + o * F64 as u64, F64);
+        sink.read(map.e8 + p.icell[i] as u64 * E8 as u64, E8);
+        sink.read(map.vx + o * F64 as u64, F64);
+        sink.write(map.vx + o * F64 as u64, F64);
+        sink.read(map.vy + o * F64 as u64, F64);
+        sink.write(map.vy + o * F64 as u64, F64);
+    }
+}
+
+/// Trace the accumulate loop (redundant ρ layout): per particle, sequential
+/// reads of `icell`, `dx`, `dy` and a 32-byte read-modify-write of
+/// `rho4[icell]`.
+pub fn trace_accumulate(p: &ParticlesSoA, map: &MemoryMap, sink: &mut impl MemSink) {
+    for i in 0..p.len() {
+        let o = i as u64;
+        sink.read(map.icell + o * U32 as u64, U32);
+        sink.read(map.dx + o * F64 as u64, F64);
+        sink.read(map.dy + o * F64 as u64, F64);
+        let cell = map.rho4 + p.icell[i] as u64 * RHO4 as u64;
+        sink.read(cell, RHO4);
+        sink.write(cell, RHO4);
+    }
+}
+
+/// Trace the update-positions loop: purely sequential streams over the
+/// particle arrays (read `ix`-equivalents via `icell`, `dx`, `dy`, `vx`,
+/// `vy`; write back positions and `icell`). Included for the Fig. 8
+/// bandwidth accounting — this loop has no indexed accesses at all, which is
+/// why it reaches STREAM-level bandwidth.
+pub fn trace_update_positions(p: &ParticlesSoA, map: &MemoryMap, sink: &mut impl MemSink) {
+    for i in 0..p.len() {
+        let o = i as u64;
+        sink.read(map.icell + o * U32 as u64, U32);
+        sink.read(map.dx + o * F64 as u64, F64);
+        sink.read(map.dy + o * F64 as u64, F64);
+        sink.read(map.vx + o * F64 as u64, F64);
+        sink.read(map.vy + o * F64 as u64, F64);
+        sink.write(map.dx + o * F64 as u64, F64);
+        sink.write(map.dy + o * F64 as u64, F64);
+        sink.write(map.icell + o * U32 as u64, U32);
+    }
+}
+
+/// Per-particle bytes moved by each loop, for the Fig. 8 bandwidth model:
+/// `(update_v, update_x, accumulate)` — counting each byte once (cache-line
+/// effects excluded; the measured bandwidth harness uses real timings).
+pub fn bytes_per_particle() -> (u64, u64, u64) {
+    let v = (U32 + F64 + F64 + E8 + 2 * F64 + 2 * F64) as u64;
+    let x = (U32 + 4 * F64 + 2 * F64 + U32) as u64;
+    let a = (U32 + F64 + F64 + 2 * RHO4) as u64;
+    (v, x, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::{ByteCounter, Hierarchy, HierarchyConfig};
+
+    fn particles_in_cells(cells: &[u32]) -> ParticlesSoA {
+        let mut p = ParticlesSoA::zeroed(cells.len());
+        p.icell.copy_from_slice(cells);
+        p
+    }
+
+    #[test]
+    fn memory_map_does_not_overlap() {
+        let m = MemoryMap::contiguous(0, 1000, 256);
+        assert!(m.icell < m.dx);
+        assert!(m.dx + 8000 <= m.dy);
+        assert!(m.vy + 8000 <= m.e8);
+        assert!(m.e8 + 256 * 64 <= m.rho4);
+        // All 64-byte aligned.
+        for a in [m.icell, m.dx, m.dy, m.vx, m.vy, m.e8, m.rho4] {
+            assert_eq!(a % 64, 0);
+        }
+    }
+
+    #[test]
+    fn byte_counts_match_constants() {
+        let p = particles_in_cells(&[0; 100]);
+        let m = MemoryMap::contiguous(0, 100, 16);
+        let (ev, ex, ea) = bytes_per_particle();
+
+        let mut c = ByteCounter::default();
+        trace_update_velocities(&p, &m, &mut c);
+        assert_eq!(c.read_bytes + c.write_bytes, 100 * ev);
+
+        let mut c = ByteCounter::default();
+        trace_update_positions(&p, &m, &mut c);
+        assert_eq!(c.read_bytes + c.write_bytes, 100 * ex);
+
+        let mut c = ByteCounter::default();
+        trace_accumulate(&p, &m, &mut c);
+        assert_eq!(c.read_bytes + c.write_bytes, 100 * ea);
+    }
+
+    #[test]
+    fn sorted_particles_miss_less_than_shuffled() {
+        // The cache-locality premise of the whole paper, in one test: the
+        // same multiset of cells, visited sorted vs scattered, produces
+        // far fewer L2 misses sorted.
+        let ncells = 4096usize;
+        let n = 40_000usize;
+        let sorted: Vec<u32> = (0..n).map(|i| (i * ncells / n) as u32).collect();
+        // Deterministic shuffle (LCG step through a coprime stride).
+        let shuffled: Vec<u32> = (0..n)
+            .map(|i| sorted[(i * 7919) % n])
+            .collect();
+
+        let m = MemoryMap::contiguous(0, n, ncells);
+        let run = |cells: &[u32]| {
+            let p = particles_in_cells(cells);
+            let mut h = Hierarchy::new(HierarchyConfig::tiny());
+            trace_accumulate(&p, &m, &mut h);
+            h.stats().level(1).misses()
+        };
+        let miss_sorted = run(&sorted);
+        let miss_shuffled = run(&shuffled);
+        assert!(
+            miss_shuffled > 3 * miss_sorted,
+            "sorted {miss_sorted} vs shuffled {miss_shuffled}"
+        );
+    }
+
+    #[test]
+    fn velocity_trace_touches_e8_lines() {
+        // One particle per distinct cell: every e8 access is a new 64-B line.
+        let cells: Vec<u32> = (0..512u32).collect();
+        let p = particles_in_cells(&cells);
+        let m = MemoryMap::contiguous(0, cells.len(), 512);
+        let mut h = Hierarchy::new(HierarchyConfig::tiny());
+        trace_update_velocities(&p, &m, &mut h);
+        // At least one miss per distinct e8 line (each cell is its own line).
+        assert!(h.stats().level(0).misses() >= 512);
+    }
+}

@@ -1,0 +1,244 @@
+//! LogGP-style analytic communication cost model.
+//!
+//! The paper's Figs. 7 and 9 run on up to 8 192 Curie cores; this host does
+//! not have them. What those figures actually demonstrate is a *crossover*:
+//! the per-step `MPI_ALLREDUCE` of ρ costs `(α + β·n)·⌈log₂P⌉` for a tree
+//! reduction of `n` bytes over `P` ranks, while the per-rank computation time
+//! is constant in weak scaling (fixed particles/rank) or `∝ 1/P` in strong
+//! scaling. The model below reproduces that arithmetic; its constants can be
+//! calibrated from measured [`crate::World`] runs at small `P` so the
+//! extrapolated curves keep a realistic scale.
+
+/// Analytic cost model for tree-based collectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency, seconds (the LogGP `L + 2o`).
+    pub alpha: f64,
+    /// Per-byte transfer time, seconds (the LogGP `G`).
+    pub beta: f64,
+}
+
+impl CostModel {
+    /// Constants representative of the QDR-InfiniBand fat tree of the Curie
+    /// machine (≈1.5 µs latency, ≈3.2 GB/s effective per-link bandwidth).
+    pub fn curie_like() -> Self {
+        Self {
+            alpha: 1.5e-6,
+            beta: 1.0 / 3.2e9,
+        }
+    }
+
+    /// Time of one tree allreduce of `bytes` over `p` ranks.
+    ///
+    /// Both the reduce and the broadcast phases touch every tree level, and
+    /// each level moves the full payload: `2·(α + β·n)·⌈log₂p⌉`. For `p = 1`
+    /// the cost is zero.
+    pub fn allreduce(&self, p: usize, bytes: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let levels = (usize::BITS - (p - 1).leading_zeros()) as f64; // ⌈log₂p⌉
+        2.0 * (self.alpha + self.beta * bytes as f64) * levels
+    }
+
+    /// Time of a flat (linear) allreduce: every rank's contribution crosses
+    /// one link serially — the behaviour pure-MPI exhibits in Fig. 7 once
+    /// message injection saturates.
+    pub fn allreduce_flat(&self, p: usize, bytes: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p - 1) as f64 * (self.alpha + self.beta * bytes as f64)
+    }
+
+    /// Least-squares calibration of `(α, β)` from measured samples
+    /// `(p, bytes, seconds)` assuming the tree formula. Needs ≥ 2 samples
+    /// with distinct `bytes·levels` products; returns `None` when the system
+    /// is degenerate.
+    pub fn fit_tree(samples: &[(usize, usize, f64)]) -> Option<CostModel> {
+        // t = 2·levels·α + 2·levels·bytes·β — linear in (α, β).
+        let mut s_aa = 0.0;
+        let mut s_ab = 0.0;
+        let mut s_bb = 0.0;
+        let mut s_at = 0.0;
+        let mut s_bt = 0.0;
+        let mut n = 0usize;
+        for &(p, bytes, t) in samples {
+            if p <= 1 {
+                continue;
+            }
+            let levels = (usize::BITS - (p - 1).leading_zeros()) as f64;
+            let a = 2.0 * levels;
+            let b = 2.0 * levels * bytes as f64;
+            s_aa += a * a;
+            s_ab += a * b;
+            s_bb += b * b;
+            s_at += a * t;
+            s_bt += b * t;
+            n += 1;
+        }
+        if n < 2 {
+            return None;
+        }
+        let det = s_aa * s_bb - s_ab * s_ab;
+        if det.abs() < 1e-30 {
+            return None;
+        }
+        let alpha = (s_bb * s_at - s_ab * s_bt) / det;
+        let beta = (s_aa * s_bt - s_ab * s_at) / det;
+        Some(CostModel { alpha, beta })
+    }
+}
+
+/// Predicted timings for one parallel PIC configuration — the building block
+/// of the Fig. 7 / Fig. 9 extrapolation harness.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Total ranks (processes).
+    pub procs: usize,
+    /// Computation seconds per step per rank.
+    pub compute: f64,
+    /// Communication seconds per step per rank.
+    pub comm: f64,
+}
+
+impl ScalingPoint {
+    /// Total time per step.
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm
+    }
+
+    /// Communication share of the total, in percent (Fig. 7 annotations).
+    pub fn comm_percent(&self) -> f64 {
+        100.0 * self.comm / self.total()
+    }
+}
+
+/// Weak-scaling prediction: fixed work per rank (`compute_per_step` constant),
+/// allreduce of `grid_bytes` each step.
+pub fn weak_scaling(
+    model: &CostModel,
+    compute_per_step: f64,
+    grid_bytes: usize,
+    procs: &[usize],
+    tree: bool,
+) -> Vec<ScalingPoint> {
+    procs
+        .iter()
+        .map(|&p| ScalingPoint {
+            procs: p,
+            compute: compute_per_step,
+            comm: if tree {
+                model.allreduce(p, grid_bytes)
+            } else {
+                model.allreduce_flat(p, grid_bytes)
+            },
+        })
+        .collect()
+}
+
+/// Strong-scaling prediction: total work fixed (`compute_total` divided by
+/// ranks), allreduce of `grid_bytes` each step.
+pub fn strong_scaling(
+    model: &CostModel,
+    compute_total: f64,
+    grid_bytes: usize,
+    procs: &[usize],
+) -> Vec<ScalingPoint> {
+    procs
+        .iter()
+        .map(|&p| ScalingPoint {
+            procs: p,
+            compute: compute_total / p as f64,
+            comm: model.allreduce(p, grid_bytes),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_is_free() {
+        let m = CostModel::curie_like();
+        assert_eq!(m.allreduce(1, 1 << 20), 0.0);
+        assert_eq!(m.allreduce_flat(1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn tree_grows_logarithmically() {
+        let m = CostModel::curie_like();
+        let t2 = m.allreduce(2, 4096);
+        let t4 = m.allreduce(4, 4096);
+        let t1024 = m.allreduce(1024, 4096);
+        assert!((t4 / t2 - 2.0).abs() < 1e-12);
+        assert!((t1024 / t2 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_grows_linearly() {
+        let m = CostModel::curie_like();
+        let t2 = m.allreduce_flat(2, 4096);
+        let t9 = m.allreduce_flat(9, 4096);
+        assert!((t9 / t2 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_overtakes_tree() {
+        // The Fig. 7 story: pure-MPI (flat-ish) blows up, hybrid (fewer,
+        // tree-reduced ranks) stays flat.
+        let m = CostModel::curie_like();
+        assert!(m.allreduce_flat(8192, 1 << 19) > 20.0 * m.allreduce(8192, 1 << 19));
+    }
+
+    #[test]
+    fn fit_recovers_constants() {
+        let truth = CostModel {
+            alpha: 2e-6,
+            beta: 4e-10,
+        };
+        let samples: Vec<(usize, usize, f64)> = [2usize, 4, 8, 16, 64]
+            .iter()
+            .flat_map(|&p| {
+                [1024usize, 65536, 1 << 20]
+                    .iter()
+                    .map(move |&b| (p, b, truth.allreduce(p, b)))
+            })
+            .collect();
+        let fit = CostModel::fit_tree(&samples).unwrap();
+        assert!((fit.alpha - truth.alpha).abs() / truth.alpha < 1e-9);
+        assert!((fit.beta - truth.beta).abs() / truth.beta < 1e-9);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate() {
+        assert!(CostModel::fit_tree(&[]).is_none());
+        assert!(CostModel::fit_tree(&[(2, 100, 1e-5)]).is_none());
+        // Same (p, bytes) twice: singular system.
+        assert!(CostModel::fit_tree(&[(2, 100, 1e-5), (2, 100, 1.1e-5)]).is_none());
+    }
+
+    #[test]
+    fn weak_scaling_comm_fraction_rises() {
+        let m = CostModel::curie_like();
+        let pts = weak_scaling(&m, 0.1, 128 * 128 * 8, &[1, 64, 8192], true);
+        assert_eq!(pts[0].comm_percent(), 0.0);
+        assert!(pts[2].comm_percent() > pts[1].comm_percent());
+        // Total time stays near-flat for the tree algorithm (the Fig. 7
+        // hybrid curve): within 2% at 8192 ranks for this payload.
+        assert!(pts[2].total() < 1.02 * pts[0].total());
+    }
+
+    #[test]
+    fn strong_scaling_saturates() {
+        let m = CostModel::curie_like();
+        let pts = strong_scaling(&m, 10.0, 256 * 256 * 8, &[16, 64, 256, 1024, 8192]);
+        // A 4× rank increase early on gives a near-ideal ≈4× speedup; an 8×
+        // increase late gives far less than 8× — the Fig. 9 saturation.
+        let ratio_small = pts[0].total() / pts[1].total(); // 16 → 64 ranks (ideal 4×)
+        let ratio_large = pts[3].total() / pts[4].total(); // 1024 → 8192 (ideal 8×)
+        assert!(ratio_small > 3.8, "early scaling near-ideal, got {ratio_small}");
+        assert!(ratio_large < 4.0, "late scaling saturates, got {ratio_large}");
+    }
+}

@@ -1,0 +1,680 @@
+//! # minimpi — an in-process message-passing substrate
+//!
+//! The paper parallelizes its PIC code across processes with MPI, using a
+//! single collective: an `MPI_ALLREDUCE` of the charge-density array each
+//! time step (§V-A). Rust MPI bindings are thin and a supercomputer is not
+//! available here, so this crate substitutes the smallest substrate that
+//! exercises the same code path:
+//!
+//! * [`World::run`] spawns `nranks` OS threads, each receiving a [`Comm`]
+//!   handle — the moral equivalent of `MPI_COMM_WORLD`;
+//! * [`Comm`] provides `barrier`, `allreduce_sum` (flat and tree variants),
+//!   point-to-point `send`/`recv`, `gather`, and per-rank communication-time
+//!   accounting (the quantity Fig. 7 plots);
+//! * [`cost::CostModel`] is a LogGP-style analytic model, calibrated from
+//!   measured runs, used to extrapolate the weak/strong scaling of Figs. 7
+//!   and 9 to core counts the host machine does not have.
+//!
+//! ## Example
+//!
+//! ```
+//! use minimpi::World;
+//!
+//! let results = World::run(4, |comm| {
+//!     let mine = vec![comm.rank() as f64; 8];
+//!     let mut buf = mine.clone();
+//!     comm.allreduce_sum(&mut buf);
+//!     buf[0] // 0+1+2+3 = 6
+//! });
+//! assert!(results.iter().all(|&r| r == 6.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// A typed point-to-point message: payload of `f64`s plus a tag.
+#[derive(Debug, Clone)]
+struct Message {
+    src: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Shared state for one world.
+struct Shared {
+    nranks: usize,
+    barrier: Barrier,
+    /// Reduction scratch, guarded; sized lazily to the first allreduce.
+    acc: Mutex<Vec<f64>>,
+    /// Per-rank inbox sender handles (indexed by destination).
+    inboxes: Vec<Sender<Message>>,
+    /// Total communication time across ranks, in nanoseconds.
+    comm_nanos: AtomicU64,
+}
+
+/// The world: spawns ranks and collects their results.
+pub struct World;
+
+impl World {
+    /// Run `f` on `nranks` concurrent ranks and return their results in rank
+    /// order. Panics in any rank propagate.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0`.
+    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        assert!(nranks > 0, "need at least one rank");
+        let mut senders = Vec::with_capacity(nranks);
+        let mut receivers = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            nranks,
+            barrier: Barrier::new(nranks),
+            acc: Mutex::new(Vec::new()),
+            inboxes: senders,
+            comm_nanos: AtomicU64::new(0),
+        });
+
+        let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut comm = Comm {
+                            rank,
+                            shared,
+                            inbox: rx,
+                            stash: VecDeque::new(),
+                            comm_time_ns: 0,
+                        };
+                        let r = f(&mut comm);
+                        comm.shared
+                            .comm_nanos
+                            .fetch_add(comm.comm_time_ns, Ordering::Relaxed);
+                        r
+                    })
+                })
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank panicked"));
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    /// Like [`World::run`], additionally returning the mean per-rank
+    /// communication time in seconds.
+    pub fn run_timed<T, F>(nranks: usize, f: F) -> (Vec<T>, f64)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let mut senders = Vec::with_capacity(nranks);
+        let mut receivers = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            nranks,
+            barrier: Barrier::new(nranks),
+            acc: Mutex::new(Vec::new()),
+            inboxes: senders,
+            comm_nanos: AtomicU64::new(0),
+        });
+        let shared2 = Arc::clone(&shared);
+
+        let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut comm = Comm {
+                            rank,
+                            shared,
+                            inbox: rx,
+                            stash: VecDeque::new(),
+                            comm_time_ns: 0,
+                        };
+                        let r = f(&mut comm);
+                        comm.shared
+                            .comm_nanos
+                            .fetch_add(comm.comm_time_ns, Ordering::Relaxed);
+                        r
+                    })
+                })
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank panicked"));
+            }
+        });
+        let mean_comm =
+            shared2.comm_nanos.load(Ordering::Relaxed) as f64 / 1e9 / nranks as f64;
+        (out.into_iter().map(|o| o.unwrap()).collect(), mean_comm)
+    }
+}
+
+/// Per-rank communicator handle.
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    inbox: Receiver<Message>,
+    /// Messages received but not yet claimed (selective receive).
+    stash: VecDeque<Message>,
+    comm_time_ns: u64,
+}
+
+impl Comm {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// Seconds this rank has spent inside communication calls.
+    pub fn comm_time(&self) -> f64 {
+        self.comm_time_ns as f64 / 1e9
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&mut self) {
+        let t = Instant::now();
+        self.shared.barrier.wait();
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    /// Global sum-reduction of `buf` across all ranks; every rank ends with
+    /// the total (the paper's `MPI_ALLREDUCE` on ρ). Flat shared-accumulator
+    /// algorithm.
+    ///
+    /// # Panics
+    /// Panics if ranks pass buffers of different lengths.
+    pub fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        let t = Instant::now();
+        {
+            let mut acc = self.shared.acc.lock();
+            if acc.len() != buf.len() {
+                assert!(
+                    acc.is_empty(),
+                    "allreduce length mismatch: {} vs {}",
+                    acc.len(),
+                    buf.len()
+                );
+                acc.resize(buf.len(), 0.0);
+            }
+            for (a, &b) in acc.iter_mut().zip(buf.iter()) {
+                *a += b;
+            }
+        }
+        self.shared.barrier.wait();
+        {
+            let acc = self.shared.acc.lock();
+            buf.copy_from_slice(&acc);
+        }
+        self.shared.barrier.wait();
+        if self.rank == 0 {
+            self.shared.acc.lock().clear();
+        }
+        self.shared.barrier.wait();
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    /// Tree (recursive-doubling) allreduce built on point-to-point messages —
+    /// the algorithm real MPI uses, with `⌈log₂ P⌉` rounds. Works for any
+    /// rank count (non-powers of two fold the remainder onto the main tree).
+    pub fn allreduce_sum_tree(&mut self, buf: &mut [f64], tag: u64) {
+        let t = Instant::now();
+        let p = self.size();
+        let pow2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
+        // `pow2` = largest power of two ≤ p.
+        let r = self.rank;
+        let extra = p - pow2;
+
+        // Fold the surplus ranks onto their partners below pow2.
+        if r >= pow2 {
+            self.send(r - pow2, tag, buf);
+            self.recv_into(r - pow2, tag + 1, buf);
+        } else {
+            if r < extra {
+                let msg = self.recv(r + pow2, tag);
+                for (b, m) in buf.iter_mut().zip(&msg) {
+                    *b += m;
+                }
+            }
+            // Recursive doubling among the pow2 ranks.
+            let mut mask = 1usize;
+            while mask < pow2 {
+                let partner = r ^ mask;
+                self.send(partner, tag + 2 + mask as u64, buf);
+                let msg = self.recv(partner, tag + 2 + mask as u64);
+                for (b, m) in buf.iter_mut().zip(&msg) {
+                    *b += m;
+                }
+                mask <<= 1;
+            }
+            if r < extra {
+                self.send(r + pow2, tag + 1, buf);
+            }
+        }
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    /// Rabenseifner allreduce (reduce-scatter + allgather) — the algorithm
+    /// real MPI libraries pick for large payloads: each of the `⌈log₂P⌉`
+    /// reduce-scatter rounds halves the exchanged data, so total traffic is
+    /// `2·n·(P−1)/P` instead of the tree's `2·n·log₂P`. Requires a
+    /// power-of-two rank count (callers fall back to
+    /// [`allreduce_sum_tree`](Self::allreduce_sum_tree) otherwise).
+    pub fn allreduce_sum_rabenseifner(&mut self, buf: &mut [f64], tag: u64) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        if !p.is_power_of_two() || buf.len() < p {
+            return self.allreduce_sum_tree(buf, tag);
+        }
+        let t = Instant::now();
+        let r = self.rank;
+        let n = buf.len();
+        // Block boundaries: block b = [starts[b], starts[b+1]).
+        let starts: Vec<usize> = (0..=p).map(|b| b * n / p).collect();
+
+        // Reduce-scatter by recursive halving: after round k, this rank
+        // holds the partial sum of a 2^{k+1}-rank group on a 1/2^{k+1}
+        // slice of the buffer.
+        let mut group = p; // current group size
+        let mut lo = 0usize; // current block range [lo, hi) owned
+        let mut hi = p;
+        let mut round = 0u64;
+        while group > 1 {
+            let half = group / 2;
+            let partner = r ^ half;
+            let mid = lo + (hi - lo) / 2;
+            // Lower half of the group keeps [lo, mid), sends [mid, hi).
+            let (keep_lo, keep_hi, send_lo, send_hi) = if (r & half) == 0 {
+                (lo, mid, mid, hi)
+            } else {
+                (mid, hi, lo, mid)
+            };
+            let send_slice = &buf[starts[send_lo]..starts[send_hi]];
+            self.send(partner, tag + 2 * round, send_slice);
+            let recv = self.recv(partner, tag + 2 * round);
+            let dst = &mut buf[starts[keep_lo]..starts[keep_hi]];
+            assert_eq!(recv.len(), dst.len());
+            for (d, s) in dst.iter_mut().zip(&recv) {
+                *d += s;
+            }
+            lo = keep_lo;
+            hi = keep_hi;
+            group = half;
+            round += 1;
+        }
+
+        // Allgather by recursive doubling: mirror the halving.
+        let mut group = 2usize;
+        while group <= p {
+            let half = group / 2;
+            let partner = r ^ half;
+            // This rank owns [lo, hi); the partner owns the sibling range.
+            let width = hi - lo;
+            let (plo, phi) = if (r & half) == 0 {
+                (lo + width, hi + width)
+            } else {
+                (lo - width, hi - width)
+            };
+            let own = &buf[starts[lo]..starts[hi]];
+            self.send(partner, tag + 1000 + 2 * round, own);
+            let recv = self.recv(partner, tag + 1000 + 2 * round);
+            let dst = &mut buf[starts[plo]..starts[phi]];
+            assert_eq!(recv.len(), dst.len());
+            dst.copy_from_slice(&recv);
+            lo = lo.min(plo);
+            hi = hi.max(phi);
+            group *= 2;
+            round += 1;
+        }
+        debug_assert_eq!((lo, hi), (0, p));
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    /// Send a copy of `data` to `dst` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[f64]) {
+        let t = Instant::now();
+        self.shared.inboxes[dst]
+            .send(Message {
+                src: self.rank,
+                tag,
+                data: data.to_vec(),
+            })
+            .expect("receiver hung up");
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    /// Blocking selective receive from `src` with `tag`.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        let t = Instant::now();
+        // Check the stash first.
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            let m = self.stash.remove(pos).unwrap();
+            self.comm_time_ns += t.elapsed().as_nanos() as u64;
+            return m.data;
+        }
+        loop {
+            let m = self.inbox.recv().expect("world torn down");
+            if m.src == src && m.tag == tag {
+                self.comm_time_ns += t.elapsed().as_nanos() as u64;
+                return m.data;
+            }
+            self.stash.push_back(m);
+        }
+    }
+
+    /// Like [`recv`](Self::recv) but into an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn recv_into(&mut self, src: usize, tag: u64, buf: &mut [f64]) {
+        let data = self.recv(src, tag);
+        assert_eq!(data.len(), buf.len());
+        buf.copy_from_slice(&data);
+    }
+
+    /// Gather each rank's `data` on rank 0 (others get `None`).
+    pub fn gather(&mut self, data: &[f64], tag: u64) -> Option<Vec<Vec<f64>>> {
+        if self.rank == 0 {
+            let mut all = vec![Vec::new(); self.size()];
+            all[0] = data.to_vec();
+            for src in 1..self.size() {
+                all[src] = self.recv(src, tag);
+            }
+            Some(all)
+        } else {
+            self.send(0, tag, data);
+            None
+        }
+    }
+
+    /// Broadcast rank 0's `buf` to everyone.
+    pub fn broadcast(&mut self, buf: &mut [f64], tag: u64) {
+        if self.rank == 0 {
+            for dst in 1..self.size() {
+                let data: Vec<f64> = buf.to_vec();
+                self.send(dst, tag, &data);
+            }
+        } else {
+            self.recv_into(0, tag, buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let r = World::run(1, |comm| {
+            let mut v = vec![5.0];
+            comm.allreduce_sum(&mut v);
+            comm.allreduce_sum_tree(&mut v, 100);
+            v[0]
+        });
+        assert_eq!(r, vec![5.0]);
+    }
+
+    #[test]
+    fn flat_allreduce_sums() {
+        for nranks in [2usize, 3, 4, 7, 8] {
+            let results = World::run(nranks, |comm| {
+                let mut v: Vec<f64> = (0..16).map(|i| (comm.rank() * 16 + i) as f64).collect();
+                comm.allreduce_sum(&mut v);
+                v
+            });
+            for i in 0..16 {
+                let expect: f64 = (0..nranks).map(|r| (r * 16 + i) as f64).sum();
+                for r in &results {
+                    assert_eq!(r[i], expect, "nranks={nranks} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_allreduce_sums() {
+        for nranks in [2usize, 3, 4, 5, 8, 13, 16] {
+            let results = World::run(nranks, |comm| {
+                let mut v: Vec<f64> = (0..8).map(|i| (comm.rank() + i) as f64).collect();
+                comm.allreduce_sum_tree(&mut v, 0);
+                v
+            });
+            for i in 0..8 {
+                let expect: f64 = (0..nranks).map(|r| (r + i) as f64).sum();
+                for (rank, r) in results.iter().enumerate() {
+                    assert_eq!(r[i], expect, "nranks={nranks} rank={rank} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_allreduce_rounds() {
+        // The PIC loop calls allreduce every iteration — state must reset.
+        let results = World::run(4, |comm| {
+            let mut total = 0.0;
+            for step in 0..10u64 {
+                let mut v = vec![1.0 + step as f64];
+                comm.allreduce_sum(&mut v);
+                total += v[0];
+            }
+            total
+        });
+        let expect: f64 = (0..10).map(|s| 4.0 * (1.0 + s as f64)).sum();
+        assert!(results.iter().all(|&r| r == expect));
+    }
+
+    #[test]
+    fn mixed_tree_and_flat() {
+        let results = World::run(6, |comm| {
+            let mut a = vec![comm.rank() as f64];
+            comm.allreduce_sum(&mut a);
+            let mut b = vec![1.0];
+            comm.allreduce_sum_tree(&mut b, 50);
+            (a[0], b[0])
+        });
+        for (a, b) in results {
+            assert_eq!(a, 15.0);
+            assert_eq!(b, 6.0);
+        }
+    }
+
+    #[test]
+    fn rabenseifner_allreduce_sums() {
+        for nranks in [2usize, 4, 8] {
+            let results = World::run(nranks, |comm| {
+                let mut v: Vec<f64> = (0..32).map(|i| (comm.rank() * 32 + i) as f64).collect();
+                comm.allreduce_sum_rabenseifner(&mut v, 0);
+                v
+            });
+            for i in 0..32 {
+                let expect: f64 = (0..nranks).map(|r| (r * 32 + i) as f64).sum();
+                for (rank, r) in results.iter().enumerate() {
+                    assert_eq!(r[i], expect, "nranks={nranks} rank={rank} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_falls_back_for_odd_ranks() {
+        let results = World::run(3, |comm| {
+            let mut v = vec![1.0; 16];
+            comm.allreduce_sum_rabenseifner(&mut v, 0);
+            v[0]
+        });
+        assert!(results.iter().all(|&r| r == 3.0));
+    }
+
+    #[test]
+    fn rabenseifner_falls_back_for_small_payload() {
+        // Payload shorter than the rank count cannot be block-scattered.
+        let results = World::run(4, |comm| {
+            let mut v = vec![comm.rank() as f64; 2];
+            comm.allreduce_sum_rabenseifner(&mut v, 0);
+            v[0]
+        });
+        assert!(results.iter().all(|&r| r == 6.0));
+    }
+
+    #[test]
+    fn rabenseifner_repeated_rounds() {
+        let results = World::run(4, |comm| {
+            let mut total = 0.0;
+            for step in 0..5u64 {
+                let mut v = vec![1.0 + step as f64; 64];
+                comm.allreduce_sum_rabenseifner(&mut v, step * 10_000);
+                total += v[33];
+            }
+            total
+        });
+        let expect: f64 = (0..5).map(|s| 4.0 * (1.0 + s as f64)).sum();
+        assert!(results.iter().all(|&r| r == expect));
+    }
+
+    #[test]
+    fn rabenseifner_uneven_blocks() {
+        // Payload not divisible by rank count: blocks differ in size.
+        let results = World::run(4, |comm| {
+            let mut v: Vec<f64> = (0..13).map(|i| (comm.rank() + i) as f64).collect();
+            comm.allreduce_sum_rabenseifner(&mut v, 0);
+            v
+        });
+        for i in 0..13 {
+            let expect: f64 = (0..4).map(|r| (r + i) as f64).sum();
+            for r in &results {
+                assert_eq!(r[i], expect, "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0, 2.0, 3.0]);
+                comm.recv(1, 8)
+            } else {
+                let got = comm.recv(0, 7);
+                let doubled: Vec<f64> = got.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 8, &doubled);
+                got
+            }
+        });
+        assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn selective_receive_out_of_order() {
+        let results = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                comm.send(1, 2, &[20.0]);
+                comm.send(1, 1, &[10.0]);
+                vec![0.0]
+            } else {
+                let first = comm.recv(0, 1);
+                let second = comm.recv(0, 2);
+                vec![first[0], second[0]]
+            }
+        });
+        assert_eq!(results[1], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn gather_collects_on_root() {
+        let results = World::run(3, |comm| comm.gather(&[comm.rank() as f64], 9));
+        let root = results[0].as_ref().unwrap();
+        assert_eq!(root.len(), 3);
+        for (r, v) in root.iter().enumerate() {
+            assert_eq!(v[0], r as f64);
+        }
+        assert!(results[1].is_none());
+        assert!(results[2].is_none());
+    }
+
+    #[test]
+    fn broadcast_distributes() {
+        let results = World::run(4, |comm| {
+            let mut v = if comm.rank() == 0 {
+                vec![3.25, -1.0]
+            } else {
+                vec![0.0, 0.0]
+            };
+            comm.broadcast(&mut v, 11);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![3.25, -1.0]);
+        }
+    }
+
+    #[test]
+    fn comm_time_is_tracked() {
+        let (_, mean_comm) = World::run_timed(4, |comm| {
+            let mut v = vec![0.0; 1024];
+            for _ in 0..50 {
+                comm.allreduce_sum(&mut v);
+            }
+            comm.comm_time()
+        });
+        assert!(mean_comm > 0.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        World::run(8, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must see all 8 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+}

@@ -1,0 +1,225 @@
+//! Hilbert ordering via Skilling's transposition algorithm
+//! (*Programming the Hilbert curve*, AIP Conf. Proc. 707, 2004).
+//!
+//! The Hilbert curve visits every cell of a `2^b × 2^b` grid such that
+//! consecutive indices are always 4-neighbours — the best possible locality
+//! for a space-filling curve. Its drawback, and the reason the paper
+//! ultimately discards it (§IV-B, Table III), is the cost of evaluating the
+//! bijection: the state-machine bit manipulation cannot be flattened into the
+//! handful of branch-free ops that Morton or L4D need, so the per-particle
+//! index computation dominates the update-positions loop.
+
+use crate::dilate::{contract_bits, dilate_bits};
+use crate::{CellLayout, LayoutError};
+
+/// Hilbert layout on a square power-of-two grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hilbert {
+    side: usize,
+    /// Bits per coordinate: `side = 2^b`.
+    b: u32,
+}
+
+impl Hilbert {
+    /// Build a Hilbert layout. The grid must be square with a power-of-two
+    /// side.
+    pub fn new(ncx: usize, ncy: usize) -> Result<Self, LayoutError> {
+        if ncx == 0 || ncy == 0 {
+            return Err(LayoutError::ZeroDimension);
+        }
+        if ncx != ncy {
+            return Err(LayoutError::NotSquare { ncx, ncy });
+        }
+        if !ncx.is_power_of_two() {
+            return Err(LayoutError::NotPowerOfTwo { dim: ncx });
+        }
+        Ok(Self {
+            side: ncx,
+            b: ncx.trailing_zeros(),
+        })
+    }
+
+    /// Skilling's `AxestoTranspose` for n = 2: turn coordinates into the
+    /// “transposed” Hilbert index (index bits distributed over the two words).
+    #[inline]
+    fn axes_to_transpose(&self, mut x0: usize, mut x1: usize) -> (usize, usize) {
+        if self.b == 0 {
+            return (0, 0);
+        }
+        let m = 1usize << (self.b - 1);
+        // Inverse undo.
+        let mut q = m;
+        while q > 1 {
+            let p = q - 1;
+            if x0 & q != 0 {
+                x0 ^= p; // invert
+            }
+            if x1 & q != 0 {
+                x0 ^= p;
+            } else {
+                let t = (x0 ^ x1) & p;
+                x0 ^= t;
+                x1 ^= t;
+            }
+            q >>= 1;
+        }
+        // Gray encode.
+        x1 ^= x0;
+        let mut t = 0usize;
+        let mut q = m;
+        while q > 1 {
+            if x1 & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        x0 ^= t;
+        x1 ^= t;
+        (x0, x1)
+    }
+
+    /// Skilling's `TransposetoAxes` for n = 2.
+    #[inline]
+    fn transpose_to_axes(&self, mut x0: usize, mut x1: usize) -> (usize, usize) {
+        if self.b == 0 {
+            return (0, 0);
+        }
+        let n = 2usize << (self.b - 1);
+        // Gray decode.
+        let t = x1 >> 1;
+        x1 ^= x0;
+        x0 ^= t;
+        // Undo excess work.
+        let mut q = 2usize;
+        while q != n {
+            let p = q - 1;
+            if x1 & q != 0 {
+                x0 ^= p;
+            } else {
+                let t = (x0 ^ x1) & p;
+                x0 ^= t;
+                x1 ^= t;
+            }
+            if x0 & q != 0 {
+                x0 ^= p;
+            } else {
+                // t = (x0 ^ x0) & p = 0 — no-op by construction.
+            }
+            q <<= 1;
+        }
+        (x0, x1)
+    }
+}
+
+impl CellLayout for Hilbert {
+    #[inline]
+    fn ncx(&self) -> usize {
+        self.side
+    }
+
+    #[inline]
+    fn ncy(&self) -> usize {
+        self.side
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.side && iy < self.side);
+        let (t0, t1) = self.axes_to_transpose(ix, iy);
+        // Interleave the transposed words: t0 supplies the high bit of each
+        // pair (Skilling's convention).
+        ((dilate_bits(t0 as u64) << 1) | dilate_bits(t1 as u64)) as usize
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize) {
+        debug_assert!(icell < self.ncells());
+        let t0 = contract_bits((icell as u64) >> 1) as usize;
+        let t1 = contract_bits(icell as u64) as usize;
+        self.transpose_to_axes(t0, t1)
+    }
+
+    fn name(&self) -> &'static str {
+        "Hilbert"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sides() {
+        let h = Hilbert::new(1, 1).unwrap();
+        assert_eq!(h.encode(0, 0), 0);
+        assert_eq!(h.decode(0), (0, 0));
+
+        let h = Hilbert::new(2, 2).unwrap();
+        let mut seen = [false; 4];
+        for ix in 0..2 {
+            for iy in 0..2 {
+                let c = h.encode(ix, iy);
+                assert!(c < 4);
+                assert!(!seen[c]);
+                seen[c] = true;
+                assert_eq!(h.decode(c), (ix, iy));
+            }
+        }
+    }
+
+    /// The defining Hilbert property: consecutive indices are 4-neighbours.
+    #[test]
+    fn consecutive_indices_are_adjacent() {
+        for side in [2usize, 4, 8, 16, 32, 64] {
+            let h = Hilbert::new(side, side).unwrap();
+            let mut prev = h.decode(0);
+            for icell in 1..side * side {
+                let cur = h.decode(icell);
+                let d = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+                assert_eq!(
+                    d, 1,
+                    "side {side}: decode({}) = {:?} → decode({icell}) = {:?} not adjacent",
+                    icell - 1,
+                    prev,
+                    cur
+                );
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn bijection_128() {
+        let h = Hilbert::new(128, 128).unwrap();
+        let mut seen = vec![false; 128 * 128];
+        for ix in 0..128 {
+            for iy in 0..128 {
+                let c = h.encode(ix, iy);
+                assert!(!seen[c]);
+                seen[c] = true;
+                assert_eq!(h.decode(c), (ix, iy));
+            }
+        }
+    }
+
+    /// Each quadrant of the curve is visited entirely before the next —
+    /// recursive-block locality (shared with Morton, unlike L4D).
+    #[test]
+    fn quadrants_are_contiguous() {
+        let h = Hilbert::new(16, 16).unwrap();
+        // The first 64 indices must cover exactly one 8×8 quadrant.
+        let cells: Vec<(usize, usize)> = (0..64).map(|i| h.decode(i)).collect();
+        let qx: Vec<usize> = cells.iter().map(|c| c.0 / 8).collect();
+        let qy: Vec<usize> = cells.iter().map(|c| c.1 / 8).collect();
+        assert!(qx.iter().all(|&q| q == qx[0]));
+        assert!(qy.iter().all(|&q| q == qy[0]));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Hilbert::new(8, 16),
+            Err(LayoutError::NotSquare { ncx: 8, ncy: 16 })
+        ));
+    }
+}

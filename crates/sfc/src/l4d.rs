@@ -1,0 +1,237 @@
+//! The L4D (“column-major of row-major”) layout of Chatterjee et al. 1999,
+//! with the closed-form index computation proposed by the paper (§IV-B):
+//!
+//! ```text
+//! (ix, iy) ↦ SIZE·ix + mod(iy, SIZE) + ncx·SIZE·(iy / SIZE)
+//! ```
+//!
+//! The grid is cut into vertical bands of `SIZE` consecutive `iy` columns;
+//! bands are laid out one after another, and inside a band the cells are
+//! scanned with `ix` major and the in-band `iy` offset minor. With the axes of
+//! the paper's Fig. 4 (`ix` down, `iy` right): a *horizontal* move (`iy ± 1`)
+//! stays inside the band `(SIZE-1)/SIZE` of the time and then shifts the index
+//! by exactly 1; a *vertical* move (`ix ± 1`) always shifts it by `SIZE` —
+//! compare row-major where vertical moves jump by the full `ncy`.
+
+use crate::{CellLayout, LayoutError};
+
+/// L4D layout with tile width `size` (the paper's `SIZE`, best value 8 on
+/// Haswell).
+///
+/// `size` need not divide `ncy`: the trailing band is padded with cells that
+/// are allocated but never produced by `encode` (the paper notes the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L4D {
+    ncx: usize,
+    ncy: usize,
+    size: usize,
+    /// Cells per band: `ncx * size`.
+    band: usize,
+    /// `size` is almost always a power of two; cache the mask/shift fast path.
+    size_pow2: Option<(usize, u32)>, // (mask, shift)
+}
+
+impl L4D {
+    /// Build an L4D layout with tile width `size`.
+    pub fn new(ncx: usize, ncy: usize, size: usize) -> Result<Self, LayoutError> {
+        if ncx == 0 || ncy == 0 {
+            return Err(LayoutError::ZeroDimension);
+        }
+        if size == 0 || size > ncy {
+            return Err(LayoutError::BadTileSize { size });
+        }
+        let size_pow2 = if size.is_power_of_two() {
+            Some((size - 1, size.trailing_zeros()))
+        } else {
+            None
+        };
+        Ok(Self {
+            ncx,
+            ncy,
+            size,
+            band: ncx * size,
+            size_pow2,
+        })
+    }
+
+    /// The tile width (`SIZE`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of vertical bands, including a possibly padded last one.
+    pub fn nbands(&self) -> usize {
+        self.ncy.div_ceil(self.size)
+    }
+}
+
+impl CellLayout for L4D {
+    #[inline]
+    fn ncx(&self) -> usize {
+        self.ncx
+    }
+
+    #[inline]
+    fn ncy(&self) -> usize {
+        self.ncy
+    }
+
+    fn ncells(&self) -> usize {
+        // Padded: every band is full even if size does not divide ncy.
+        self.band * self.nbands()
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.ncx && iy < self.ncy);
+        match self.size_pow2 {
+            Some((mask, shift)) => {
+                // Branch-free, auto-vectorizable power-of-two path.
+                (ix << shift) + (iy & mask) + self.band * (iy >> shift)
+            }
+            None => self.size * ix + iy % self.size + self.band * (iy / self.size),
+        }
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize) {
+        debug_assert!(icell < self.ncells());
+        let band = icell / self.band;
+        let rem = icell % self.band;
+        let ix = rem / self.size;
+        let iy = band * self.size + rem % self.size;
+        (ix, iy)
+    }
+
+    fn name(&self) -> &'static str {
+        "L4D"
+    }
+
+    fn encode_batch(&self, ix: &[usize], iy: &[usize], out: &mut [usize]) {
+        assert_eq!(ix.len(), iy.len());
+        assert_eq!(ix.len(), out.len());
+        if let Some((mask, shift)) = self.size_pow2 {
+            let band = self.band;
+            for ((o, &x), &y) in out.iter_mut().zip(ix).zip(iy) {
+                *o = (x << shift) + (y & mask) + band * (y >> shift);
+            }
+        } else {
+            for ((o, &x), &y) in out.iter_mut().zip(ix).zip(iy) {
+                *o = self.encode(x, y);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_fig4() {
+        // Fig. 4: 128×128 grid, SIZE = 8. First band: iy in 0..8, ix-major.
+        let l = L4D::new(128, 128, 8).unwrap();
+        assert_eq!(l.encode(0, 0), 0);
+        assert_eq!(l.encode(0, 7), 7);
+        assert_eq!(l.encode(1, 0), 8);
+        assert_eq!(l.encode(1, 7), 15);
+        assert_eq!(l.encode(126, 0), 1008);
+        assert_eq!(l.encode(126, 7), 1015);
+        assert_eq!(l.encode(127, 0), 1016);
+        assert_eq!(l.encode(127, 7), 1023);
+        // Second band starts at 1024 (= ncx * SIZE).
+        assert_eq!(l.encode(0, 8), 1024);
+        // Right edge values of the figure: 511, 519, 527 are (63,7),(64,7),(65,7).
+        assert_eq!(l.encode(63, 7), 511);
+        assert_eq!(l.encode(64, 7), 519);
+        assert_eq!(l.encode(65, 7), 527);
+        // Bottom-right of the figure: last band, last ix row.
+        assert_eq!(l.encode(127, 127), 16383);
+        assert_eq!(l.encode(127, 120), 16376);
+    }
+
+    #[test]
+    fn vertical_moves_shift_by_size() {
+        let l = L4D::new(128, 128, 8).unwrap();
+        for ix in 0..127 {
+            for iy in 0..128 {
+                assert_eq!(l.encode(ix + 1, iy), l.encode(ix, iy) + 8);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_moves_mostly_unit_stride() {
+        let l = L4D::new(128, 128, 8).unwrap();
+        let mut unit = 0usize;
+        let mut total = 0usize;
+        for ix in 0..128 {
+            for iy in 0..127 {
+                total += 1;
+                if l.encode(ix, iy + 1) == l.encode(ix, iy) + 1 {
+                    unit += 1;
+                }
+            }
+        }
+        // ~7 of every 8 horizontal moves stay in-band (the paper's 7/8 claim;
+        // the sampled fraction is 112/127 because the last column has no
+        // rightward move).
+        let frac = unit as f64 / total as f64;
+        assert!((frac - 7.0 / 8.0).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn non_dividing_size_pads() {
+        // SIZE = 6 does not divide ncy = 16: two full bands + one padded.
+        let l = L4D::new(8, 16, 6).unwrap();
+        assert_eq!(l.nbands(), 3);
+        assert_eq!(l.ncells(), 8 * 6 * 3);
+        assert!(l.ncells() > 8 * 16);
+        // Still a bijection on the valid domain.
+        let mut seen = std::collections::HashSet::new();
+        for ix in 0..8 {
+            for iy in 0..16 {
+                let c = l.encode(ix, iy);
+                assert!(c < l.ncells());
+                assert!(seen.insert(c));
+                assert_eq!(l.decode(c), (ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn size_equal_ncy_is_column_of_rows() {
+        // SIZE = ncy degenerates to row-major (the paper's remark).
+        let l = L4D::new(16, 16, 16).unwrap();
+        let r = crate::RowMajor::new(16, 16).unwrap();
+        use crate::CellLayout as _;
+        for ix in 0..16 {
+            for iy in 0..16 {
+                assert_eq!(l.encode(ix, iy), r.encode(ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_sizes_rejected() {
+        assert!(matches!(
+            L4D::new(8, 8, 0),
+            Err(LayoutError::BadTileSize { size: 0 })
+        ));
+        assert!(matches!(
+            L4D::new(8, 8, 9),
+            Err(LayoutError::BadTileSize { size: 9 })
+        ));
+    }
+
+    #[test]
+    fn non_pow2_size_consistent() {
+        let l = L4D::new(16, 32, 5).unwrap();
+        for ix in 0..16 {
+            for iy in 0..32 {
+                let c = l.encode(ix, iy);
+                assert_eq!(l.decode(c), (ix, iy));
+            }
+        }
+    }
+}

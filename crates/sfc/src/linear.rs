@@ -1,0 +1,143 @@
+//! The canonical linear layouts: row-major (the C default, the paper's
+//! baseline ordering) and column-major (the Fortran twin).
+
+use crate::{CellLayout, LayoutError};
+
+/// Row-major (scan) order: `icell = ix * ncy + iy`.
+///
+/// This is the paper's baseline: consecutive `iy` are adjacent in memory, so a
+/// particle moving along y usually lands in the neighbouring index, but a move
+/// along x jumps by `ncy` — the cache-miss pattern of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMajor {
+    ncx: usize,
+    ncy: usize,
+}
+
+impl RowMajor {
+    /// Build a row-major layout for an `ncx × ncy` grid.
+    pub fn new(ncx: usize, ncy: usize) -> Result<Self, LayoutError> {
+        if ncx == 0 || ncy == 0 {
+            return Err(LayoutError::ZeroDimension);
+        }
+        Ok(Self { ncx, ncy })
+    }
+}
+
+impl CellLayout for RowMajor {
+    #[inline]
+    fn ncx(&self) -> usize {
+        self.ncx
+    }
+
+    #[inline]
+    fn ncy(&self) -> usize {
+        self.ncy
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.ncx && iy < self.ncy);
+        ix * self.ncy + iy
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize) {
+        debug_assert!(icell < self.ncells());
+        (icell / self.ncy, icell % self.ncy)
+    }
+
+    fn name(&self) -> &'static str {
+        "Row-major"
+    }
+
+    fn encode_batch(&self, ix: &[usize], iy: &[usize], out: &mut [usize]) {
+        assert_eq!(ix.len(), iy.len());
+        assert_eq!(ix.len(), out.len());
+        let ncy = self.ncy;
+        // Branch-free multiply-add: auto-vectorizes.
+        for ((o, &x), &y) in out.iter_mut().zip(ix).zip(iy) {
+            *o = x * ncy + y;
+        }
+    }
+}
+
+/// Column-major order: `icell = iy * ncx + ix`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColMajor {
+    ncx: usize,
+    ncy: usize,
+}
+
+impl ColMajor {
+    /// Build a column-major layout for an `ncx × ncy` grid.
+    pub fn new(ncx: usize, ncy: usize) -> Result<Self, LayoutError> {
+        if ncx == 0 || ncy == 0 {
+            return Err(LayoutError::ZeroDimension);
+        }
+        Ok(Self { ncx, ncy })
+    }
+}
+
+impl CellLayout for ColMajor {
+    #[inline]
+    fn ncx(&self) -> usize {
+        self.ncx
+    }
+
+    #[inline]
+    fn ncy(&self) -> usize {
+        self.ncy
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.ncx && iy < self.ncy);
+        iy * self.ncx + ix
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize) {
+        debug_assert!(icell < self.ncells());
+        (icell % self.ncx, icell / self.ncx)
+    }
+
+    fn name(&self) -> &'static str {
+        "Col-major"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_matches_c_convention() {
+        let l = RowMajor::new(4, 8).unwrap();
+        assert_eq!(l.encode(0, 0), 0);
+        assert_eq!(l.encode(0, 7), 7);
+        assert_eq!(l.encode(1, 0), 8);
+        assert_eq!(l.encode(3, 7), 31);
+        assert_eq!(l.decode(8), (1, 0));
+        assert_eq!(l.ncells(), 32);
+    }
+
+    #[test]
+    fn col_major_transposes_row_major() {
+        let r = RowMajor::new(8, 8).unwrap();
+        let c = ColMajor::new(8, 8).unwrap();
+        for ix in 0..8 {
+            for iy in 0..8 {
+                assert_eq!(r.encode(ix, iy), c.encode(iy, ix));
+            }
+        }
+    }
+
+    #[test]
+    fn y_move_is_unit_stride_in_row_major() {
+        let l = RowMajor::new(128, 128).unwrap();
+        assert_eq!(l.encode(5, 7) + 1, l.encode(5, 8));
+        // x moves jump by ncy — the paper's bad case.
+        assert_eq!(l.encode(6, 7) - l.encode(5, 7), 128);
+    }
+}

@@ -1,0 +1,256 @@
+//! Morton (Z / Lebesgue) ordering via dilated integers.
+//!
+//! `icell` interleaves the bits of `ix` and `iy`, with `iy` in the even
+//! (low) positions so that — like row-major — `iy` is the fast axis:
+//! `encode(0,1) = 1`, `encode(1,0) = 2`, `encode(1,1) = 3` (the N-shape of
+//! the paper's Fig. 3).
+//!
+//! Rectangular power-of-two grids are supported by interleaving the common
+//! low bits and appending the surplus high bits of the longer dimension,
+//! which preserves the bijection onto `[0, ncx·ncy)`.
+//!
+//! Two encoders are provided, mirroring the paper's §IV-B comparison of
+//! Raman & Wise's algorithms: the arithmetic magic-mask form (vectorizable;
+//! the one the paper keeps) in [`Morton`], and the byte-lookup-table form
+//! (blocked from vectorizing by the indirection; the one the paper discards)
+//! in [`MortonLut`].
+
+use crate::dilate::{contract_bits, dilate_bits, dilate_bits_lut};
+use crate::{CellLayout, LayoutError};
+
+fn check_dims(ncx: usize, ncy: usize) -> Result<(u32, u32), LayoutError> {
+    if ncx == 0 || ncy == 0 {
+        return Err(LayoutError::ZeroDimension);
+    }
+    if !ncx.is_power_of_two() {
+        return Err(LayoutError::NotPowerOfTwo { dim: ncx });
+    }
+    if !ncy.is_power_of_two() {
+        return Err(LayoutError::NotPowerOfTwo { dim: ncy });
+    }
+    Ok((ncx.trailing_zeros(), ncy.trailing_zeros()))
+}
+
+/// Morton layout, arithmetic (magic-mask) encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morton {
+    ncx: usize,
+    ncy: usize,
+    bx: u32,
+    by: u32,
+    /// Bits interleaved from each coordinate: `min(bx, by)`.
+    m: u32,
+}
+
+impl Morton {
+    /// Build a Morton layout. Both dimensions must be powers of two.
+    pub fn new(ncx: usize, ncy: usize) -> Result<Self, LayoutError> {
+        let (bx, by) = check_dims(ncx, ncy)?;
+        Ok(Self {
+            ncx,
+            ncy,
+            bx,
+            by,
+            m: bx.min(by),
+        })
+    }
+
+    #[inline]
+    fn low_mask(&self) -> usize {
+        (1usize << self.m) - 1
+    }
+}
+
+impl CellLayout for Morton {
+    #[inline]
+    fn ncx(&self) -> usize {
+        self.ncx
+    }
+
+    #[inline]
+    fn ncy(&self) -> usize {
+        self.ncy
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.ncx && iy < self.ncy);
+        let mask = self.low_mask();
+        let low = (dilate_bits((ix & mask) as u64) << 1) | dilate_bits((iy & mask) as u64);
+        let high = if self.bx > self.by {
+            ix >> self.m
+        } else {
+            iy >> self.m
+        };
+        (low as usize) | (high << (2 * self.m))
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize) {
+        debug_assert!(icell < self.ncells());
+        let low = (icell as u64) & ((1u64 << (2 * self.m)) - 1).max(0);
+        let ix_low = contract_bits(low >> 1) as usize;
+        let iy_low = contract_bits(low) as usize;
+        let high = icell >> (2 * self.m);
+        if self.bx > self.by {
+            (ix_low | (high << self.m), iy_low)
+        } else {
+            (ix_low, iy_low | (high << self.m))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Morton"
+    }
+
+    fn encode_batch(&self, ix: &[usize], iy: &[usize], out: &mut [usize]) {
+        assert_eq!(ix.len(), iy.len());
+        assert_eq!(ix.len(), out.len());
+        // The magic-mask ladder is branch-free; LLVM vectorizes this loop.
+        for ((o, &x), &y) in out.iter_mut().zip(ix).zip(iy) {
+            *o = self.encode(x, y);
+        }
+    }
+}
+
+/// Morton layout using the byte-wise lookup-table encoder.
+///
+/// Functionally identical to [`Morton`]; exists so the benches can show why
+/// the paper discards the LUT variant (the table load is an indirection the
+/// compiler cannot vectorize through).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MortonLut(Morton);
+
+impl MortonLut {
+    /// Build a LUT-encoded Morton layout. Both dimensions must be powers of two.
+    pub fn new(ncx: usize, ncy: usize) -> Result<Self, LayoutError> {
+        Ok(Self(Morton::new(ncx, ncy)?))
+    }
+}
+
+impl CellLayout for MortonLut {
+    #[inline]
+    fn ncx(&self) -> usize {
+        self.0.ncx
+    }
+
+    #[inline]
+    fn ncy(&self) -> usize {
+        self.0.ncy
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.0.ncx && iy < self.0.ncy);
+        let mask = self.0.low_mask();
+        let low =
+            (dilate_bits_lut((ix & mask) as u64) << 1) | dilate_bits_lut((iy & mask) as u64);
+        let high = if self.0.bx > self.0.by {
+            ix >> self.0.m
+        } else {
+            iy >> self.0.m
+        };
+        (low as usize) | (high << (2 * self.0.m))
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize) {
+        self.0.decode(icell)
+    }
+
+    fn name(&self) -> &'static str {
+        "Morton (LUT)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: interleave bit by bit.
+    fn naive_encode(ix: usize, iy: usize, bx: u32, by: u32) -> usize {
+        let m = bx.min(by);
+        let mut out = 0usize;
+        for b in 0..m {
+            out |= ((iy >> b) & 1) << (2 * b);
+            out |= ((ix >> b) & 1) << (2 * b + 1);
+        }
+        let high = if bx > by { ix >> m } else { iy >> m };
+        out | (high << (2 * m))
+    }
+
+    #[test]
+    fn matches_fig3_8x8() {
+        // Fig. 3 of the paper: Z-order on an 8×8 grid.
+        let m = Morton::new(8, 8).unwrap();
+        assert_eq!(m.encode(0, 0), 0);
+        assert_eq!(m.encode(0, 1), 1);
+        assert_eq!(m.encode(1, 0), 2);
+        assert_eq!(m.encode(1, 1), 3);
+        assert_eq!(m.encode(0, 2), 4);
+        assert_eq!(m.encode(2, 0), 8);
+        assert_eq!(m.encode(3, 3), 15);
+        assert_eq!(m.encode(4, 4), 48);
+        assert_eq!(m.encode(7, 7), 63);
+    }
+
+    #[test]
+    fn matches_naive_square() {
+        let m = Morton::new(64, 64).unwrap();
+        for ix in 0..64 {
+            for iy in 0..64 {
+                assert_eq!(m.encode(ix, iy), naive_encode(ix, iy, 6, 6));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_rectangular() {
+        for &(ncx, ncy) in &[(8usize, 32usize), (32, 8), (4, 64), (128, 16)] {
+            let m = Morton::new(ncx, ncy).unwrap();
+            let (bx, by) = (ncx.trailing_zeros(), ncy.trailing_zeros());
+            for ix in 0..ncx {
+                for iy in 0..ncy {
+                    let enc = m.encode(ix, iy);
+                    assert_eq!(enc, naive_encode(ix, iy, bx, by), "({ix},{iy})");
+                    assert_eq!(m.decode(enc), (ix, iy));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_variant_identical() {
+        let a = Morton::new(128, 128).unwrap();
+        let b = MortonLut::new(128, 128).unwrap();
+        for ix in (0..128).step_by(3) {
+            for iy in 0..128 {
+                assert_eq!(a.encode(ix, iy), b.encode(ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn non_pow2_rejected() {
+        assert!(matches!(
+            Morton::new(100, 128),
+            Err(LayoutError::NotPowerOfTwo { dim: 100 })
+        ));
+        assert!(matches!(
+            Morton::new(128, 100),
+            Err(LayoutError::NotPowerOfTwo { dim: 100 })
+        ));
+    }
+
+    #[test]
+    fn quadrant_locality() {
+        // Morton keeps each 2^k × 2^k block contiguous: the 4×4 block at
+        // (0,0) occupies indices 0..16.
+        let m = Morton::new(16, 16).unwrap();
+        let mut idx: Vec<usize> = (0..4)
+            .flat_map(|ix| (0..4).map(move |iy| m.encode(ix, iy)))
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,360 @@
+//! Three-dimensional space-filling curves — the paper's §VI outlook
+//! (“formulas also exist for space-filling curves in three dimensions”),
+//! provided so a 3d3v extension of the PIC code can reuse this crate.
+//!
+//! The same design as the 2-D layouts: a [`CellLayout3D`] bijection between
+//! `(ix, iy, iz)` and a flat `icell`, with row-major, Morton (3-D dilated
+//! integers) and Hilbert (Skilling's algorithm for n = 3) instances.
+
+use crate::LayoutError;
+
+/// A bijection between 3-D cell coordinates and a flat index.
+pub trait CellLayout3D: Send + Sync {
+    /// Cells along x.
+    fn ncx(&self) -> usize;
+    /// Cells along y.
+    fn ncy(&self) -> usize;
+    /// Cells along z.
+    fn ncz(&self) -> usize;
+
+    /// Flat array size (≥ `ncx·ncy·ncz`).
+    fn ncells(&self) -> usize {
+        self.ncx() * self.ncy() * self.ncz()
+    }
+
+    /// Map cell coordinates to the flat index.
+    fn encode(&self, ix: usize, iy: usize, iz: usize) -> usize;
+
+    /// Inverse of [`encode`](CellLayout3D::encode).
+    fn decode(&self, icell: usize) -> (usize, usize, usize);
+
+    /// Layout name.
+    fn name(&self) -> &'static str;
+}
+
+/// Row-major 3-D order: `icell = (ix·ncy + iy)·ncz + iz`.
+#[derive(Debug, Clone, Copy)]
+pub struct RowMajor3D {
+    ncx: usize,
+    ncy: usize,
+    ncz: usize,
+}
+
+impl RowMajor3D {
+    /// Build a 3-D row-major layout.
+    pub fn new(ncx: usize, ncy: usize, ncz: usize) -> Result<Self, LayoutError> {
+        if ncx == 0 || ncy == 0 || ncz == 0 {
+            return Err(LayoutError::ZeroDimension);
+        }
+        Ok(Self { ncx, ncy, ncz })
+    }
+}
+
+impl CellLayout3D for RowMajor3D {
+    fn ncx(&self) -> usize {
+        self.ncx
+    }
+    fn ncy(&self) -> usize {
+        self.ncy
+    }
+    fn ncz(&self) -> usize {
+        self.ncz
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.ncx && iy < self.ncy && iz < self.ncz);
+        (ix * self.ncy + iy) * self.ncz + iz
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize, usize) {
+        let iz = icell % self.ncz;
+        let rest = icell / self.ncz;
+        (rest / self.ncy, rest % self.ncy, iz)
+    }
+
+    fn name(&self) -> &'static str {
+        "Row-major 3D"
+    }
+}
+
+/// Dilate the low 21 bits of `x` so bit `i` lands at bit `3i`.
+#[inline]
+pub fn dilate3(x: u64) -> u64 {
+    debug_assert!(x < (1 << 21));
+    let mut x = x & 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`dilate3`].
+#[inline]
+pub fn contract3(x: u64) -> u64 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x001F_FFFF;
+    x
+}
+
+/// 3-D Morton order on a cubic power-of-two grid; `iz` is the fast axis.
+#[derive(Debug, Clone, Copy)]
+pub struct Morton3D {
+    side: usize,
+}
+
+impl Morton3D {
+    /// Build a 3-D Morton layout on a cube of power-of-two `side`.
+    pub fn new(side: usize) -> Result<Self, LayoutError> {
+        if side == 0 {
+            return Err(LayoutError::ZeroDimension);
+        }
+        if !side.is_power_of_two() {
+            return Err(LayoutError::NotPowerOfTwo { dim: side });
+        }
+        Ok(Self { side })
+    }
+}
+
+impl CellLayout3D for Morton3D {
+    fn ncx(&self) -> usize {
+        self.side
+    }
+    fn ncy(&self) -> usize {
+        self.side
+    }
+    fn ncz(&self) -> usize {
+        self.side
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.side && iy < self.side && iz < self.side);
+        ((dilate3(ix as u64) << 2) | (dilate3(iy as u64) << 1) | dilate3(iz as u64)) as usize
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize, usize) {
+        let c = icell as u64;
+        (
+            contract3(c >> 2) as usize,
+            contract3(c >> 1) as usize,
+            contract3(c) as usize,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "Morton 3D"
+    }
+}
+
+/// 3-D Hilbert order via Skilling's transposition algorithm (n = 3).
+#[derive(Debug, Clone, Copy)]
+pub struct Hilbert3D {
+    side: usize,
+    b: u32,
+}
+
+impl Hilbert3D {
+    /// Build a 3-D Hilbert layout on a cube of power-of-two `side`.
+    pub fn new(side: usize) -> Result<Self, LayoutError> {
+        if side == 0 {
+            return Err(LayoutError::ZeroDimension);
+        }
+        if !side.is_power_of_two() {
+            return Err(LayoutError::NotPowerOfTwo { dim: side });
+        }
+        Ok(Self {
+            side,
+            b: side.trailing_zeros(),
+        })
+    }
+
+    fn axes_to_transpose(&self, x: &mut [usize; 3]) {
+        if self.b == 0 {
+            return;
+        }
+        let m = 1usize << (self.b - 1);
+        let mut q = m;
+        while q > 1 {
+            let p = q - 1;
+            for i in 0..3 {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q >>= 1;
+        }
+        for i in 1..3 {
+            x[i] ^= x[i - 1];
+        }
+        let mut t = 0usize;
+        let mut q = m;
+        while q > 1 {
+            if x[2] & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        for xi in x.iter_mut() {
+            *xi ^= t;
+        }
+    }
+
+    fn transpose_to_axes(&self, x: &mut [usize; 3]) {
+        if self.b == 0 {
+            return;
+        }
+        let n = 2usize << (self.b - 1);
+        let t = x[2] >> 1;
+        for i in (1..3).rev() {
+            x[i] ^= x[i - 1];
+        }
+        x[0] ^= t;
+        let mut q = 2usize;
+        while q != n {
+            let p = q - 1;
+            for i in (0..3).rev() {
+                if x[i] & q != 0 {
+                    x[0] ^= p;
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t;
+                }
+            }
+            q <<= 1;
+        }
+    }
+}
+
+impl CellLayout3D for Hilbert3D {
+    fn ncx(&self) -> usize {
+        self.side
+    }
+    fn ncy(&self) -> usize {
+        self.side
+    }
+    fn ncz(&self) -> usize {
+        self.side
+    }
+
+    #[inline]
+    fn encode(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.side && iy < self.side && iz < self.side);
+        let mut x = [ix, iy, iz];
+        self.axes_to_transpose(&mut x);
+        ((dilate3(x[0] as u64) << 2) | (dilate3(x[1] as u64) << 1) | dilate3(x[2] as u64)) as usize
+    }
+
+    #[inline]
+    fn decode(&self, icell: usize) -> (usize, usize, usize) {
+        let c = icell as u64;
+        let mut x = [
+            contract3(c >> 2) as usize,
+            contract3(c >> 1) as usize,
+            contract3(c) as usize,
+        ];
+        self.transpose_to_axes(&mut x);
+        (x[0], x[1], x[2])
+    }
+
+    fn name(&self) -> &'static str {
+        "Hilbert 3D"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilate3_roundtrip() {
+        for x in [0u64, 1, 2, 7, 255, 4095, (1 << 21) - 1] {
+            assert_eq!(contract3(dilate3(x)), x, "x={x}");
+        }
+        assert_eq!(dilate3(0b111), 0b111_111_111 & 0x249);
+        // bit i → bit 3i
+        assert_eq!(dilate3(0b101), 0b001_000_001);
+    }
+
+    fn check_bijection_3d(l: &dyn CellLayout3D) {
+        let (nx, ny, nz) = (l.ncx(), l.ncy(), l.ncz());
+        let mut seen = vec![false; l.ncells()];
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    let c = l.encode(ix, iy, iz);
+                    assert!(c < l.ncells(), "{}: out of range", l.name());
+                    assert!(!seen[c], "{}: collision at ({ix},{iy},{iz})", l.name());
+                    seen[c] = true;
+                    assert_eq!(l.decode(c), (ix, iy, iz), "{}", l.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_3d_bijection() {
+        check_bijection_3d(&RowMajor3D::new(4, 8, 2).unwrap());
+        check_bijection_3d(&RowMajor3D::new(8, 8, 8).unwrap());
+    }
+
+    #[test]
+    fn morton_3d_bijection() {
+        check_bijection_3d(&Morton3D::new(8).unwrap());
+        check_bijection_3d(&Morton3D::new(16).unwrap());
+    }
+
+    #[test]
+    fn hilbert_3d_bijection() {
+        check_bijection_3d(&Hilbert3D::new(4).unwrap());
+        check_bijection_3d(&Hilbert3D::new(8).unwrap());
+        check_bijection_3d(&Hilbert3D::new(16).unwrap());
+    }
+
+    #[test]
+    fn hilbert_3d_consecutive_adjacent() {
+        for side in [2usize, 4, 8] {
+            let h = Hilbert3D::new(side).unwrap();
+            let mut prev = h.decode(0);
+            for c in 1..side * side * side {
+                let cur = h.decode(c);
+                let d = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1) + prev.2.abs_diff(cur.2);
+                assert_eq!(d, 1, "side={side} step {c}: {prev:?} -> {cur:?}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn morton_3d_octant_locality() {
+        // Each 2×2×2 block is 8 consecutive indices.
+        let m = Morton3D::new(8).unwrap();
+        let mut idx: Vec<usize> = (0..2)
+            .flat_map(|x| (0..2).flat_map(move |y| (0..2).map(move |z| (x, y, z))))
+            .map(|(x, y, z)| m.encode(x, y, z))
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(Morton3D::new(0).is_err());
+        assert!(Morton3D::new(12).is_err());
+        assert!(Hilbert3D::new(6).is_err());
+        assert!(RowMajor3D::new(0, 1, 1).is_err());
+    }
+}

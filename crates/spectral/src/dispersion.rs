@@ -1,0 +1,227 @@
+//! Kinetic plasma dispersion: the plasma dispersion function `Z(ζ)` and the
+//! Landau root of the electrostatic dispersion relation.
+//!
+//! The paper validates its code against “theoretical results … available
+//! [Birdsall & Langdon; Hockney & Eastwood]” for Landau damping. Rather
+//! than hard-coding γ(k = 0.5) ≈ −0.1533, this module computes the damping
+//! rate from first principles, so the physics-validation harness can check
+//! any `k`:
+//!
+//! For a Maxwellian with thermal speed 1 and plasma frequency 1, Langmuir
+//! waves obey `1 + (1/k²)·(1 + ζ Z(ζ)) = 0` with `ζ = ω/(√2·k)`. The root
+//! `ω(k) = ω_r + iγ` has γ < 0 (Landau damping).
+//!
+//! `Z` is evaluated via the Dawson function `F(x)` on (near-)real arguments
+//! and analytic continuation by a few Newton steps in the complex plane.
+
+use crate::Complex64;
+
+/// Dawson function `F(x) = e^{−x²} ∫₀ˣ e^{t²} dt` for real `x`, by the
+/// series for small `|x|` and the asymptotic continued expansion for large.
+pub fn dawson(x: f64) -> f64 {
+    let ax = x.abs();
+    let val = if ax < 4.0 {
+        // Maclaurin-type series: F(x) = Σ (−2)ⁿ x^{2n+1} n! / (2n+1)!
+        // computed stably as a recurrence.
+        let x2 = x * x;
+        let mut term = ax;
+        let mut sum = ax;
+        let mut n = 0u32;
+        while term.abs() > 1e-18 * sum.abs().max(1e-300) && n < 200 {
+            n += 1;
+            term *= -2.0 * x2 / (2.0 * n as f64 + 1.0);
+            sum += term;
+        }
+        sum
+    } else {
+        // Asymptotic: F(x) ~ 1/(2x) + 1/(4x³) + 3/(8x⁵) + 15/(16x⁷) + …
+        let inv2 = 1.0 / (ax * ax);
+        (0.5 / ax) * (1.0 + 0.5 * inv2 * (1.0 + 1.5 * inv2 * (1.0 + 2.5 * inv2)))
+    };
+    if x < 0.0 {
+        -val
+    } else {
+        val
+    }
+}
+
+/// Plasma dispersion function `Z(ζ)` for complex ζ with small imaginary
+/// part, from the real-axis values
+/// `Z(x) = −2 F(x) + i√π e^{−x²}` extended by a first-order Taylor step
+/// `Z(x + iy) ≈ Z(x) + iy·Z'(x)`, with `Z' = −2(1 + ζZ)`.
+///
+/// Adequate for weakly damped Langmuir roots (|Im ζ| ≪ 1), which is the
+/// regime of every Landau test case in the paper.
+pub fn z_function(zeta: Complex64) -> Complex64 {
+    let x = zeta.re;
+    let sqrt_pi = std::f64::consts::PI.sqrt();
+    let zx = Complex64::new(-2.0 * dawson(x), sqrt_pi * (-x * x).exp());
+    // Z'(x) = −2 (1 + x Z(x)) on the real axis.
+    let zpx = (Complex64::ONE + zx.scale(x)).scale(-2.0);
+    // Second order: Z'' = −2(Z + x Z').
+    let zppx = (zx + zpx.scale(x)).scale(-2.0);
+    let dy = Complex64::new(0.0, zeta.im);
+    zx + zpx * dy + zppx * dy * dy * 0.5
+}
+
+/// Electrostatic dispersion relation `D(ω) = 1 + (1/k²)(1 + ζ Z(ζ))`,
+/// `ζ = ω/(√2 k)`.
+pub fn dielectric(k: f64, omega: Complex64) -> Complex64 {
+    let zeta = omega / (std::f64::consts::SQRT_2 * k);
+    let z = z_function(zeta);
+    Complex64::ONE + (Complex64::ONE + zeta * z) / (k * k)
+}
+
+/// Solve `D(ω) = 0` for the least-damped Langmuir root at wavenumber `k`
+/// by complex Newton iteration from the Bohm–Gross estimate.
+/// Returns `ω = ω_r + iγ` (γ < 0 = damping) or `None` if no convergence.
+pub fn landau_root(k: f64) -> Option<Complex64> {
+    if !(k > 0.0) {
+        return None;
+    }
+    // Bohm–Gross: ω² ≈ 1 + 3k² (thermal speed 1), slightly damped.
+    let mut omega = Complex64::new((1.0 + 3.0 * k * k).sqrt(), -0.01);
+    for _ in 0..100 {
+        let f = dielectric(k, omega);
+        // Numerical derivative (central, small complex-safe step).
+        let h = 1e-7;
+        let df = (dielectric(k, omega + Complex64::new(h, 0.0))
+            - dielectric(k, omega - Complex64::new(h, 0.0)))
+            / (2.0 * h);
+        if df.abs() < 1e-30 {
+            return None;
+        }
+        let step = Complex64::new(
+            (f.re * df.re + f.im * df.im) / df.norm_sqr(),
+            (f.im * df.re - f.re * df.im) / df.norm_sqr(),
+        );
+        omega -= step;
+        if step.abs() < 1e-12 {
+            return Some(omega);
+        }
+    }
+    None
+}
+
+/// The Landau damping rate γ(k) < 0 for a unit Maxwellian.
+pub fn landau_damping_rate(k: f64) -> Option<f64> {
+    landau_root(k).map(|w| w.im)
+}
+
+/// Real Langmuir frequency ω_r(k).
+pub fn langmuir_frequency(k: f64) -> Option<f64> {
+    landau_root(k).map(|w| w.re)
+}
+
+/// Cold two-stream growth rate for two counter-streaming beams at ±v0,
+/// each carrying half the density: the dielectric is
+/// `D(ω) = 1 − ½/(ω−kv0)² − ½/(ω+kv0)²`, whose quadratic in `ω²` is solved
+/// exactly. The mode is unstable for `k·v0 < ω_p = 1`, with the maximum
+/// growth rate `γ_max = 1/(2√2) ≈ 0.354` at `k·v0 = √(3/8)`.
+pub fn two_stream_growth_rate(k: f64, v0: f64) -> Option<f64> {
+    // D = 0 ⇔ (ω²−a)² − ... with x = ω², a = (kv0)²:
+    // 1 = ½[1/(ω−a₀)² + 1/(ω+a₀)²], a₀ = k v0. Let u = ω², c = a₀²:
+    // (u−c)² = u + c ⇒ u² − (2c+1)u + c² − c = 0.
+    let c = (k * v0) * (k * v0);
+    let disc = (2.0 * c + 1.0) * (2.0 * c + 1.0) - 4.0 * (c * c - c);
+    if disc < 0.0 {
+        return None;
+    }
+    let u_minus = (2.0 * c + 1.0 - disc.sqrt()) / 2.0;
+    if u_minus < 0.0 {
+        // ω² < 0: purely growing mode with γ = √(−ω²).
+        Some((-u_minus).sqrt())
+    } else {
+        Some(0.0) // stable at this k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dawson_known_values() {
+        // Abramowitz & Stegun 7.1.17 table values.
+        assert!((dawson(0.0)).abs() < 1e-15);
+        assert!((dawson(0.5) - 0.42443638).abs() < 1e-7);
+        assert!((dawson(1.0) - 0.53807950).abs() < 1e-7);
+        assert!((dawson(2.0) - 0.30134039).abs() < 1e-7);
+        assert!((dawson(5.0) - 0.10213407).abs() < 1e-4);
+        assert!((dawson(-1.0) + 0.53807950).abs() < 1e-7);
+    }
+
+    #[test]
+    fn z_satisfies_differential_identity_on_axis() {
+        // Z'(x) = −2(1 + xZ(x)): check with numerical differentiation.
+        for &x in &[0.3f64, 1.0, 2.2] {
+            let h = 1e-6;
+            let zp = (z_function(Complex64::from_re(x + h))
+                - z_function(Complex64::from_re(x - h)))
+                / (2.0 * h);
+            let expect = (Complex64::ONE + z_function(Complex64::from_re(x)).scale(x)).scale(-2.0);
+            assert!((zp - expect).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn z_at_zero() {
+        // Z(0) = i√π.
+        let z0 = z_function(Complex64::ZERO);
+        assert!(z0.re.abs() < 1e-12);
+        assert!((z0.im - std::f64::consts::PI.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn landau_rate_at_half_matches_literature() {
+        // The canonical value everyone quotes: γ(k=0.5) ≈ −0.1533,
+        // ω_r ≈ 1.4156.
+        let w = landau_root(0.5).expect("root converges");
+        assert!((w.im - -0.1533).abs() < 0.01, "gamma {}", w.im);
+        assert!((w.re - 1.4156).abs() < 0.01, "omega {}", w.re);
+    }
+
+    #[test]
+    fn landau_rate_other_wavenumbers() {
+        // γ(k=0.3) ≈ −0.0126; γ(k=0.4) ≈ −0.0661 (literature tables).
+        let g3 = landau_damping_rate(0.3).unwrap();
+        let g4 = landau_damping_rate(0.4).unwrap();
+        assert!((g3 - -0.0126).abs() < 0.005, "gamma(0.3) {g3}");
+        assert!((g4 - -0.0661).abs() < 0.01, "gamma(0.4) {g4}");
+        // Damping strengthens with k.
+        assert!(g4 < g3);
+    }
+
+    #[test]
+    fn langmuir_frequency_increases_with_k() {
+        let w3 = langmuir_frequency(0.3).unwrap();
+        let w5 = langmuir_frequency(0.5).unwrap();
+        assert!(w5 > w3);
+        assert!(w3 > 1.0, "above the plasma frequency");
+    }
+
+    #[test]
+    fn two_stream_cold_rates() {
+        // Unstable for k·v0 < 1, stable beyond.
+        let g = two_stream_growth_rate(0.2, 3.0).unwrap(); // kv0 = 0.6
+        assert!(g > 0.3, "growth {g}");
+        let stable = two_stream_growth_rate(0.5, 3.0).unwrap(); // kv0 = 1.5
+        assert_eq!(stable, 0.0);
+        // Max cold growth is 1/(2√2) ≈ 0.3536 at kv0 = √(3/8) ≈ 0.6124.
+        let kmax = (3.0f64 / 8.0).sqrt() / 3.0;
+        let gmax = two_stream_growth_rate(kmax, 3.0).unwrap();
+        assert!(
+            (gmax - 0.5 / std::f64::consts::SQRT_2).abs() < 1e-9,
+            "max growth {gmax}"
+        );
+        // And it is indeed the maximum over nearby k.
+        assert!(gmax >= two_stream_growth_rate(kmax * 0.8, 3.0).unwrap());
+        assert!(gmax >= two_stream_growth_rate(kmax * 1.2, 3.0).unwrap());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(landau_root(0.0).is_none());
+        assert!(landau_root(-1.0).is_none());
+    }
+}

@@ -1,0 +1,411 @@
+//! Iterative radix-2 Cooley–Tukey FFT, 1-D and 2-D.
+//!
+//! The PIC grids in the paper are powers of two (128×128, 256×256), so a
+//! radix-2 transform covers every configuration the solver sees. Twiddle
+//! factors are precomputed once per [`FftPlan`] — the pattern FFTW calls a
+//! *plan* — because the Poisson solve runs every time step.
+
+use crate::{Complex64, SpectralError};
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `X_k = Σ x_n e^{−2πi nk/N}` (no normalization).
+    Forward,
+    /// `x_n = Σ X_k e^{+2πi nk/N}` (normalized by `1/N` in [`FftPlan::inverse`]).
+    Inverse,
+}
+
+/// A reusable 1-D FFT plan for a fixed power-of-two length.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+    /// Forward twiddles, grouped per butterfly stage: for stage with
+    /// half-block `m`, the `m` factors `e^{−2πi j/(2m)}`, j = 0..m, packed
+    /// consecutively (stages m = 1, 2, 4, …, n/2).
+    twiddles: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Create a plan for length `n` (must be a power of two ≥ 1).
+    pub fn new(n: usize) -> Result<Self, SpectralError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(SpectralError::NotPowerOfTwo { len: n });
+        }
+        let log2n = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 0..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2n.max(1) - 1));
+        }
+        if log2n == 0 {
+            rev[0] = 0;
+        }
+        // Total twiddle count: 1 + 2 + 4 + … + n/2 = n − 1.
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut m = 1usize;
+        while m < n {
+            let step = -std::f64::consts::PI / m as f64;
+            for j in 0..m {
+                twiddles.push(Complex64::cis(step * j as f64));
+            }
+            m <<= 1;
+        }
+        Ok(Self { n, rev, twiddles })
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the plan length is 1 (the transform is the identity).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    /// In-place forward transform (no normalization).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "FFT length mismatch");
+        self.transform(data, false);
+    }
+
+    /// In-place inverse transform, normalized by `1/N`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "FFT length mismatch");
+        self.transform(data, true);
+        let inv = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex64], invert: bool) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies, stage by stage, twiddles read off the packed table.
+        let mut m = 1usize;
+        let mut toff = 0usize;
+        while m < n {
+            let tw = &self.twiddles[toff..toff + m];
+            let mut k = 0;
+            while k < n {
+                for j in 0..m {
+                    let w = if invert { tw[j].conj() } else { tw[j] };
+                    let u = data[k + j];
+                    let t = w * data[k + j + m];
+                    data[k + j] = u + t;
+                    data[k + j + m] = u - t;
+                }
+                k += 2 * m;
+            }
+            toff += m;
+            m <<= 1;
+        }
+    }
+}
+
+/// A reusable 2-D FFT plan (row–column algorithm) for an `nx × ny` grid
+/// stored row-major (`data[ix * ny + iy]`).
+#[derive(Debug, Clone)]
+pub struct Fft2Plan {
+    nx: usize,
+    ny: usize,
+    row: FftPlan,
+    col: FftPlan,
+}
+
+impl Fft2Plan {
+    /// Create a plan for an `nx × ny` grid (both powers of two).
+    pub fn new(nx: usize, ny: usize) -> Result<Self, SpectralError> {
+        if nx == 0 || ny == 0 {
+            return Err(SpectralError::ZeroDimension);
+        }
+        Ok(Self {
+            nx,
+            ny,
+            row: FftPlan::new(ny)?,
+            col: FftPlan::new(nx)?,
+        })
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// In-place 2-D forward transform.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny`.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform2(data, Direction::Forward);
+    }
+
+    /// In-place 2-D inverse transform (normalized by `1/(nx·ny)`).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny`.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform2(data, Direction::Inverse);
+    }
+
+    fn transform2(&self, data: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.nx * self.ny, "2-D FFT size mismatch");
+        // Rows (contiguous).
+        for r in data.chunks_exact_mut(self.ny) {
+            match dir {
+                Direction::Forward => self.row.forward(r),
+                Direction::Inverse => self.row.inverse(r),
+            }
+        }
+        // Columns: gather → transform → scatter, one column buffer at a time.
+        let mut colbuf = vec![Complex64::ZERO; self.nx];
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                colbuf[ix] = data[ix * self.ny + iy];
+            }
+            match dir {
+                Direction::Forward => self.col.forward(&mut colbuf),
+                Direction::Inverse => self.col.inverse(&mut colbuf),
+            }
+            for ix in 0..self.nx {
+                data[ix * self.ny + iy] = colbuf[ix];
+            }
+        }
+    }
+}
+
+/// Naive `O(N²)` DFT, used as the test oracle.
+pub fn dft_naive(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let theta = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            acc += x * Complex64::cis(theta);
+        }
+        *o = if matches!(dir, Direction::Inverse) {
+            acc / n as f64
+        } else {
+            acc
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Tiny xorshift so the tests stay dependency-free and deterministic.
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut d = [Complex64::new(3.5, -1.0)];
+        plan.forward(&mut d);
+        assert_eq!(d[0], Complex64::new(3.5, -1.0));
+        plan.inverse(&mut d);
+        assert_eq!(d[0], Complex64::new(3.5, -1.0));
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let plan = FftPlan::new(n).unwrap();
+            let sig = rand_signal(n, 42 + n as u64);
+            let mut fast = sig.clone();
+            plan.forward(&mut fast);
+            let slow = dft_naive(&sig, Direction::Forward);
+            for k in 0..n {
+                assert!(
+                    close(fast[k], slow[k], 1e-9 * n as f64),
+                    "n={n} k={k}: {:?} vs {:?}",
+                    fast[k],
+                    slow[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_signal() {
+        for n in [2usize, 8, 128, 1024] {
+            let plan = FftPlan::new(n).unwrap();
+            let sig = rand_signal(n, 7);
+            let mut d = sig.clone();
+            plan.forward(&mut d);
+            plan.inverse(&mut d);
+            for k in 0..n {
+                assert!(close(d[k], sig[k], 1e-12), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 512;
+        let plan = FftPlan::new(n).unwrap();
+        let sig = rand_signal(n, 99);
+        let time_energy: f64 = sig.iter().map(|z| z.norm_sqr()).sum();
+        let mut d = sig;
+        plan.forward(&mut d);
+        let freq_energy: f64 = d.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = FftPlan::new(n).unwrap();
+        let a = rand_signal(n, 1);
+        let b = rand_signal(n, 2);
+        let mut sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.5)).collect();
+        plan.forward(&mut sum);
+        let mut fa = a;
+        let mut fb = b;
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        for k in 0..n {
+            assert!(close(sum[k], fa[k] + fb[k].scale(2.5), 1e-10));
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_single_bin() {
+        let n = 128;
+        let plan = FftPlan::new(n).unwrap();
+        let k0 = 5;
+        let mut d: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        plan.forward(&mut d);
+        for (k, z) in d.iter().enumerate() {
+            if k == k0 {
+                assert!((z.re - n as f64).abs() < 1e-9);
+                assert!(z.im.abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leak at bin {k}: {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(SpectralError::NotPowerOfTwo { len: 12 })
+        ));
+        assert!(matches!(
+            FftPlan::new(0),
+            Err(SpectralError::NotPowerOfTwo { len: 0 })
+        ));
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let (nx, ny) = (16, 32);
+        let plan = Fft2Plan::new(nx, ny).unwrap();
+        let sig = rand_signal(nx * ny, 1234);
+        let mut d = sig.clone();
+        plan.forward(&mut d);
+        plan.inverse(&mut d);
+        for k in 0..nx * ny {
+            assert!(close(d[k], sig[k], 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft2_separable_tone() {
+        // A 2-D plane wave lands in exactly one 2-D bin.
+        let (nx, ny) = (8, 8);
+        let plan = Fft2Plan::new(nx, ny).unwrap();
+        let (kx, ky) = (3usize, 2usize);
+        let mut d: Vec<Complex64> = (0..nx * ny)
+            .map(|i| {
+                let (ix, iy) = (i / ny, i % ny);
+                Complex64::cis(
+                    2.0 * std::f64::consts::PI
+                        * ((kx * ix) as f64 / nx as f64 + (ky * iy) as f64 / ny as f64),
+                )
+            })
+            .collect();
+        plan.forward(&mut d);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                let z = d[ix * ny + iy];
+                if (ix, iy) == (kx, ky) {
+                    assert!((z.re - (nx * ny) as f64).abs() < 1e-8);
+                } else {
+                    assert!(z.abs() < 1e-8, "leak at ({ix},{iy})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft2_matches_row_column_naive() {
+        let (nx, ny) = (4, 8);
+        let plan = Fft2Plan::new(nx, ny).unwrap();
+        let sig = rand_signal(nx * ny, 5);
+        let mut fast = sig.clone();
+        plan.forward(&mut fast);
+        // Naive row-column.
+        let mut slow = sig;
+        for r in slow.chunks_exact_mut(ny) {
+            let t = dft_naive(r, Direction::Forward);
+            r.copy_from_slice(&t);
+        }
+        let mut col = vec![Complex64::ZERO; nx];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                col[ix] = slow[ix * ny + iy];
+            }
+            let t = dft_naive(&col, Direction::Forward);
+            for ix in 0..nx {
+                slow[ix * ny + iy] = t[ix];
+            }
+        }
+        for k in 0..nx * ny {
+            assert!(close(fast[k], slow[k], 1e-9));
+        }
+    }
+}

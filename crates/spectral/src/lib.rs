@@ -1,0 +1,74 @@
+//! # spectral — FFT and the periodic Poisson solver
+//!
+//! The paper solves the Poisson equation `−Δφ = ρ/ε₀` on a uniform periodic
+//! Cartesian grid with a Fourier method (FFTW3 in the original C code). This
+//! crate is the from-scratch Rust substrate for that step:
+//!
+//! * [`Complex64`] — a minimal complex type (no external num crates);
+//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT, forward/inverse, 1-D and
+//!   2-D (row–column decomposition);
+//! * [`poisson`] — the spectral Poisson solver returning the electric field
+//!   `E = −∇φ` at the grid points.
+//!
+//! ## Example: one Poisson solve
+//!
+//! ```
+//! use spectral::poisson::PoissonSolver2D;
+//!
+//! let n = 32;
+//! let solver =
+//!     PoissonSolver2D::new(n, n, 2.0 * std::f64::consts::PI, 2.0 * std::f64::consts::PI)
+//!         .unwrap();
+//! // ρ(x, y) = cos(x): the exact solution of −Δφ = ρ has E_x = −sin(x), E_y = 0.
+//! let lx = solver.lx();
+//! let rho: Vec<f64> = (0..n * n)
+//!     .map(|i| (((i / n) as f64) * lx / n as f64).cos())
+//!     .collect();
+//! let mut ex = vec![0.0; n * n];
+//! let mut ey = vec![0.0; n * n];
+//! solver.solve_e(&rho, &mut ex, &mut ey);
+//! assert!(ex[0].abs() < 1e-12); // E_x(0, y) = −sin(0) = 0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+pub mod dispersion;
+pub mod fft;
+pub mod poisson;
+
+pub use complex::Complex64;
+
+/// Error type for spectral operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpectralError {
+    /// The transform length must be a power of two.
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+    /// A grid dimension was zero.
+    ZeroDimension,
+    /// A physical extent was not strictly positive.
+    BadExtent {
+        /// Offending extent value.
+        extent: f64,
+    },
+}
+
+impl std::fmt::Display for SpectralError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpectralError::NotPowerOfTwo { len } => {
+                write!(f, "FFT length must be a power of two, got {len}")
+            }
+            SpectralError::ZeroDimension => write!(f, "grid dimensions must be nonzero"),
+            SpectralError::BadExtent { extent } => {
+                write!(f, "physical extent must be positive, got {extent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpectralError {}

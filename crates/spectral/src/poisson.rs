@@ -1,0 +1,281 @@
+//! Spectral solver for the periodic Poisson equation of the Vlasov–Poisson
+//! system:
+//!
+//! ```text
+//! −Δφ = ρ / ε₀        E = −∇φ
+//! ```
+//!
+//! on a uniform `nx × ny` Cartesian grid over `[0, Lx) × [0, Ly)` with
+//! periodic boundary conditions and normalized units (ε₀ = 1, the standard
+//! choice for the Landau test cases of the paper).
+//!
+//! In Fourier space `φ̂_k = ρ̂_k / |k|²` and `Ê_k = −i k φ̂_k`. The `k = 0`
+//! mode of ρ (the mean charge) is projected out: a periodic system must be
+//! globally neutral, and PIC codes enforce this by subtracting the uniform
+//! ion background — dropping the zero mode is exactly that subtraction.
+
+use crate::fft::Fft2Plan;
+use crate::{Complex64, SpectralError};
+
+/// A reusable spectral Poisson solver for a fixed grid.
+#[derive(Debug, Clone)]
+pub struct PoissonSolver2D {
+    nx: usize,
+    ny: usize,
+    lx: f64,
+    ly: f64,
+    plan: Fft2Plan,
+    /// Signed wavenumbers along x: `kx[ix] = 2π·freq(ix)/Lx`.
+    kx: Vec<f64>,
+    /// Signed wavenumbers along y.
+    ky: Vec<f64>,
+}
+
+impl PoissonSolver2D {
+    /// Create a solver for an `nx × ny` power-of-two grid over `Lx × Ly`.
+    pub fn new(nx: usize, ny: usize, lx: f64, ly: f64) -> Result<Self, SpectralError> {
+        if nx == 0 || ny == 0 {
+            return Err(SpectralError::ZeroDimension);
+        }
+        if !(lx > 0.0) {
+            return Err(SpectralError::BadExtent { extent: lx });
+        }
+        if !(ly > 0.0) {
+            return Err(SpectralError::BadExtent { extent: ly });
+        }
+        let plan = Fft2Plan::new(nx, ny)?;
+        let freq = |i: usize, n: usize, l: f64| -> f64 {
+            let s = if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
+            2.0 * std::f64::consts::PI * s / l
+        };
+        let kx = (0..nx).map(|i| freq(i, nx, lx)).collect();
+        let ky = (0..ny).map(|i| freq(i, ny, ly)).collect();
+        Ok(Self {
+            nx,
+            ny,
+            lx,
+            ly,
+            plan,
+            kx,
+            ky,
+        })
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Physical extent along x.
+    pub fn lx(&self) -> f64 {
+        self.lx
+    }
+
+    /// Physical extent along y.
+    pub fn ly(&self) -> f64 {
+        self.ly
+    }
+
+    /// Solve for the potential: given `rho` (row-major, `rho[ix*ny + iy]`),
+    /// write φ into `phi`. The mean of φ is zero.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from `nx * ny`.
+    pub fn solve_phi(&self, rho: &[f64], phi: &mut [f64]) {
+        let n = self.nx * self.ny;
+        assert_eq!(rho.len(), n);
+        assert_eq!(phi.len(), n);
+        let mut hat: Vec<Complex64> = rho.iter().map(|&r| Complex64::from_re(r)).collect();
+        self.plan.forward(&mut hat);
+        for ix in 0..self.nx {
+            for iy in 0..self.ny {
+                let k2 = self.kx[ix] * self.kx[ix] + self.ky[iy] * self.ky[iy];
+                let idx = ix * self.ny + iy;
+                hat[idx] = if k2 == 0.0 {
+                    Complex64::ZERO
+                } else {
+                    hat[idx] / k2
+                };
+            }
+        }
+        self.plan.inverse(&mut hat);
+        for (p, h) in phi.iter_mut().zip(&hat) {
+            *p = h.re;
+        }
+    }
+
+    /// Solve directly for the electric field `E = −∇φ` with `−Δφ = ρ`.
+    ///
+    /// One forward transform and two inverse transforms; `Ê = −ik ρ̂ / |k|²`.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from `nx * ny`.
+    pub fn solve_e(&self, rho: &[f64], ex: &mut [f64], ey: &mut [f64]) {
+        let n = self.nx * self.ny;
+        assert_eq!(rho.len(), n);
+        assert_eq!(ex.len(), n);
+        assert_eq!(ey.len(), n);
+        let mut hat: Vec<Complex64> = rho.iter().map(|&r| Complex64::from_re(r)).collect();
+        self.plan.forward(&mut hat);
+        let mut hx = vec![Complex64::ZERO; n];
+        let mut hy = vec![Complex64::ZERO; n];
+        for ix in 0..self.nx {
+            for iy in 0..self.ny {
+                let kx = self.kx[ix];
+                let ky = self.ky[iy];
+                let k2 = kx * kx + ky * ky;
+                let idx = ix * self.ny + iy;
+                if k2 != 0.0 {
+                    // Ê = −ik · ρ̂/k²  (φ̂ = ρ̂/k², Ê = −ik φ̂).
+                    let phi_hat = hat[idx] / k2;
+                    hx[idx] = -phi_hat.mul_i().scale(kx);
+                    hy[idx] = -phi_hat.mul_i().scale(ky);
+                }
+            }
+        }
+        self.plan.inverse(&mut hx);
+        self.plan.inverse(&mut hy);
+        for i in 0..n {
+            ex[i] = hx[i].re;
+            ey[i] = hy[i].re;
+        }
+    }
+
+    /// The electrostatic field energy `½ ∫ |E|² dx dy` approximated on the
+    /// grid — the diagnostic the paper's Landau-damping validation tracks.
+    pub fn field_energy(&self, ex: &[f64], ey: &[f64]) -> f64 {
+        let cell = (self.lx / self.nx as f64) * (self.ly / self.ny as f64);
+        0.5 * cell
+            * ex.iter()
+                .zip(ey)
+                .map(|(&x, &y)| x * x + y * y)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn grid_fn(nx: usize, ny: usize, lx: f64, ly: f64, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let (dx, dy) = (lx / nx as f64, ly / ny as f64);
+        (0..nx * ny)
+            .map(|i| {
+                let (ix, iy) = (i / ny, i % ny);
+                f(ix as f64 * dx, iy as f64 * dy)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_mode_phi() {
+        // ρ = cos(x) on [0,2π)² ⇒ φ = cos(x) (since −Δcos = cos).
+        let n = 64;
+        let s = PoissonSolver2D::new(n, n, 2.0 * PI, 2.0 * PI).unwrap();
+        let rho = grid_fn(n, n, 2.0 * PI, 2.0 * PI, |x, _| x.cos());
+        let mut phi = vec![0.0; n * n];
+        s.solve_phi(&rho, &mut phi);
+        let expect = grid_fn(n, n, 2.0 * PI, 2.0 * PI, |x, _| x.cos());
+        for i in 0..n * n {
+            assert!((phi[i] - expect[i]).abs() < 1e-10, "i={i}");
+        }
+    }
+
+    #[test]
+    fn single_mode_field() {
+        // ρ = cos(x) ⇒ E_x = −∂φ/∂x = sin(x), E_y = 0.
+        let n = 64;
+        let s = PoissonSolver2D::new(n, n, 2.0 * PI, 2.0 * PI).unwrap();
+        let rho = grid_fn(n, n, 2.0 * PI, 2.0 * PI, |x, _| x.cos());
+        let (mut ex, mut ey) = (vec![0.0; n * n], vec![0.0; n * n]);
+        s.solve_e(&rho, &mut ex, &mut ey);
+        let expect = grid_fn(n, n, 2.0 * PI, 2.0 * PI, |x, _| x.sin());
+        for i in 0..n * n {
+            assert!((ex[i] - expect[i]).abs() < 1e-10, "i={i}");
+            assert!(ey[i].abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mixed_mode_manufactured() {
+        // φ = sin(2x)cos(3y) on [0,2π)² ⇒ ρ = −Δφ = 13 φ, E = −∇φ.
+        let n = 128;
+        let l = 2.0 * PI;
+        let s = PoissonSolver2D::new(n, n, l, l).unwrap();
+        let rho = grid_fn(n, n, l, l, |x, y| 13.0 * (2.0 * x).sin() * (3.0 * y).cos());
+        let (mut ex, mut ey) = (vec![0.0; n * n], vec![0.0; n * n]);
+        s.solve_e(&rho, &mut ex, &mut ey);
+        let eex = grid_fn(n, n, l, l, |x, y| -2.0 * (2.0 * x).cos() * (3.0 * y).cos());
+        let eey = grid_fn(n, n, l, l, |x, y| 3.0 * (2.0 * x).sin() * (3.0 * y).sin());
+        for i in 0..n * n {
+            assert!((ex[i] - eex[i]).abs() < 1e-9, "ex i={i}");
+            assert!((ey[i] - eey[i]).abs() < 1e-9, "ey i={i}");
+        }
+    }
+
+    #[test]
+    fn non_square_domain() {
+        // Landau grids use L = 2π/k with k = 0.5 ⇒ L = 4π; check a 4π × 2π box.
+        let (nx, ny) = (64, 32);
+        let (lx, ly) = (4.0 * PI, 2.0 * PI);
+        let s = PoissonSolver2D::new(nx, ny, lx, ly).unwrap();
+        // ρ = cos(kx·x) with kx = 2π/Lx = 0.5 ⇒ φ = ρ/kx², E_x = sin(kx x)/kx.
+        let kx = 2.0 * PI / lx;
+        let rho = grid_fn(nx, ny, lx, ly, |x, _| (kx * x).cos());
+        let (mut ex, mut ey) = (vec![0.0; nx * ny], vec![0.0; nx * ny]);
+        s.solve_e(&rho, &mut ex, &mut ey);
+        let expect = grid_fn(nx, ny, lx, ly, |x, _| (kx * x).sin() / kx);
+        for i in 0..nx * ny {
+            assert!((ex[i] - expect[i]).abs() < 1e-10, "i={i}");
+            assert!(ey[i].abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_mode_projected_out() {
+        // A uniform ρ produces no field (neutralizing background).
+        let n = 16;
+        let s = PoissonSolver2D::new(n, n, 1.0, 1.0).unwrap();
+        let rho = vec![3.7; n * n];
+        let (mut ex, mut ey) = (vec![1.0; n * n], vec![1.0; n * n]);
+        s.solve_e(&rho, &mut ex, &mut ey);
+        assert!(ex.iter().chain(&ey).all(|&v| v.abs() < 1e-12));
+        let mut phi = vec![0.0; n * n];
+        s.solve_phi(&rho, &mut phi);
+        assert!(phi.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn phi_has_zero_mean() {
+        let n = 32;
+        let s = PoissonSolver2D::new(n, n, 2.0 * PI, 2.0 * PI).unwrap();
+        let rho = grid_fn(n, n, 2.0 * PI, 2.0 * PI, |x, y| {
+            (x).cos() + 0.3 * (2.0 * y).sin() + 5.0
+        });
+        let mut phi = vec![0.0; n * n];
+        s.solve_phi(&rho, &mut phi);
+        let mean: f64 = phi.iter().sum::<f64>() / (n * n) as f64;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_energy_of_plane_wave() {
+        // E_x = sin(x), E_y = 0 on [0,2π)²: ½∫sin² = ½·(2π)²/2 = π².
+        let n = 64;
+        let l = 2.0 * PI;
+        let s = PoissonSolver2D::new(n, n, l, l).unwrap();
+        let ex = grid_fn(n, n, l, l, |x, _| x.sin());
+        let ey = vec![0.0; n * n];
+        let e = s.field_energy(&ex, &ey);
+        assert!((e - PI * PI).abs() < 1e-8, "energy {e}");
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        assert!(PoissonSolver2D::new(0, 8, 1.0, 1.0).is_err());
+        assert!(PoissonSolver2D::new(8, 8, -1.0, 1.0).is_err());
+        assert!(PoissonSolver2D::new(8, 8, 1.0, f64::NAN).is_err());
+        assert!(PoissonSolver2D::new(12, 8, 1.0, 1.0).is_err());
+    }
+}

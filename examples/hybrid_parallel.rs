@@ -1,0 +1,58 @@
+//! Hybrid parallelism demo — the paper's §V scheme end to end: several
+//! `minimpi` ranks (processes), each running its slice of one global
+//! particle population with multiple rayon threads (OpenMP), communicating
+//! only through the per-step allreduce of ρ.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_parallel -- [ranks] [threads-per-rank]
+//! ```
+
+use pic2d::minimpi::World;
+use pic2d::pic_core::sim::{PicConfig, Simulation};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let per_rank = 200_000usize;
+    let steps = 50;
+
+    println!("hybrid run: {ranks} rank(s) x {threads} thread(s), {per_rank} particles/rank");
+
+    let results = World::run_timed(ranks, |comm| {
+        let mut cfg = PicConfig::landau_table1(per_rank * comm.size());
+        cfg.threads = threads;
+        let r = comm.rank();
+        cfg.keep_range = Some((r * per_rank, (r + 1) * per_rank));
+        let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))
+            .expect("valid configuration");
+        let wall = Instant::now();
+        for _ in 0..steps {
+            sim.step_with_reduce(|rho| comm.allreduce_sum(rho));
+        }
+        let elapsed = wall.elapsed().as_secs_f64();
+        (
+            elapsed,
+            comm.comm_time(),
+            sim.diagnostics().relative_energy_drift(),
+            sim.diagnostics().history.last().unwrap().ex_mode,
+        )
+    });
+    let (per_rank_results, mean_comm) = results;
+
+    let total: f64 =
+        per_rank_results.iter().map(|r| r.0).sum::<f64>() / per_rank_results.len() as f64;
+    let drift = per_rank_results[0].2;
+    let mode = per_rank_results[0].3;
+    let mps = (per_rank * ranks * steps) as f64 / total / 1e6;
+
+    println!("wall time          : {total:.2} s");
+    println!("communication time : {mean_comm:.3} s/rank ({:.1}% of total)", 100.0 * mean_comm / total);
+    println!("throughput         : {mps:.1} M particle-updates/s aggregate");
+    println!("energy drift       : {drift:.2e} (identical on every rank)");
+    println!("final |E_x| mode   : {mode:.3e}");
+    println!("\nEvery rank holds the whole grid and solves Poisson redundantly;");
+    println!("the only inter-rank traffic is the allreduce of the 128x128 rho array");
+    println!("(the paper's no-domain-decomposition design, §V-A).");
+}

@@ -1,0 +1,69 @@
+//! Landau damping — the paper's physics validation (§IV): evolve the
+//! linear (α = 0.01) and nonlinear (α = 0.5) Landau test cases and compare
+//! the measured damping rate of the fundamental E_x mode against the
+//! analytic value γ ≈ −0.1533 for k = 0.5.
+//!
+//! ```sh
+//! cargo run --release --example landau_damping [-- --csv]
+//! ```
+//!
+//! With `--csv`, dumps `t, |E_x mode|, field energy` rows for plotting.
+
+use pic2d::pic_core::sim::{PicConfig, Simulation};
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+
+    // ---------- linear regime ----------
+    let mut cfg = PicConfig::landau_table1(1_000_000);
+    cfg.grid_nx = 64;
+    cfg.grid_ny = 16;
+    cfg.dt = 0.05;
+    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    sim.run(400); // t = 20
+
+    if csv {
+        println!("case,t,ex_mode,field_energy");
+        for s in &sim.diagnostics().history {
+            println!("linear,{},{:.6e},{:.6e}", s.time, s.ex_mode, s.field);
+        }
+    }
+
+    let gamma = sim
+        .diagnostics()
+        .mode_envelope_rate(0.0, 12.0)
+        .expect("enough oscillation peaks");
+    eprintln!("linear Landau damping (alpha=0.01, k=0.5):");
+    eprintln!("  measured gamma = {gamma:.4}");
+    eprintln!("  analytic gamma = -0.1533");
+    eprintln!("  energy drift   = {:.2e}", sim.diagnostics().relative_energy_drift());
+    eprintln!(
+        "  oscillation peaks: {:?}",
+        sim.diagnostics()
+            .mode_peaks(0.0, 12.0)
+            .iter()
+            .map(|(t, a)| format!("t={t:.2} A={a:.2e}"))
+            .collect::<Vec<_>>()
+    );
+
+    // ---------- nonlinear regime ----------
+    let mut cfg = PicConfig::landau_nonlinear(1_000_000);
+    cfg.grid_nx = 64;
+    cfg.grid_ny = 16;
+    cfg.dt = 0.05;
+    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    sim.run(800); // t = 40
+
+    if csv {
+        for s in &sim.diagnostics().history {
+            println!("nonlinear,{},{:.6e},{:.6e}", s.time, s.ex_mode, s.field);
+        }
+    }
+
+    let early = sim.diagnostics().mode_envelope_rate(0.0, 10.0).unwrap();
+    let late = sim.diagnostics().mode_envelope_rate(15.0, 35.0).unwrap();
+    eprintln!("\nnonlinear Landau damping (alpha=0.5):");
+    eprintln!("  initial decay rate  = {early:.4}  (literature ~ -0.29)");
+    eprintln!("  later envelope rate = {late:.4}  (rebound: rate increases)");
+    assert!(late > early, "nonlinear case should rebound");
+}

@@ -1,0 +1,33 @@
+//! # pic2d — facade crate
+//!
+//! Re-exports the whole workspace behind one dependency, mirroring the system
+//! described in *Barsamian, Hirstoaga, Violard, “Efficient Data Structures for
+//! a Hybrid Parallel and Vectorized Particle-in-Cell Code”, IPDPSW 2017*.
+//!
+//! The sub-crates:
+//!
+//! * [`sfc`] — space-filling-curve cell layouts (row-major, L4D, Morton, Hilbert)
+//! * [`spectral`] — radix-2 FFT and the periodic spectral Poisson solver
+//! * [`cachesim`] — trace-driven set-associative cache-hierarchy simulator
+//! * [`minimpi`] — in-process message-passing substrate with a LogGP cost model
+//! * [`pic_core`] — the PIC library itself (particles, fields, kernels, sort, sim)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pic2d::pic_core::sim::{PicConfig, Simulation};
+//!
+//! let cfg = PicConfig::landau_table1(1_000); // tiny scale of the paper's Table I case
+//! let mut sim = Simulation::new(cfg).unwrap();
+//! sim.run(10);
+//! assert!(sim.diagnostics().relative_energy_drift() < 0.05);
+//! ```
+
+pub use cachesim;
+pub use minimpi;
+pub use pic_core;
+pub use sfc;
+pub use spectral;
+
+/// Crate version of the facade, for tooling.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,121 @@
+//! Integration of the cache simulator with the PIC kernels: the paper's
+//! Table II / Fig. 5-6 claims, checked as assertions at reduced scale.
+
+use pic2d::cachesim::{CacheConfig, Hierarchy, HierarchyConfig};
+use pic2d::pic_core::sim::{PicConfig, Simulation};
+use pic2d::pic_core::trace::{trace_accumulate, trace_update_velocities, MemoryMap};
+use pic2d::sfc::Ordering;
+
+/// The scaled geometry used by the Table II harness (see its header).
+fn scaled_hierarchy() -> Hierarchy {
+    Hierarchy::new(HierarchyConfig {
+        levels: vec![
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                prefetch: true,
+            },
+            CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                prefetch: true,
+            },
+            CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                prefetch: true,
+            },
+        ],
+    })
+}
+
+fn cfg(ordering: Ordering) -> PicConfig {
+    let mut cfg = PicConfig::landau_table1(60_000);
+    cfg.ordering = ordering;
+    cfg
+}
+
+/// Total (L1+L2) misses over `iters` iterations of the two traced loops.
+fn misses(ordering: Ordering, iters: usize) -> (u64, u64) {
+    let mut sim = Simulation::new(cfg(ordering)).unwrap();
+    let map = MemoryMap::contiguous(0, 60_000, 128 * 128 * 2);
+    let mut h = scaled_hierarchy();
+    for _ in 0..iters {
+        trace_update_velocities(sim.particles(), &map, &mut h);
+        sim.step();
+        trace_accumulate(sim.particles(), &map, &mut h);
+    }
+    (h.stats().level(0).misses(), h.stats().level(1).misses())
+}
+
+#[test]
+fn morton_beats_row_major_on_cache_misses() {
+    // The paper's central claim, at reduced scale: the Morton ordering
+    // produces fewer misses than row-major in the update-velocities +
+    // accumulate loops once particles have drifted.
+    let (l1_rm, l2_rm) = misses(Ordering::RowMajor, 30);
+    let (l1_mo, l2_mo) = misses(Ordering::Morton, 30);
+    assert!(
+        l1_mo + l2_mo < l1_rm + l2_rm,
+        "Morton (L1 {l1_mo}, L2 {l2_mo}) should beat row-major (L1 {l1_rm}, L2 {l2_rm})"
+    );
+}
+
+#[test]
+fn l4d_beats_row_major_on_cache_misses() {
+    let (l1_rm, l2_rm) = misses(Ordering::RowMajor, 30);
+    let (l1_l4, l2_l4) = misses(Ordering::L4D(8), 30);
+    assert!(
+        l1_l4 + l2_l4 < l1_rm + l2_rm,
+        "L4D (L1 {l1_l4}, L2 {l2_l4}) should beat row-major (L1 {l1_rm}, L2 {l2_rm})"
+    );
+}
+
+#[test]
+fn sorting_resets_the_miss_curve() {
+    // Fig. 5's sawtooth: misses right after a sort are well below misses
+    // right before it.
+    let mut sim = Simulation::new(cfg(Ordering::Morton)).unwrap(); // sorts every 20
+    let map = MemoryMap::contiguous(0, 60_000, 128 * 128 * 2);
+    let mut h = scaled_hierarchy();
+    let mut per_iter = Vec::new();
+    for _ in 0..41 {
+        let snap = h.stats().clone();
+        trace_update_velocities(sim.particles(), &map, &mut h);
+        sim.step();
+        trace_accumulate(sim.particles(), &map, &mut h);
+        let d = h.stats().delta(&snap);
+        per_iter.push(d.level(0).misses() + d.level(1).misses());
+    }
+    // Iteration 19 (just before the sort at step 20) vs 21 (just after).
+    assert!(
+        per_iter[21] < per_iter[19],
+        "post-sort misses {} should be below pre-sort {}",
+        per_iter[21],
+        per_iter[19]
+    );
+    // And the drift between sorts raises misses again.
+    assert!(
+        per_iter[39] > per_iter[21],
+        "drift should raise misses: {} vs {}",
+        per_iter[39],
+        per_iter[21]
+    );
+}
+
+#[test]
+fn trace_volume_matches_particle_count() {
+    // Each traced loop issues a fixed number of accesses per particle.
+    let sim = Simulation::new(cfg(Ordering::RowMajor)).unwrap();
+    let map = MemoryMap::contiguous(0, 60_000, 128 * 128 * 2);
+    let mut h = scaled_hierarchy();
+    trace_update_velocities(sim.particles(), &map, &mut h);
+    let accesses = h.stats().level(0).accesses();
+    // 8 accesses per particle (icell, dx, dy, e8, vx r/w, vy r/w); the e8
+    // read may straddle one extra line.
+    assert!(accesses >= 8 * 60_000);
+    assert!(accesses <= 9 * 60_000);
+}

@@ -1,0 +1,145 @@
+//! Property-based tests on the core data structures and kernel invariants,
+//! spanning the sfc, spectral and pic-core crates.
+
+use pic2d::pic_core::fields::cic_weights;
+use pic2d::pic_core::grid::{split_periodic, wrap_grid};
+use pic2d::pic_core::particles::ParticlesSoA;
+use pic2d::pic_core::sort::{is_sorted_by_cell, par_sort_out_of_place, sort_in_place, sort_out_of_place};
+use pic2d::sfc::{CellLayout, Hilbert, L4D, Morton, RowMajor};
+use pic2d::spectral::fft::{dft_naive, Direction, FftPlan};
+use pic2d::spectral::Complex64;
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- sfc ----------------
+
+    #[test]
+    fn morton_roundtrip(ix in 0usize..1024, iy in 0usize..1024) {
+        let l = Morton::new(1024, 1024).unwrap();
+        let c = l.encode(ix, iy);
+        prop_assert!(c < 1024 * 1024);
+        prop_assert_eq!(l.decode(c), (ix, iy));
+    }
+
+    #[test]
+    fn hilbert_roundtrip(ix in 0usize..256, iy in 0usize..256) {
+        let l = Hilbert::new(256, 256).unwrap();
+        prop_assert_eq!(l.decode(l.encode(ix, iy)), (ix, iy));
+    }
+
+    #[test]
+    fn l4d_roundtrip(ix in 0usize..128, iy in 0usize..128, size in 1usize..=128) {
+        let l = L4D::new(128, 128, size).unwrap();
+        prop_assert_eq!(l.decode(l.encode(ix, iy)), (ix, iy));
+    }
+
+    #[test]
+    fn hilbert_consecutive_adjacent(start in 0usize..(64 * 64 - 8)) {
+        // Any window of the Hilbert walk moves by exactly one 4-neighbour
+        // step per index.
+        let l = Hilbert::new(64, 64).unwrap();
+        for i in start..start + 7 {
+            let a = l.decode(i);
+            let b = l.decode(i + 1);
+            prop_assert_eq!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1), 1);
+        }
+    }
+
+    #[test]
+    fn layouts_agree_on_totals(side_pow in 3u32..=7) {
+        let side = 1usize << side_pow;
+        let layouts: Vec<Box<dyn CellLayout>> = vec![
+            Box::new(RowMajor::new(side, side).unwrap()),
+            Box::new(Morton::new(side, side).unwrap()),
+            Box::new(Hilbert::new(side, side).unwrap()),
+        ];
+        for l in &layouts {
+            let sum: usize = (0..side).flat_map(|x| (0..side).map(move |y| (x, y)))
+                .map(|(x, y)| l.encode(x, y)).sum();
+            // A bijection onto [0, n) always sums to n(n-1)/2.
+            let n = side * side;
+            prop_assert_eq!(sum, n * (n - 1) / 2);
+        }
+    }
+
+    // ---------------- grid arithmetic ----------------
+
+    #[test]
+    fn split_periodic_in_range(g in -1e5f64..1e5, pow in 1u32..=10) {
+        let n = 1usize << pow;
+        let (cell, off) = split_periodic(g, n);
+        prop_assert!(cell < n);
+        prop_assert!((0.0..1.0).contains(&off));
+        // Reconstruction is congruent mod n.
+        let rebuilt = wrap_grid(cell as f64 + off, n);
+        let reference = wrap_grid(g, n);
+        let d = (rebuilt - reference).abs();
+        prop_assert!(d < 1e-6 || (n as f64 - d) < 1e-6, "g={} d={}", g, d);
+    }
+
+    #[test]
+    fn cic_weights_are_a_partition_of_unity(dx in 0.0f64..1.0, dy in 0.0f64..1.0) {
+        let w = cic_weights(dx, dy);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    // ---------------- sorting ----------------
+
+    #[test]
+    fn sorts_agree_and_preserve_payload(cells in prop::collection::vec(0u32..256, 1..500)) {
+        let n = cells.len();
+        let mut p = ParticlesSoA::zeroed(n);
+        p.icell.copy_from_slice(&cells);
+        for i in 0..n {
+            p.vx[i] = i as f64; // unique payload
+        }
+        let mut a = p.clone();
+        let mut b = p.clone();
+        let mut c = p.clone();
+        let mut s1 = ParticlesSoA::zeroed(0);
+        let mut s2 = ParticlesSoA::zeroed(0);
+        sort_out_of_place(&mut a, &mut s1, 256);
+        sort_in_place(&mut b, 256);
+        par_sort_out_of_place(&mut c, &mut s2, 256, 4);
+        prop_assert!(is_sorted_by_cell(&a));
+        prop_assert!(is_sorted_by_cell(&b));
+        // Out-of-place sorts are stable and must agree exactly.
+        prop_assert_eq!(&a.icell, &c.icell);
+        prop_assert_eq!(&a.vx, &c.vx);
+        // In-place is unstable: compare multisets.
+        let multiset = |p: &ParticlesSoA| {
+            let mut v: Vec<(u32, u64)> =
+                (0..p.len()).map(|i| (p.icell[i], p.vx[i].to_bits())).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(multiset(&a), multiset(&b));
+    }
+
+    // ---------------- spectral ----------------
+
+    #[test]
+    fn fft_matches_dft(values in prop::collection::vec(-100.0f64..100.0, 16)) {
+        let sig: Vec<Complex64> = values.iter().map(|&v| Complex64::from_re(v)).collect();
+        let plan = FftPlan::new(16).unwrap();
+        let mut fast = sig.clone();
+        plan.forward(&mut fast);
+        let slow = dft_naive(&sig, Direction::Forward);
+        for k in 0..16 {
+            prop_assert!((fast[k] - slow[k]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_random(values in prop::collection::vec(-1e6f64..1e6, 64)) {
+        let sig: Vec<Complex64> = values.iter().map(|&v| Complex64::from_re(v)).collect();
+        let plan = FftPlan::new(64).unwrap();
+        let mut d = sig.clone();
+        plan.forward(&mut d);
+        plan.inverse(&mut d);
+        for k in 0..64 {
+            prop_assert!((d[k] - sig[k]).abs() < 1e-6 * (1.0 + sig[k].abs()));
+        }
+    }
+}
