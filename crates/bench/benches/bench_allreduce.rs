@@ -1,8 +1,8 @@
 //! Criterion benchmarks for the `minimpi` collectives: flat vs tree
 //! allreduce at the paper's ρ payload (128×128 doubles) across rank counts.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use minimpi::World;
+use pic_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_allreduce(c: &mut Criterion) {
     let payload = 128 * 128; // the paper's rho array

@@ -3,7 +3,7 @@
 //! simulator's speed bounds how large a Table II replay is practical).
 
 use cachesim::{AccessKind, Hierarchy, HierarchyConfig};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pic_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_probe(c: &mut Criterion) {
     let mut g = c.benchmark_group("cachesim_probe");

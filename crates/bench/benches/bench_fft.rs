@@ -1,7 +1,9 @@
 //! Criterion benchmarks for the spectral substrate: 1-D/2-D FFT and the
 //! full Poisson solve at the paper's grid sizes (128², 256²).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_bench::harness::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use spectral::fft::{Fft2Plan, FftPlan};
 use spectral::poisson::PoissonSolver2D;
 use spectral::Complex64;

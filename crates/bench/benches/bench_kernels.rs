@@ -2,7 +2,7 @@
 //! of Tables III/IV: each optimization variant of each loop, on a sorted
 //! particle population.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pic_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use pic_core::fields::{Field2D, RedundantE, RedundantRho};
 use pic_core::grid::Grid2D;
 use pic_core::kernels::{accumulate, position, velocity};
@@ -105,7 +105,15 @@ fn bench_update_positions(c: &mut Criterion) {
         let (vx, vy) = (base.vx.clone(), base.vy.clone());
         b.iter(|| {
             position::update_positions_naive_if(
-                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, SIDE, SIDE,
+                &mut p.icell,
+                &mut p.ix,
+                &mut p.iy,
+                &mut p.dx,
+                &mut p.dy,
+                &vx,
+                &vy,
+                SIDE,
+                SIDE,
                 1.0,
             );
             black_box(p.icell[0])
@@ -116,7 +124,15 @@ fn bench_update_positions(c: &mut Criterion) {
         let (vx, vy) = (base.vx.clone(), base.vy.clone());
         b.iter(|| {
             position::update_positions_modulo(
-                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, SIDE, SIDE,
+                &mut p.icell,
+                &mut p.ix,
+                &mut p.iy,
+                &mut p.dx,
+                &mut p.dy,
+                &vx,
+                &vy,
+                SIDE,
+                SIDE,
                 1.0,
             );
             black_box(p.icell[0])
@@ -127,7 +143,15 @@ fn bench_update_positions(c: &mut Criterion) {
         let (vx, vy) = (base.vx.clone(), base.vy.clone());
         b.iter(|| {
             position::update_positions_branchless(
-                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, SIDE, SIDE,
+                &mut p.icell,
+                &mut p.ix,
+                &mut p.iy,
+                &mut p.dx,
+                &mut p.dy,
+                &vx,
+                &vy,
+                SIDE,
+                SIDE,
                 1.0,
             );
             black_box(p.icell[0])
@@ -138,7 +162,15 @@ fn bench_update_positions(c: &mut Criterion) {
         let (vx, vy) = (base.vx.clone(), base.vy.clone());
         b.iter(|| {
             position::update_positions_branchless_layout(
-                &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, &mo, 1.0,
+                &mut p.icell,
+                &mut p.ix,
+                &mut p.iy,
+                &mut p.dx,
+                &mut p.dy,
+                &vx,
+                &vy,
+                &mo,
+                1.0,
             );
             black_box(p.icell[0])
         })

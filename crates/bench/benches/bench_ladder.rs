@@ -2,7 +2,9 @@
 //! each timing a full PIC step at a fixed (small) scale so regressions in
 //! any single rung show up in CI-style runs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_bench::harness::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use pic_bench::workloads::table4_ladder;
 use pic_core::sim::Simulation;
 

@@ -1,6 +1,8 @@
 //! Criterion wrapper around the STREAM kernels (Fig. 8's bandwidth ceiling).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_bench::harness::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use pic_bench::membench;
 
 fn bench_stream(c: &mut Criterion) {
@@ -8,15 +10,18 @@ fn bench_stream(c: &mut Criterion) {
     let mut g = c.benchmark_group("stream");
     g.sample_size(10);
     for threads in [1usize, 2, 4] {
-        let pool = membench::pool(threads);
         g.throughput(Throughput::Bytes((3 * 8 * n) as u64));
-        g.bench_with_input(BenchmarkId::new("triad", threads), &threads, |b, _| {
-            b.iter(|| black_box(membench::triad(n, 1, &pool).best_bytes_per_s))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("triad", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(membench::triad(n, 1, threads).best_bytes_per_s)),
+        );
         g.throughput(Throughput::Bytes((2 * 8 * n) as u64));
-        g.bench_with_input(BenchmarkId::new("copy", threads), &threads, |b, _| {
-            b.iter(|| black_box(membench::copy(n, 1, &pool).best_bytes_per_s))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("copy", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(membench::copy(n, 1, threads).best_bytes_per_s)),
+        );
     }
     g.finish();
 }

@@ -3,8 +3,10 @@
 //! update-positions loop, including the paper's arithmetic-vs-LUT Morton
 //! comparison (§IV-B: the LUT indirection blocks vectorization).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfc::{CellLayout, Hilbert, L4D, Morton, MortonLut, RowMajor};
+use pic_bench::harness::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
+use sfc::{CellLayout, Hilbert, Morton, MortonLut, RowMajor, L4D};
 
 fn coords(n: usize, side: usize) -> (Vec<usize>, Vec<usize>) {
     let xs = (0..n).map(|i| (i * 7919) % side).collect();

@@ -2,7 +2,9 @@
 //! in-place vs out-of-place comparison (out-of-place ≈ 2× faster) and the
 //! parallel cell-partitioned variant.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_bench::harness::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use pic_core::particles::ParticlesSoA;
 use pic_core::sort::{par_sort_out_of_place, sort_in_place, sort_out_of_place};
 

@@ -6,7 +6,7 @@
 
 use pic_bench::table::Table;
 use sfc::locality::{axis_move_stats, Axis};
-use sfc::{CellLayout, Hilbert, L4D, Morton, RowMajor};
+use sfc::{CellLayout, Hilbert, Morton, RowMajor, L4D};
 
 fn main() {
     println!("# Fig. 3 — Morton layout of an 8 x 8 matrix (iy →, ix ↓)");

@@ -22,6 +22,7 @@ use pic_bench::cli::Args;
 use pic_bench::workloads;
 use pic_core::sim::Simulation;
 use pic_core::trace::{trace_accumulate, trace_update_velocities, MemoryMap};
+use pic_core::PicError;
 use sfc::Ordering;
 
 fn hierarchy(haswell: bool) -> Hierarchy {
@@ -60,9 +61,9 @@ fn run_ordering(
     grid: usize,
     iters: usize,
     haswell: bool,
-) -> Vec<[u64; 3]> {
+) -> Result<Vec<[u64; 3]>, PicError> {
     let cfg = workloads::table1(particles, grid, ordering);
-    let mut sim = Simulation::new(cfg).expect("valid config");
+    let mut sim = Simulation::new(cfg)?;
     let ncells = grid * grid * 2; // covers L4D padding
     let map = MemoryMap::contiguous(0, particles, ncells);
     let mut h = hierarchy(haswell);
@@ -81,10 +82,14 @@ fn run_ordering(
             d.level(2).misses(),
         ]);
     }
-    out
+    Ok(out)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", 300_000usize);
     let grid = args.get("grid", 128usize);
@@ -109,7 +114,7 @@ fn main() {
             eprintln!("running {o} ...");
             run_ordering(o, particles, grid, iters, haswell)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     for (level, name) in [(1usize, "L2 (Fig. 5)"), (2usize, "L3 (Fig. 6)")] {
         println!("\n## {name} misses per iteration");
@@ -143,4 +148,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -22,13 +22,18 @@ use pic_bench::cli::Args;
 use pic_bench::table::Table;
 use pic_bench::workloads;
 use pic_core::sim::Simulation;
+use pic_core::PicError;
 use sfc::Ordering;
 use std::time::Instant;
 
 /// Ranks sharing one node's network interface on Curie (2 × 8 cores).
 const RANKS_PER_NODE: usize = 16;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let per_rank = args.get("particles-per-rank", 200_000usize);
     let grid = args.get("grid", 128usize);
@@ -49,19 +54,19 @@ fn main() {
     let mut ranks = 1usize;
     while ranks <= max_ranks {
         eprintln!("measuring {ranks} rank(s) ...");
-        let results = World::run(ranks, |comm| {
+        let results = World::run(ranks, |comm| -> Result<(f64, f64), PicError> {
             // One global particle population, sliced across ranks (§V-A).
             let mut cfg = workloads::table1(per_rank * comm.size(), grid, Ordering::Morton);
             let r = comm.rank();
             cfg.keep_range = Some((r * per_rank, (r + 1) * per_rank));
-            let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))
-                .expect("valid config");
+            let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))?;
             let wall = Instant::now();
             for _ in 0..iters {
                 sim.step_with_reduce(|rho| comm.allreduce_sum(rho));
             }
-            (wall.elapsed().as_secs_f64(), comm.comm_time())
+            Ok((wall.elapsed().as_secs_f64(), comm.comm_time()))
         });
+        let results: Vec<(f64, f64)> = results.into_iter().collect::<Result<_, _>>()?;
         let total = results.iter().map(|r| r.0).sum::<f64>() / ranks as f64;
         let comm = results.iter().map(|r| r.1).sum::<f64>() / ranks as f64;
         t.row(&[
@@ -95,7 +100,7 @@ fn main() {
     // Per-step compute time of one rank (measured at 1 rank).
     let compute = {
         let cfg = workloads::table1(per_rank, grid, Ordering::Morton);
-        let mut sim = Simulation::new(cfg).expect("valid config");
+        let mut sim = Simulation::new(cfg)?;
         let wall = Instant::now();
         sim.run(iters);
         wall.elapsed().as_secs_f64() / iters as f64
@@ -133,5 +138,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\n# Paper Fig. 7: hybrid comm reaches 28% at 8192 cores; pure MPI 56% already at 4096.");
+    println!(
+        "\n# Paper Fig. 7: hybrid comm reaches 28% at 8192 cores; pure MPI 56% already at 4096."
+    );
+    Ok(())
 }

@@ -19,9 +19,14 @@ use pic_bench::membench;
 use pic_bench::table::Table;
 use pic_bench::workloads::{self, run_fresh};
 use pic_core::trace::bytes_per_particle;
+use pic_core::PicError;
 use sfc::Ordering;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", workloads::DEFAULT_PARTICLES);
     let grid = args.get("grid", workloads::DEFAULT_GRID);
@@ -36,17 +41,22 @@ fn main() {
     let total_x = (bx * particles as u64 * iters as u64) as f64;
     let total_a = (ba * particles as u64 * iters as u64) as f64;
 
-    let mut t = Table::new(&["Threads", "Stream triad", "Update v", "Update x", "Accumulation"]);
+    let mut t = Table::new(&[
+        "Threads",
+        "Stream triad",
+        "Update v",
+        "Update x",
+        "Accumulation",
+    ]);
     let mut threads = 1usize;
     while threads <= max_threads {
         eprintln!("running {threads} thread(s) ...");
-        let pool = membench::pool(threads);
-        let stream = membench::triad(20_000_000, 5, &pool).gbs();
+        let stream = membench::triad(20_000_000, 5, threads).gbs();
 
         let mut cfg = workloads::table1(particles, grid, Ordering::Morton);
         cfg.threads = threads;
         cfg.sort_period = 50;
-        let sim = run_fresh(cfg, iters);
+        let sim = run_fresh(cfg, iters)?;
         let ph = sim.timers();
         let gb = |bytes: f64, s: f64| bytes / s / 1e9;
         let row = [
@@ -68,4 +78,5 @@ fn main() {
     println!("\n# Paper Fig. 8 (Sandy Bridge socket, peak 51.2 GB/s): update-x tracks the");
     println!("# STREAM triad and saturates at 8 threads; update-v and accumulate stay far");
     println!("# below peak (cache misses on E/rho) and scale further.");
+    Ok(())
 }

@@ -18,10 +18,15 @@ use pic_bench::cli::Args;
 use pic_bench::table::Table;
 use pic_bench::workloads;
 use pic_core::sim::Simulation;
+use pic_core::PicError;
 use sfc::Ordering;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let total_particles = args.get("particles", 2_000_000usize);
     let grid = args.get("grid", 256usize);
@@ -42,19 +47,19 @@ fn main() {
     while ranks <= max_ranks {
         eprintln!("measuring {ranks} rank(s) ...");
         let per_rank = (total_particles / ranks).max(1);
-        let results = World::run(ranks, |comm| {
+        let results = World::run(ranks, |comm| -> Result<(f64, f64), PicError> {
             // The fixed global population, sliced across ranks (§V-A).
             let mut cfg = workloads::table1(per_rank * comm.size(), grid, Ordering::Morton);
             let r = comm.rank();
             cfg.keep_range = Some((r * per_rank, (r + 1) * per_rank));
-            let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))
-                .expect("valid config");
+            let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))?;
             let wall = Instant::now();
             for _ in 0..iters {
                 sim.step_with_reduce(|rho| comm.allreduce_sum(rho));
             }
-            (wall.elapsed().as_secs_f64(), comm.comm_time())
+            Ok((wall.elapsed().as_secs_f64(), comm.comm_time()))
         });
+        let results: Vec<(f64, f64)> = results.into_iter().collect::<Result<_, _>>()?;
         let time = results.iter().map(|r| r.0).sum::<f64>() / ranks as f64;
         let comm = results.iter().map(|r| r.1).sum::<f64>() / ranks as f64;
         let base = *base_time.get_or_insert(time);
@@ -78,13 +83,17 @@ fn main() {
         "\n## Extrapolation to 64 nodes / 1024 cores (alpha={:.2e}s beta={:.2e}s/B, {})",
         model.alpha,
         model.beta,
-        if fitted.is_some() { "fitted" } else { "Curie-like constants" }
+        if fitted.is_some() {
+            "fitted"
+        } else {
+            "Curie-like constants"
+        }
     );
     // Per-step compute of the whole problem on one reference rank.
     let compute_total = {
         let n = (total_particles / max_ranks.max(1)).max(1);
         let cfg = workloads::table1(n, grid, Ordering::Morton);
-        let mut sim = Simulation::new(cfg).expect("valid config");
+        let mut sim = Simulation::new(cfg)?;
         let wall = Instant::now();
         sim.run(iters);
         wall.elapsed().as_secs_f64() / iters as f64 * (total_particles as f64 / n as f64)
@@ -93,7 +102,14 @@ fn main() {
     let node_counts: Vec<usize> = (0..7).map(|i| 1usize << i).collect(); // 1..64
     let rank_counts: Vec<usize> = node_counts.iter().map(|n| n * 2).collect();
     let pts = strong_scaling(&model, compute_total / 8.0, grid_bytes, &rank_counts);
-    let mut t = Table::new(&["Nodes", "Cores", "Time/step (s)", "Speedup", "Ideal", "Comm %"]);
+    let mut t = Table::new(&[
+        "Nodes",
+        "Cores",
+        "Time/step (s)",
+        "Speedup",
+        "Ideal",
+        "Comm %",
+    ]);
     let base = pts[0].total();
     for (nodes, p) in node_counts.iter().zip(&pts) {
         t.row(&[
@@ -107,4 +123,5 @@ fn main() {
     }
     t.print();
     println!("\n# Paper Fig. 9: speedup 64 nodes / 1024 cores well below ideal; comm = 32% of total there.");
+    Ok(())
 }

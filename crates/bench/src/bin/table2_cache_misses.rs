@@ -14,6 +14,7 @@ use pic_bench::table::Table;
 use pic_bench::workloads;
 use pic_core::sim::Simulation;
 use pic_core::trace::{trace_accumulate, trace_update_velocities, MemoryMap};
+use pic_core::PicError;
 use sfc::Ordering;
 
 fn hierarchy(haswell: bool) -> Hierarchy {
@@ -45,7 +46,11 @@ fn hierarchy(haswell: bool) -> Hierarchy {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", 300_000usize);
     let grid = args.get("grid", 128usize);
@@ -53,13 +58,15 @@ fn main() {
     let haswell = args.has("haswell");
 
     println!("# Table II — average cache misses per iteration (millions)");
-    println!("# update-velocities + accumulate loops; particles={particles} grid={grid} iters={iters}");
+    println!(
+        "# update-velocities + accumulate loops; particles={particles} grid={grid} iters={iters}"
+    );
 
     let mut rows: Vec<(Ordering, [f64; 3])> = Vec::new();
     for &ordering in &Ordering::paper_set() {
         eprintln!("running {ordering} ...");
         let cfg = workloads::table1(particles, grid, ordering);
-        let mut sim = Simulation::new(cfg).expect("valid config");
+        let mut sim = Simulation::new(cfg)?;
         let ncells = grid * grid * 2;
         let map = MemoryMap::contiguous(0, particles, ncells);
         let mut h = hierarchy(haswell);
@@ -108,4 +115,5 @@ fn main() {
         ]);
     }
     p.print();
+    Ok(())
 }

@@ -14,11 +14,17 @@ use pic_bench::cli::Args;
 use pic_bench::table::{secs, Table};
 use pic_bench::workloads::{self, run_fresh};
 use pic_core::sim::{FieldLayout, PhaseTimes};
+use pic_core::PicError;
 use sfc::Ordering;
 
-fn run(label: &str, cfg: pic_core::sim::PicConfig, iters: usize, t: &mut Table) -> PhaseTimes {
+fn run_case(
+    label: &str,
+    cfg: pic_core::sim::PicConfig,
+    iters: usize,
+    t: &mut Table,
+) -> Result<PhaseTimes, PicError> {
     eprintln!("running {label} ...");
-    let sim = run_fresh(cfg, iters);
+    let sim = run_fresh(cfg, iters)?;
     let ph = sim.timers();
     t.row(&[
         label.to_string(),
@@ -27,10 +33,14 @@ fn run(label: &str, cfg: pic_core::sim::PicConfig, iters: usize, t: &mut Table) 
         secs(ph.accumulate),
         secs(ph.total()),
     ]);
-    ph
+    Ok(ph)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", workloads::DEFAULT_PARTICLES);
     let grid = args.get("grid", workloads::DEFAULT_GRID);
@@ -45,12 +55,12 @@ fn main() {
     let mut cfg = workloads::table1(particles, grid, Ordering::RowMajor);
     cfg.field_layout = FieldLayout::Standard;
     cfg.hoisted = false; // standard layout has no pre-scaled redundant copy
-    run("2d standard", cfg, iters, &mut t);
+    run_case("2d standard", cfg, iters, &mut t)?;
 
     // Redundant layout under each ordering.
     for ordering in Ordering::paper_set() {
         let cfg = workloads::table1(particles, grid, ordering);
-        run(&ordering.to_string(), cfg, iters, &mut t);
+        run_case(&ordering.to_string(), cfg, iters, &mut t)?;
     }
     t.print();
 
@@ -59,8 +69,9 @@ fn main() {
         let mut t = Table::new(&["SIZE", "Update v", "Update x", "Accumulate", "Total"]);
         for size in [4usize, 8, 16, 32] {
             let cfg = workloads::table1(particles, grid, Ordering::L4D(size));
-            run(&format!("L4D SIZE={size}"), cfg, iters, &mut t);
+            run_case(&format!("L4D SIZE={size}"), cfg, iters, &mut t)?;
         }
         t.print();
     }
+    Ok(())
 }

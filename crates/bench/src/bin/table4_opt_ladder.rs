@@ -10,8 +10,13 @@
 use pic_bench::cli::Args;
 use pic_bench::table::{secs, Table};
 use pic_bench::workloads::{self, run_fresh};
+use pic_core::PicError;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", workloads::DEFAULT_PARTICLES);
     let grid = args.get("grid", workloads::DEFAULT_GRID);
@@ -26,7 +31,7 @@ fn main() {
     let mut prev = None;
     for (label, cfg) in ladder {
         eprintln!("running {label} ...");
-        let sim = run_fresh(cfg, iters);
+        let sim = run_fresh(cfg, iters)?;
         // Wall time of the particle phases + sort (the paper's "total"
         // excludes nothing, but the Poisson solve is identical across rungs;
         // include everything for the same reason).
@@ -45,6 +50,8 @@ fn main() {
     t.print();
 
     println!("\n# Paper (50 M particles, Haswell, icc): 120.4 s -> 68.8 s, 42.8% accumulated gain");
-    let mp = pic_bench::mp_per_s(particles, iters, prev.unwrap());
+    // The ladder always has seven rungs, so `prev` was set on every path.
+    let mp = pic_bench::mp_per_s(particles, iters, prev.expect("ladder is non-empty"));
     println!("# Final rung throughput: {mp:.1} M particles/s (paper: 65 M/s on Haswell)");
+    Ok(())
 }

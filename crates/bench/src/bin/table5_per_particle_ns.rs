@@ -10,12 +10,17 @@
 
 use pic_bench::cli::Args;
 use pic_bench::literature::{BARSAMIAN_HASWELL, BARSAMIAN_SANDY_BRIDGE, DECYK_SINGH_NEHALEM};
+use pic_bench::ns_per_particle;
 use pic_bench::table::Table;
 use pic_bench::workloads::{self, run_fresh};
-use pic_bench::ns_per_particle;
+use pic_core::PicError;
 use sfc::Ordering;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", workloads::DEFAULT_PARTICLES);
     let grid = args.get("grid", workloads::DEFAULT_GRID);
@@ -26,11 +31,17 @@ fn main() {
 
     let cfg = workloads::table1(particles, grid, Ordering::Morton);
     eprintln!("running optimized configuration ...");
-    let sim = run_fresh(cfg, iters);
+    let sim = run_fresh(cfg, iters)?;
     let ph = sim.timers();
     let ns = |s: f64| ns_per_particle(s, particles, iters);
 
-    let mut t = Table::new(&["Step", "Decyk&Singh (Nehalem)", "Paper (SandyBridge)", "Paper (Haswell)", "This repo (host)"]);
+    let mut t = Table::new(&[
+        "Step",
+        "Decyk&Singh (Nehalem)",
+        "Paper (SandyBridge)",
+        "Paper (Haswell)",
+        "This repo (host)",
+    ]);
     t.row(&[
         "Push".into(),
         format!("{:.1}", DECYK_SINGH_NEHALEM.push_ns),
@@ -74,7 +85,7 @@ fn main() {
         for period in [5usize, 10, 20, 50, 100, 0] {
             let mut cfg = workloads::table1(particles, grid, Ordering::Morton);
             cfg.sort_period = period;
-            let sim = run_fresh(cfg, iters);
+            let sim = run_fresh(cfg, iters)?;
             let total = sim.timers().total();
             let label = if period == 0 {
                 "never".to_string()
@@ -89,4 +100,5 @@ fn main() {
         }
         t.print();
     }
+    Ok(())
 }

@@ -1,5 +1,5 @@
 //! Table VI — strong scaling over threads on one socket (pure OpenMP in the
-//! paper, pure rayon here): million particles advanced per second at
+//! paper, pure threads here): million particles advanced per second at
 //! 1/2/4/8 threads, against the ideal linear scaling.
 //!
 //! Usage: table6_strong_scaling_threads [--particles N] [--grid G] [--iters I]
@@ -12,10 +12,15 @@ use pic_bench::cli::Args;
 use pic_bench::mp_per_s;
 use pic_bench::table::Table;
 use pic_bench::workloads::{self, run_fresh};
+use pic_core::PicError;
 use sfc::Ordering;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", workloads::DEFAULT_PARTICLES);
     let grid = args.get("grid", workloads::DEFAULT_GRID);
@@ -34,7 +39,7 @@ fn main() {
         cfg.threads = threads;
         cfg.sort_period = 50;
         let wall = Instant::now();
-        let _sim = run_fresh(cfg, iters);
+        let _sim = run_fresh(cfg, iters)?;
         let elapsed = wall.elapsed().as_secs_f64();
         let mps = mp_per_s(particles, iters, elapsed);
         let b = *base.get_or_insert(mps);
@@ -50,4 +55,5 @@ fn main() {
     t.print();
     println!("\n# Paper (Sandy Bridge socket): 45.8 / 89.9 / 170 / 266 Mp/s at 1/2/4/8 cores");
     println!("# (ideal 45.8 / 91.6 / 183 / 366 — bounded by 4 memory channels)");
+    Ok(())
 }

@@ -10,10 +10,15 @@
 use pic_bench::cli::Args;
 use pic_bench::table::{secs, Table};
 use pic_bench::workloads::{self, run_fresh, table7_variants};
+use pic_core::PicError;
 use sfc::Ordering;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
     let args = Args::from_env();
     let particles = args.get("particles", workloads::DEFAULT_PARTICLES);
     let grid = args.get("grid", workloads::DEFAULT_GRID);
@@ -32,9 +37,10 @@ fn main() {
         cfg.threads = threads;
         cfg.sort_period = 50;
         let wall = Instant::now();
-        let _sim = run_fresh(cfg, iters);
+        let _sim = run_fresh(cfg, iters)?;
         t.row(&[label.to_string(), secs(wall.elapsed().as_secs_f64())]);
     }
     t.print();
     println!("\n# Paper (8 threads, Sandy Bridge): AoS/1: 30.9  AoS/3: 22.7  SoA/1: 23.1  SoA/3: 18.3 (s)");
+    Ok(())
 }

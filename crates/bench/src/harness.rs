@@ -1,0 +1,380 @@
+//! A minimal, dependency-free benchmark harness with a Criterion-shaped API.
+//!
+//! The benches under `benches/` were written against the Criterion API
+//! surface (groups, `bench_function`, `iter`/`iter_with_setup`,
+//! throughput annotations). Criterion itself is an external dependency this
+//! environment cannot fetch, so this module reimplements the small slice of
+//! that API the benches use, on plain `std::time`:
+//!
+//! * warm-up phase to estimate the cost of one iteration;
+//! * a fixed number of samples, each a timed batch of iterations sized so
+//!   the whole measurement fits the configured measurement time;
+//! * median / min / max report per benchmark, plus derived throughput when
+//!   a [`Throughput`] annotation is set.
+//!
+//! It is intentionally simpler than Criterion — no outlier rejection, no
+//! regression against saved baselines — but the numbers answer the same
+//! question the paper's tables do: how many nanoseconds per element.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting benchmark
+/// bodies. Thin wrapper over [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group: derived rates are printed
+/// next to the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes moved per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for groups whose name already says it all).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (each sample is a timed batch of iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent estimating the per-iteration cost before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = Some(n.max(2));
+    }
+
+    fn run(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let cfg = BenchConfig {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+        };
+        let samples = collect_samples(cfg, f);
+        report(&self.name, id, &samples, self.throughput);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.id.clone(), |b| f(b, input));
+    }
+
+    /// Close the group (separator line in the output).
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher<'a> {
+    cfg: BenchConfig,
+    /// Seconds per iteration, one entry per sample; empty until `iter*`.
+    samples: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Benchmark `routine`, timing batches of calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-12)) as u64).max(1);
+
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Benchmark `routine` on a fresh value from `setup` each call; only the
+    /// routine is timed.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        // Warm-up on a single timed call.
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let per_iter = t.elapsed().as_secs_f64();
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1000);
+
+        for _ in 0..self.cfg.sample_size {
+            let mut elapsed = 0.0;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                elapsed += t.elapsed().as_secs_f64();
+            }
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+}
+
+fn collect_samples(cfg: BenchConfig, mut f: impl FnMut(&mut Bencher)) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(cfg.sample_size);
+    let mut b = Bencher {
+        cfg,
+        samples: &mut samples,
+    };
+    f(&mut b);
+    samples
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn fmt_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3} G{unit}/s", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3} M{unit}/s", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3} K{unit}/s", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} {unit}/s")
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id:<32} no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let name = format!("{group}/{id}");
+    let mut line = format!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line += &format!("  thrpt: {}", fmt_rate(n as f64 / median, "elem"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line += &format!("  thrpt: {}", fmt_rate(n as f64 / median, "B"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declare a benchmark group function, Criterion-style. Both the
+/// `name/config/targets` form and the positional form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::harness::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, Criterion-style. Ignores CLI
+/// arguments (cargo passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let cfg = BenchConfig {
+            sample_size: 4,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(4),
+        };
+        let samples = collect_samples(cfg, |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup_cost() {
+        let cfg = BenchConfig {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(3),
+        };
+        // Setup sleeps; routine is ~free. Samples must reflect the routine.
+        let samples = collect_samples(cfg, |b| {
+            b.iter_with_setup(
+                || std::thread::sleep(Duration::from_millis(2)),
+                |()| black_box(0),
+            )
+        });
+        assert_eq!(samples.len(), 3);
+        assert!(
+            samples.iter().all(|&s| s < 1e-3),
+            "setup leaked into timing: {samples:?}"
+        );
+    }
+
+    #[test]
+    fn group_api_end_to_end() {
+        let mut c = fast();
+        let mut g = c.benchmark_group("harness_selftest");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &k| {
+            b.iter(|| (0..k).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -4,6 +4,8 @@
 //! (see DESIGN.md §4 for the index); this library holds what they share:
 //!
 //! * [`cli`] — a tiny `--flag value` parser (no external dependency);
+//! * [`harness`] — a minimal Criterion-compatible benchmark harness (the
+//!   `benches/` targets run on it, no external dependency);
 //! * [`table`] — fixed-width table printing;
 //! * [`workloads`] — the standard experiment configurations, scaled-down
 //!   versions of the paper's Table I test case;
@@ -16,10 +18,27 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod harness;
 pub mod literature;
 pub mod membench;
 pub mod table;
 pub mod workloads;
+
+/// Shared `main` shim for the figure/table binaries: run `body` and turn a
+/// [`pic_core::PicError`] (e.g. a non-power-of-two `--grid`) into a
+/// one-line diagnostic plus a failing exit code instead of a panic
+/// backtrace.
+pub fn exit_on_error(
+    body: impl FnOnce() -> Result<(), pic_core::PicError>,
+) -> std::process::ExitCode {
+    match body() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
 
 /// Seconds → nanoseconds-per-particle-per-iteration (the unit of Table V).
 pub fn ns_per_particle(seconds: f64, particles: usize, iterations: usize) -> f64 {

@@ -73,6 +73,9 @@ pub struct TableIIRow {
 }
 
 /// All four rows of the paper's Table II.
+// The L4D row's L3 miss count happens to be 3.14 million — measured data
+// from the paper, not an approximation of π.
+#[allow(clippy::approx_constant)]
 pub const TABLE_II_PAPER: [TableIIRow; 4] = [
     TableIIRow {
         ordering: "Row-major",

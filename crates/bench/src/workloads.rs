@@ -9,6 +9,7 @@
 use pic_core::sim::{
     FieldLayout, LoopStructure, ParticleLayout, PicConfig, PositionUpdate, Simulation,
 };
+use pic_core::PicError;
 use sfc::Ordering;
 
 /// Default particle count for harness runs.
@@ -41,43 +42,61 @@ pub fn table4_ladder(particles: usize, grid: usize) -> Vec<(&'static str, PicCon
     };
     vec![
         ("Baseline", base(&|_| {})),
-        ("+ Loop Hoisting", base(&|c| {
-            // Pre-scale the stored field by qΔt²/(mΔx) and the velocities
-            // by Δt/Δx so the fused loop carries no per-particle constant
-            // multiplies (§IV-D, paper gain: 5.8%).
-            c.hoisted = true;
-            c.loop_structure = LoopStructure::Fused;
-        })),
-        ("+ Loop Splitting", base(&|c| {
-            c.hoisted = true;
-            c.loop_structure = LoopStructure::Split;
-        })),
-        ("+ Redundant arrays (E and rho)", base(&|c| {
-            c.loop_structure = LoopStructure::Split;
-            c.field_layout = FieldLayout::Redundant;
-            c.hoisted = true;
-        })),
-        ("+ Structure of Arrays (particles)", base(&|c| {
-            c.loop_structure = LoopStructure::Split;
-            c.field_layout = FieldLayout::Redundant;
-            c.hoisted = true;
-            c.particle_layout = ParticleLayout::Soa;
-        })),
-        ("+ Space-filling curves (E and rho)", base(&|c| {
-            c.loop_structure = LoopStructure::Split;
-            c.field_layout = FieldLayout::Redundant;
-            c.hoisted = true;
-            c.particle_layout = ParticleLayout::Soa;
-            c.ordering = Ordering::Morton;
-        })),
-        ("+ Optimized update-positions loop", base(&|c| {
-            c.loop_structure = LoopStructure::Split;
-            c.field_layout = FieldLayout::Redundant;
-            c.hoisted = true;
-            c.particle_layout = ParticleLayout::Soa;
-            c.ordering = Ordering::Morton;
-            c.position_update = PositionUpdate::Branchless;
-        })),
+        (
+            "+ Loop Hoisting",
+            base(&|c| {
+                // Pre-scale the stored field by qΔt²/(mΔx) and the velocities
+                // by Δt/Δx so the fused loop carries no per-particle constant
+                // multiplies (§IV-D, paper gain: 5.8%).
+                c.hoisted = true;
+                c.loop_structure = LoopStructure::Fused;
+            }),
+        ),
+        (
+            "+ Loop Splitting",
+            base(&|c| {
+                c.hoisted = true;
+                c.loop_structure = LoopStructure::Split;
+            }),
+        ),
+        (
+            "+ Redundant arrays (E and rho)",
+            base(&|c| {
+                c.loop_structure = LoopStructure::Split;
+                c.field_layout = FieldLayout::Redundant;
+                c.hoisted = true;
+            }),
+        ),
+        (
+            "+ Structure of Arrays (particles)",
+            base(&|c| {
+                c.loop_structure = LoopStructure::Split;
+                c.field_layout = FieldLayout::Redundant;
+                c.hoisted = true;
+                c.particle_layout = ParticleLayout::Soa;
+            }),
+        ),
+        (
+            "+ Space-filling curves (E and rho)",
+            base(&|c| {
+                c.loop_structure = LoopStructure::Split;
+                c.field_layout = FieldLayout::Redundant;
+                c.hoisted = true;
+                c.particle_layout = ParticleLayout::Soa;
+                c.ordering = Ordering::Morton;
+            }),
+        ),
+        (
+            "+ Optimized update-positions loop",
+            base(&|c| {
+                c.loop_structure = LoopStructure::Split;
+                c.field_layout = FieldLayout::Redundant;
+                c.hoisted = true;
+                c.particle_layout = ParticleLayout::Soa;
+                c.ordering = Ordering::Morton;
+                c.position_update = PositionUpdate::Branchless;
+            }),
+        ),
     ]
 }
 
@@ -92,11 +111,13 @@ pub fn table7_variants() -> [(&'static str, ParticleLayout, LoopStructure); 4] {
 }
 
 /// Run a fresh simulation for `iters` steps and return it (timers warm).
-pub fn run_fresh(cfg: PicConfig, iters: usize) -> Simulation {
-    let mut sim = Simulation::new(cfg).expect("config must be valid");
+/// Configuration errors (e.g. a non-power-of-two `--grid`) propagate so the
+/// binaries can exit with a diagnostic instead of a backtrace.
+pub fn run_fresh(cfg: PicConfig, iters: usize) -> Result<Simulation, PicError> {
+    let mut sim = Simulation::new(cfg)?;
     sim.reset_timers();
     sim.run(iters);
-    sim
+    Ok(sim)
 }
 
 #[cfg(test)]
@@ -125,7 +146,7 @@ mod tests {
         let ladder = table4_ladder(800, 32);
         let mut reference: Option<Vec<f64>> = None;
         for (label, cfg) in ladder {
-            let sim = run_fresh(cfg, 3);
+            let sim = run_fresh(cfg, 3).unwrap();
             let rho = sim.rho().to_vec();
             match &reference {
                 None => reference = Some(rho),

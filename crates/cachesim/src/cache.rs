@@ -28,12 +28,15 @@ impl CacheConfig {
     /// Validate the geometry.
     pub fn validate(&self) -> Result<(), String> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(format!("line_bytes must be a power of two, got {}", self.line_bytes));
+            return Err(format!(
+                "line_bytes must be a power of two, got {}",
+                self.line_bytes
+            ));
         }
         if self.ways == 0 {
             return Err("ways must be nonzero".into());
         }
-        if self.size_bytes == 0 || self.size_bytes % (self.ways * self.line_bytes) != 0 {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.ways * self.line_bytes) {
             return Err(format!(
                 "size {} not divisible by ways*line ({}*{})",
                 self.size_bytes, self.ways, self.line_bytes
@@ -255,7 +258,10 @@ mod tests {
     #[test]
     fn cold_miss_then_hit() {
         let mut c = tiny();
-        assert!(matches!(c.probe_line(5, AccessKind::Read), Probe::Miss { .. }));
+        assert!(matches!(
+            c.probe_line(5, AccessKind::Read),
+            Probe::Miss { .. }
+        ));
         assert_eq!(c.probe_line(5, AccessKind::Read), Probe::Hit);
         assert!(c.contains_line(5));
         assert!(!c.contains_line(6));
@@ -289,7 +295,7 @@ mod tests {
         let mut c = tiny();
         c.probe_line(0, AccessKind::Write); // dirty
         c.probe_line(4, AccessKind::Read); // clean
-        // Evict line 0 (LRU, dirty) → writeback of line 0.
+                                           // Evict line 0 (LRU, dirty) → writeback of line 0.
         match c.probe_line(8, AccessKind::Read) {
             Probe::Miss { writeback: Some(a) } => assert_eq!(a, 0),
             other => panic!("expected dirty writeback, got {other:?}"),
@@ -323,8 +329,14 @@ mod tests {
             prefetch: false,
         });
         for _ in 0..10 {
-            assert!(matches!(c.probe_line(0, AccessKind::Read), Probe::Miss { .. }));
-            assert!(matches!(c.probe_line(4, AccessKind::Read), Probe::Miss { .. }));
+            assert!(matches!(
+                c.probe_line(0, AccessKind::Read),
+                Probe::Miss { .. }
+            ));
+            assert!(matches!(
+                c.probe_line(4, AccessKind::Read),
+                Probe::Miss { .. }
+            ));
         }
     }
 
@@ -351,7 +363,10 @@ mod tests {
         assert!(c.contains_line(3));
         c.flush();
         assert!(!c.contains_line(3));
-        assert!(matches!(c.probe_line(3, AccessKind::Read), Probe::Miss { .. }));
+        assert!(matches!(
+            c.probe_line(3, AccessKind::Read),
+            Probe::Miss { .. }
+        ));
     }
 
     #[test]
@@ -406,12 +421,18 @@ mod prefetch_tests {
             if matches!(with.probe_line(line, AccessKind::Read), Probe::Miss { .. }) {
                 m_with += 1;
             }
-            if matches!(without.probe_line(line, AccessKind::Read), Probe::Miss { .. }) {
+            if matches!(
+                without.probe_line(line, AccessKind::Read),
+                Probe::Miss { .. }
+            ) {
                 m_without += 1;
             }
         }
         assert_eq!(m_without, 1000);
-        assert!(m_with <= 2, "tagged prefetch should hide the stream, got {m_with}");
+        assert!(
+            m_with <= 2,
+            "tagged prefetch should hide the stream, got {m_with}"
+        );
     }
 
     #[test]
@@ -428,9 +449,14 @@ mod prefetch_tests {
             s ^= s >> 7;
             s ^= s << 17;
             let line = (s % 100_000) * 3 + 1; // never adjacent
-            seq_with.push(matches!(with.probe_line(line, AccessKind::Read), Probe::Miss { .. }));
-            seq_without
-                .push(matches!(without.probe_line(line, AccessKind::Read), Probe::Miss { .. }));
+            seq_with.push(matches!(
+                with.probe_line(line, AccessKind::Read),
+                Probe::Miss { .. }
+            ));
+            seq_without.push(matches!(
+                without.probe_line(line, AccessKind::Read),
+                Probe::Miss { .. }
+            ));
         }
         // Prefetched garbage can evict useful lines, so allow a small delta.
         let m_with = seq_with.iter().filter(|&&m| m).count();

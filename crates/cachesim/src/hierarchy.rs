@@ -270,7 +270,7 @@ mod tests {
     fn working_set_fits_l2_not_l1() {
         let mut h = Hierarchy::new(HierarchyConfig::tiny()); // L1 = 1 KiB = 16 lines
         let lines = 32u64; // 2 KiB: fits L2 (4 KiB), not L1
-        // Two passes: the second pass hits L2 but misses L1.
+                           // Two passes: the second pass hits L2 but misses L1.
         for pass in 0..2 {
             for l in 0..lines {
                 h.read(l * 64, 8);

@@ -12,6 +12,7 @@
 //! on the *live* simulation state and returns the cheapest.
 
 use crate::sim::Simulation;
+use crate::PicError;
 use std::time::Instant;
 
 /// Result of one tuning trial.
@@ -38,17 +39,27 @@ pub struct TuneReport {
 /// simulation's configured sort period is NOT changed; the caller applies
 /// `report.best_period` via its config for subsequent runs.
 ///
-/// `candidates` must be non-empty; `window` should be at least as large as
-/// the largest candidate so each trial pays its sort exactly once.
+/// `candidates` must be non-empty and positive (violations are user
+/// configuration, reported as [`PicError::Config`]); `window` should be at
+/// least as large as the largest candidate so each trial pays its sort
+/// exactly once.
 pub fn autotune_sort_period(
     sim: &mut Simulation,
     candidates: &[usize],
     window: usize,
-) -> TuneReport {
-    assert!(!candidates.is_empty(), "need at least one candidate period");
+) -> Result<TuneReport, PicError> {
+    if candidates.is_empty() {
+        return Err(PicError::Config(
+            "autotune needs at least one candidate period".into(),
+        ));
+    }
     let mut trials = Vec::with_capacity(candidates.len());
     for &period in candidates {
-        assert!(period > 0, "periods must be positive");
+        if period == 0 {
+            return Err(PicError::Config(
+                "autotune candidate periods must be positive".into(),
+            ));
+        }
         let w = window.max(period);
         let t = Instant::now();
         let mut left = w;
@@ -71,13 +82,16 @@ pub fn autotune_sort_period(
     }
     let best_period = trials
         .iter()
-        .min_by(|a, b| a.secs_per_step.partial_cmp(&b.secs_per_step).unwrap())
-        .unwrap()
+        // Wall-clock measurements are always finite, so total_cmp gives the
+        // same order partial_cmp would; trials is non-empty because
+        // candidates is.
+        .min_by(|a, b| a.secs_per_step.total_cmp(&b.secs_per_step))
+        .expect("candidates verified non-empty")
         .period;
-    TuneReport {
+    Ok(TuneReport {
         trials,
         best_period,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -96,7 +110,7 @@ mod tests {
     #[test]
     fn returns_a_candidate() {
         let mut s = sim(5_000);
-        let report = autotune_sort_period(&mut s, &[5, 10, 20], 20);
+        let report = autotune_sort_period(&mut s, &[5, 10, 20], 20).unwrap();
         assert_eq!(report.trials.len(), 3);
         assert!([5, 10, 20].contains(&report.best_period));
         for t in &report.trials {
@@ -108,7 +122,7 @@ mod tests {
     fn simulation_keeps_advancing() {
         let mut s = sim(2_000);
         let before = s.steps();
-        autotune_sort_period(&mut s, &[4, 8], 8);
+        autotune_sort_period(&mut s, &[4, 8], 8).unwrap();
         assert!(s.steps() >= before + 16);
     }
 
@@ -118,7 +132,7 @@ mod tests {
         // with the same ρ.
         let mut a = sim(2_000);
         let mut b = sim(2_000);
-        autotune_sort_period(&mut a, &[3], 6);
+        autotune_sort_period(&mut a, &[3], 6).unwrap();
         b.run(6);
         let (ra, rb) = (a.rho(), b.rho());
         for i in 0..ra.len() {
@@ -127,9 +141,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "need at least one candidate")]
-    fn empty_candidates_panic() {
+    fn empty_candidates_report_config_error() {
         let mut s = sim(1_000);
-        autotune_sort_period(&mut s, &[], 10);
+        let err = autotune_sort_period(&mut s, &[], 10).unwrap_err();
+        assert!(matches!(err, crate::PicError::Config(_)), "{err}");
+        let err = autotune_sort_period(&mut s, &[0], 10).unwrap_err();
+        assert!(matches!(err, crate::PicError::Config(_)), "{err}");
     }
 }

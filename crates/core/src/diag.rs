@@ -4,6 +4,7 @@
 //! damped Langmuir modes, thermalization).
 
 use crate::particles::ParticlesSoA;
+use crate::PicError;
 use spectral::fft::Fft2Plan;
 use spectral::Complex64;
 
@@ -62,8 +63,8 @@ impl PhaseSpaceHistogram {
     pub fn v_marginal(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.nv];
         for bx in 0..self.nx {
-            for bv in 0..self.nv {
-                out[bv] += self.density[bx * self.nv + bv];
+            for (bv, o) in out.iter_mut().enumerate() {
+                *o += self.density[bx * self.nv + bv];
             }
         }
         out
@@ -72,8 +73,8 @@ impl PhaseSpaceHistogram {
     /// Marginal distribution over x.
     pub fn x_marginal(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.nx];
-        for bx in 0..self.nx {
-            out[bx] = self.density[bx * self.nv..(bx + 1) * self.nv].iter().sum();
+        for (bx, o) in out.iter_mut().enumerate() {
+            *o = self.density[bx * self.nv..(bx + 1) * self.nv].iter().sum();
         }
         out
     }
@@ -118,13 +119,21 @@ pub fn velocity_moments(p: &ParticlesSoA, v_scale: f64) -> VelocityMoments {
 /// Power spectrum `|q̂(kx, ky)|²` of a grid quantity (row-major input),
 /// normalized by `(ncx·ncy)²` so a unit-amplitude cosine mode reports ¼ in
 /// each of its two conjugate bins.
-pub fn mode_spectrum(q: &[f64], ncx: usize, ncy: usize) -> Vec<f64> {
-    assert_eq!(q.len(), ncx * ncy);
-    let plan = Fft2Plan::new(ncx, ncy).expect("power-of-two grid");
+///
+/// Errors if `q.len() != ncx·ncy` or the dimensions are not powers of two
+/// (the FFT's requirement).
+pub fn mode_spectrum(q: &[f64], ncx: usize, ncy: usize) -> Result<Vec<f64>, PicError> {
+    if q.len() != ncx * ncy {
+        return Err(PicError::Config(format!(
+            "mode_spectrum: grid quantity has {} values, expected {ncx}×{ncy}",
+            q.len()
+        )));
+    }
+    let plan = Fft2Plan::new(ncx, ncy)?;
     let mut hat: Vec<Complex64> = q.iter().map(|&v| Complex64::from_re(v)).collect();
     plan.forward(&mut hat);
     let norm = 1.0 / ((ncx * ncy) as f64 * (ncx * ncy) as f64);
-    hat.iter().map(|z| z.norm_sqr() * norm).collect()
+    Ok(hat.iter().map(|z| z.norm_sqr() * norm).collect())
 }
 
 #[cfg(test)]
@@ -195,7 +204,7 @@ mod tests {
                 (2.0 * std::f64::consts::PI * 3.0 * ix as f64 / ncx as f64).cos()
             })
             .collect();
-        let s = mode_spectrum(&q, ncx, ncy);
+        let s = mode_spectrum(&q, ncx, ncy).unwrap();
         // Peak at (kx=3, ky=0) and its conjugate (ncx−3, 0), each ¼.
         assert!((s[3 * ncy] - 0.25).abs() < 1e-12);
         assert!((s[(ncx - 3) * ncy] - 0.25).abs() < 1e-12);

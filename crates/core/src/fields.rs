@@ -260,8 +260,8 @@ mod tests {
         let mut acc = RedundantRho::new(&layout);
         let w = cic_weights(0.25, 0.75);
         let c = layout.encode(2, 3);
-        for corner in 0..4 {
-            acc.rho4[c][corner] += w[corner];
+        for (corner, &wc) in w.iter().enumerate() {
+            acc.rho4[c][corner] += wc;
         }
         let mut rho = vec![0.0; 64];
         acc.reduce_to_grid(&layout, &mut rho);
@@ -281,8 +281,8 @@ mod tests {
         let mut rho = vec![0.0; 64];
         acc.reduce_to_grid(&layout, &mut rho);
         assert_eq!(rho[7 * 8 + 7], 1.0);
-        assert_eq!(rho[7 * 8 + 0], 2.0); // iy wraps
-        assert_eq!(rho[0 * 8 + 7], 4.0); // ix wraps
+        assert_eq!(rho[7 * 8], 2.0); // iy wraps to column 0
+        assert_eq!(rho[7], 4.0); // ix wraps to row 0
         assert_eq!(rho[0], 8.0); // both wrap
     }
 

@@ -29,7 +29,7 @@ impl Grid2D {
                 "grid dims must be nonzero powers of two, got {ncx} x {ncy}"
             )));
         }
-        if !(lx > 0.0) || !(ly > 0.0) {
+        if lx.is_nan() || lx <= 0.0 || ly.is_nan() || ly <= 0.0 {
             return Err(PicError::Config(format!(
                 "domain lengths must be positive, got {lx} x {ly}"
             )));
@@ -146,8 +146,8 @@ mod tests {
     fn split_periodic_matches_reference_semantics() {
         for n in [8usize, 128] {
             for &g in &[
-                0.0, 0.5, 1.0, 6.9999, 7.0, 7.5, 8.0, 9.25, 127.9, -0.5, -1.0, -7.75, -8.0,
-                -16.5, 300.25,
+                0.0, 0.5, 1.0, 6.9999, 7.0, 7.5, 8.0, 9.25, 127.9, -0.5, -1.0, -7.75, -8.0, -16.5,
+                300.25,
             ] {
                 let (cell, off) = split_periodic(g, n);
                 assert!(cell < n, "g={g} n={n} cell={cell}");

@@ -1,9 +1,13 @@
 //! The charge-accumulation (deposition) loop: standard scattered form vs
-//! the paper's redundant vectorizable form (Fig. 2), plus the rayon
+//! the paper's redundant vectorizable form (Fig. 2), plus the thread
 //! equivalent of the OpenMP 4.5 array-section reduction (§V-B2).
 
+// SoA kernels take one slice per particle field by design; bundling them
+// into a struct would obscure the loop shapes the paper compares.
+#![allow(clippy::too_many_arguments)]
+
 use crate::fields::{RedundantRho, CX, CY, SX, SY};
-use rayon::prelude::*;
+use crate::par;
 use sfc::CellLayout;
 
 /// Standard deposition: four scattered adds onto grid points, periodic wrap
@@ -50,9 +54,9 @@ pub fn accumulate_redundant(icell: &[u32], dx: &[f64], dy: &[f64], rho4: &mut [[
     }
 }
 
-/// Parallel redundant deposition: each rayon task accumulates into its own
-/// private copy of ρ₄, and the copies are summed pairwise — exactly the
-/// hand-coded OpenMP 4.5 `reduction(+: rho[0:ncells][0:4])` of §V-B2.
+/// Parallel redundant deposition: each task accumulates into its own
+/// private copy of ρ₄, and the copies are summed — exactly the hand-coded
+/// OpenMP 4.5 `reduction(+: rho[0:ncells][0:4])` of §V-B2.
 pub fn par_accumulate_redundant(
     icell: &[u32],
     dx: &[f64],
@@ -66,36 +70,23 @@ pub fn par_accumulate_redundant(
     let chunk = n.div_ceil(nchunks).max(1);
     let ncells = rho4.rho4.len();
 
-    let total = (0..n)
-        .step_by(chunk)
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|start| {
-            let end = (start + chunk).min(n);
-            let mut local = vec![[0.0f64; 4]; ncells];
-            accumulate_redundant(
-                &icell[start..end],
-                &dx[start..end],
-                &dy[start..end],
-                &mut local,
-                w,
-            );
-            local
-        })
-        .reduce(
-            || vec![[0.0f64; 4]; ncells],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    for k in 0..4 {
-                        x[k] += y[k];
-                    }
-                }
-                a
-            },
+    let locals = par::map_collect((0..n).step_by(chunk).collect(), |start| {
+        let end = (start + chunk).min(n);
+        let mut local = vec![[0.0f64; 4]; ncells];
+        accumulate_redundant(
+            &icell[start..end],
+            &dx[start..end],
+            &dy[start..end],
+            &mut local,
+            w,
         );
-    for (dst, src) in rho4.rho4.iter_mut().zip(&total) {
-        for k in 0..4 {
-            dst[k] += src[k];
+        local
+    });
+    for local in locals {
+        for (dst, src) in rho4.rho4.iter_mut().zip(&local) {
+            for k in 0..4 {
+                dst[k] += src[k];
+            }
         }
     }
 }
@@ -120,7 +111,12 @@ mod tests {
     use super::*;
     use sfc::{Morton, RowMajor};
 
-    fn mk(n: usize, ncx: usize, ncy: usize, layout: &dyn CellLayout) -> crate::particles::ParticlesSoA {
+    fn mk(
+        n: usize,
+        ncx: usize,
+        ncy: usize,
+        layout: &dyn CellLayout,
+    ) -> crate::particles::ParticlesSoA {
         let mut p = crate::particles::ParticlesSoA::zeroed(n);
         for i in 0..n {
             let cx = (i * 5 + 1) % ncx;

@@ -91,10 +91,14 @@ pub fn update_velocities_standard_aos(
         let g10 = cxp * ncy + cy;
         let g11 = cxp * ncy + cyp;
         p.vx += coeff_x
-            * (w00 * field.ex[g00] + w01 * field.ex[g01] + w10 * field.ex[g10]
+            * (w00 * field.ex[g00]
+                + w01 * field.ex[g01]
+                + w10 * field.ex[g10]
                 + w11 * field.ex[g11]);
         p.vy += coeff_y
-            * (w00 * field.ey[g00] + w01 * field.ey[g01] + w10 * field.ey[g10]
+            * (w00 * field.ey[g00]
+                + w01 * field.ey[g01]
+                + w10 * field.ey[g10]
                 + w11 * field.ey[g11]);
     }
 }
@@ -163,17 +167,16 @@ pub fn update_positions_branchless_layout_aos<L: sfc::CellLayout>(
     }
 }
 
-/// Rayon-parallel variant of [`update_positions_branchless_layout_aos`].
+/// Thread-parallel variant of [`update_positions_branchless_layout_aos`].
 pub fn par_update_positions_branchless_layout_aos<L: sfc::CellLayout>(
     particles: &mut [Particle],
     layout: &L,
     scale: f64,
     chunk: usize,
 ) {
-    use rayon::prelude::*;
-    particles
-        .par_chunks_mut(chunk.max(1))
-        .for_each(|c| update_positions_branchless_layout_aos(c, layout, scale));
+    crate::par::for_each(particles.chunks_mut(chunk.max(1)).collect(), |c| {
+        update_positions_branchless_layout_aos(c, layout, scale)
+    });
 }
 
 /// AoS split loop 2/3: naive-if position push (baseline shape).
@@ -280,19 +283,18 @@ pub fn fused_redundant_aos(
     }
 }
 
-/// Rayon-parallel AoS redundant kick.
+/// Thread-parallel AoS redundant kick.
 pub fn par_update_velocities_redundant_aos(
     particles: &mut [Particle],
     e8: &[[f64; 8]],
     chunk: usize,
 ) {
-    use rayon::prelude::*;
-    particles
-        .par_chunks_mut(chunk.max(1))
-        .for_each(|c| update_velocities_redundant_aos(c, e8));
+    crate::par::for_each(particles.chunks_mut(chunk.max(1)).collect(), |c| {
+        update_velocities_redundant_aos(c, e8)
+    });
 }
 
-/// Rayon-parallel AoS branchless push.
+/// Thread-parallel AoS branchless push.
 pub fn par_update_positions_branchless_aos(
     particles: &mut [Particle],
     ncx: usize,
@@ -300,47 +302,34 @@ pub fn par_update_positions_branchless_aos(
     scale: f64,
     chunk: usize,
 ) {
-    use rayon::prelude::*;
-    particles
-        .par_chunks_mut(chunk.max(1))
-        .for_each(|c| update_positions_branchless_aos(c, ncx, ncy, scale));
+    crate::par::for_each(particles.chunks_mut(chunk.max(1)).collect(), |c| {
+        update_positions_branchless_aos(c, ncx, ncy, scale)
+    });
 }
 
-/// Rayon-parallel AoS redundant deposition with per-task ρ₄ copies.
+/// Thread-parallel AoS redundant deposition with per-task ρ₄ copies.
 pub fn par_accumulate_redundant_aos(
     particles: &[Particle],
     rho4: &mut RedundantRho,
     w: f64,
     chunk: usize,
 ) {
-    use rayon::prelude::*;
     let ncells = rho4.rho4.len();
-    let total = particles
-        .par_chunks(chunk.max(1))
-        .map(|c| {
-            let mut local = vec![[0.0f64; 4]; ncells];
-            accumulate_redundant_aos_slice(c, &mut local, w);
-            local
-        })
-        .reduce(
-            || vec![[0.0f64; 4]; ncells],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    for k in 0..4 {
-                        x[k] += y[k];
-                    }
-                }
-                a
-            },
-        );
-    for (dst, src) in rho4.rho4.iter_mut().zip(&total) {
-        for k in 0..4 {
-            dst[k] += src[k];
+    let locals = crate::par::map_collect(particles.chunks(chunk.max(1)).collect(), |c| {
+        let mut local = vec![[0.0f64; 4]; ncells];
+        accumulate_redundant_aos_slice(c, &mut local, w);
+        local
+    });
+    for local in locals {
+        for (dst, src) in rho4.rho4.iter_mut().zip(&local) {
+            for k in 0..4 {
+                dst[k] += src[k];
+            }
         }
     }
 }
 
-/// Rayon-parallel AoS fused redundant loop.
+/// Thread-parallel AoS fused redundant loop.
 pub fn par_fused_redundant_aos(
     particles: &mut [Particle],
     e8: &[[f64; 8]],
@@ -350,29 +339,17 @@ pub fn par_fused_redundant_aos(
     w: f64,
     chunk: usize,
 ) {
-    use rayon::prelude::*;
     let ncells = rho4.rho4.len();
-    let total = particles
-        .par_chunks_mut(chunk.max(1))
-        .map(|c| {
-            let mut local = vec![[0.0f64; 4]; ncells];
-            fused_redundant_aos(c, e8, &mut local, ncx, ncy, w);
-            local
-        })
-        .reduce(
-            || vec![[0.0f64; 4]; ncells],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    for k in 0..4 {
-                        x[k] += y[k];
-                    }
-                }
-                a
-            },
-        );
-    for (dst, src) in rho4.rho4.iter_mut().zip(&total) {
-        for k in 0..4 {
-            dst[k] += src[k];
+    let locals = crate::par::map_collect(particles.chunks_mut(chunk.max(1)).collect(), |c| {
+        let mut local = vec![[0.0f64; 4]; ncells];
+        fused_redundant_aos(c, e8, &mut local, ncx, ncy, w);
+        local
+    });
+    for local in locals {
+        for (dst, src) in rho4.rho4.iter_mut().zip(&local) {
+            for k in 0..4 {
+                dst[k] += src[k];
+            }
         }
     }
 }
@@ -435,7 +412,16 @@ mod tests {
         );
         let (vx, vy) = (s.vx.clone(), s.vy.clone());
         position::update_positions_branchless(
-            &mut s.icell, &mut s.ix, &mut s.iy, &mut s.dx, &mut s.dy, &vx, &vy, ncx, ncy, 1.0,
+            &mut s.icell,
+            &mut s.ix,
+            &mut s.iy,
+            &mut s.dx,
+            &mut s.dy,
+            &vx,
+            &vy,
+            ncx,
+            ncy,
+            1.0,
         );
         let mut rho4_s = RedundantRho::new(&layout);
         accumulate::accumulate_redundant(&s.icell, &s.dx, &s.dy, &mut rho4_s.rho4, 1.0);

@@ -168,7 +168,16 @@ mod tests {
         let mut vx = vx;
         let mut vy = vy;
         update_positions_reflecting(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &mut vx,
+            &mut vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(p.ix[0], 4);
         assert!((p.dx[0] - 0.75).abs() < 1e-12);
@@ -182,7 +191,16 @@ mod tests {
         let mut vx = p.vx.clone();
         let mut vy = p.vy.clone();
         update_positions_reflecting(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &mut vx,
+            &mut vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(p.ix[0], 7);
         assert!((p.dx[0] - 0.5).abs() < 1e-12);
@@ -196,7 +214,16 @@ mod tests {
         let mut vx = p.vx.clone();
         let mut vy = p.vy.clone();
         update_positions_reflecting(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &mut vx,
+            &mut vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(p.ix[0], 0);
         assert!((p.dx[0] - 0.75).abs() < 1e-12);
@@ -214,7 +241,16 @@ mod tests {
         let mut vx = p.vx.clone();
         let mut vy = p.vy.clone();
         update_positions_reflecting(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &mut vx,
+            &mut vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(p.ix[0], 1);
         assert!((p.dx[0] - 0.5).abs() < 1e-12);
@@ -237,7 +273,16 @@ mod tests {
         let mut vy = p.vy.clone();
         let speed_before: Vec<f64> = vx.iter().zip(&vy).map(|(a, b)| a.abs() + b.abs()).collect();
         update_positions_reflecting(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut vx, &mut vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &mut vx,
+            &mut vy,
+            8,
+            8,
+            1.0,
         );
         for i in 0..n {
             assert!((p.ix[i] as usize) < 8);
@@ -257,7 +302,16 @@ mod tests {
         p.vx.copy_from_slice(&[0.2, 1.0, -1.0]);
         let (vx, vy) = (p.vx.clone(), p.vy.clone());
         let absorbed = update_positions_absorbing(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &vx,
+            &vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(absorbed, 2);
         assert_ne!(p.icell[0], DEAD);
@@ -265,7 +319,16 @@ mod tests {
         assert_eq!(p.icell[2], DEAD);
         // Dead particles are skipped on the next call.
         let again = update_positions_absorbing(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &vx,
+            &vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(again, 0);
     }

@@ -92,8 +92,18 @@ pub fn fused_redundant_soa(
     w: f64,
 ) {
     fused_redundant_slices(
-        &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &mut p.vx, &mut p.vy, e8,
-        &mut rho4.rho4, ncx, ncy, w,
+        &mut p.icell,
+        &mut p.ix,
+        &mut p.iy,
+        &mut p.dx,
+        &mut p.dy,
+        &mut p.vx,
+        &mut p.vy,
+        e8,
+        &mut rho4.rho4,
+        ncx,
+        ncy,
+        w,
     );
 }
 
@@ -152,8 +162,9 @@ pub fn fused_redundant_slices(
     }
 }
 
-/// Rayon-parallel fused redundant loop: per-task private ρ₄ copies, reduced
-/// pairwise (the array-section reduction applied to the fused shape).
+/// Thread-parallel fused redundant loop: per-task private ρ₄ copies,
+/// summed at the end (the array-section reduction applied to the fused
+/// shape).
 pub fn par_fused_redundant_soa(
     p: &mut ParticlesSoA,
     e8: &[[f64; 8]],
@@ -163,32 +174,20 @@ pub fn par_fused_redundant_soa(
     w: f64,
     nchunks: usize,
 ) {
-    use rayon::prelude::*;
     let ncells = rho4.rho4.len();
     let views = super::split_soa_mut(p, nchunks);
-    let total = views
-        .into_par_iter()
-        .map(|v| {
-            let mut local = vec![[0.0f64; 4]; ncells];
-            fused_redundant_slices(
-                v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, e8, &mut local, ncx, ncy, w,
-            );
-            local
-        })
-        .reduce(
-            || vec![[0.0f64; 4]; ncells],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    for k in 0..4 {
-                        x[k] += y[k];
-                    }
-                }
-                a
-            },
+    let locals = crate::par::map_collect(views, |v| {
+        let mut local = vec![[0.0f64; 4]; ncells];
+        fused_redundant_slices(
+            v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, e8, &mut local, ncx, ncy, w,
         );
-    for (dst, src) in rho4.rho4.iter_mut().zip(&total) {
-        for k in 0..4 {
-            dst[k] += src[k];
+        local
+    });
+    for local in locals {
+        for (dst, src) in rho4.rho4.iter_mut().zip(&local) {
+            for k in 0..4 {
+                dst[k] += src[k];
+            }
         }
     }
 }
@@ -256,7 +255,16 @@ mod tests {
         );
         let (vx, vy) = (b.vx.clone(), b.vy.clone());
         position::update_positions_naive_if(
-            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, ncx, ncy, scale,
+            &mut b.icell,
+            &mut b.ix,
+            &mut b.iy,
+            &mut b.dx,
+            &mut b.dy,
+            &vx,
+            &vy,
+            ncx,
+            ncy,
+            scale,
         );
         let mut rho_b = vec![0.0; ncx * ncy];
         accumulate::accumulate_standard(&b.ix, &b.iy, &b.dx, &b.dy, &mut rho_b, ncx, ncy, w);
@@ -296,7 +304,16 @@ mod tests {
         );
         let (vx, vy) = (b.vx.clone(), b.vy.clone());
         position::update_positions_branchless(
-            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, ncx, ncy, 1.0,
+            &mut b.icell,
+            &mut b.ix,
+            &mut b.iy,
+            &mut b.dx,
+            &mut b.dy,
+            &vx,
+            &vy,
+            ncx,
+            ncy,
+            1.0,
         );
         let mut rho4_b = RedundantRho::new(&layout);
         accumulate::accumulate_redundant(&b.icell, &b.dx, &b.dy, &mut rho4_b.rho4, w);

@@ -14,7 +14,7 @@
 //! * [`aos`] — AoS mirrors of the split kernels for the Table IV / VII
 //!   comparisons.
 //!
-//! All SoA kernels take plain slices so that the rayon wrappers can hand
+//! All SoA kernels take plain slices so that the parallel wrappers can hand
 //! them disjoint chunks; [`SoaChunksMut`] produces those chunks safely.
 //!
 //! ### Hoisting convention
@@ -65,7 +65,7 @@ impl<'a> SoaViewMut<'a> {
 }
 
 /// Split a particle store into `nchunks` disjoint mutable views of
-/// near-equal size (for rayon fan-out). Returns fewer chunks when there are
+/// near-equal size (for thread fan-out). Returns fewer chunks when there are
 /// fewer particles than chunks.
 pub fn split_soa_mut(p: &mut ParticlesSoA, nchunks: usize) -> Vec<SoaViewMut<'_>> {
     let n = p.len();

@@ -19,9 +19,12 @@
 //! variant (updates the stored `(ix, iy)` and calls `layout.encode`,
 //! monomorphized — the “3 extra seconds” of Table III).
 
-use sfc::CellLayout;
+// SoA kernels take one slice per particle field by design; bundling them
+// into a struct would obscure the loop shapes the paper compares.
+#![allow(clippy::too_many_arguments)]
 
-use rayon::prelude::*;
+use crate::par;
+use sfc::CellLayout;
 
 /// Reference modulo over the reals (paper §IV-C2 footnote):
 /// the unique value in `[0, b)` congruent to `a`.
@@ -199,7 +202,7 @@ pub fn update_positions_naive_if_layout<L: CellLayout>(
     }
 }
 
-/// Rayon-parallel branchless row-major push.
+/// Thread-parallel branchless row-major push.
 pub fn par_update_positions_branchless(
     p: &mut crate::particles::ParticlesSoA,
     ncx: usize,
@@ -208,12 +211,12 @@ pub fn par_update_positions_branchless(
     nchunks: usize,
 ) {
     let views = super::split_soa_mut(p, nchunks);
-    views.into_par_iter().for_each(|v| {
+    par::for_each(views, |v| {
         update_positions_branchless(v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, ncx, ncy, scale);
     });
 }
 
-/// Rayon-parallel branchless layout-generic push.
+/// Thread-parallel branchless layout-generic push.
 pub fn par_update_positions_branchless_layout<L: CellLayout>(
     p: &mut crate::particles::ParticlesSoA,
     layout: &L,
@@ -221,7 +224,7 @@ pub fn par_update_positions_branchless_layout<L: CellLayout>(
     nchunks: usize,
 ) {
     let views = super::split_soa_mut(p, nchunks);
-    views.into_par_iter().for_each(|v| {
+    par::for_each(views, |v| {
         update_positions_branchless_layout(
             v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, layout, scale,
         );
@@ -269,16 +272,40 @@ mod tests {
         let mut b = base.clone();
         let mut c = base.clone();
         update_positions_naive_if(
-            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &a.vx.clone(),
-            &a.vy.clone(), ncx, ncy, 1.0,
+            &mut a.icell,
+            &mut a.ix,
+            &mut a.iy,
+            &mut a.dx,
+            &mut a.dy,
+            &a.vx.clone(),
+            &a.vy.clone(),
+            ncx,
+            ncy,
+            1.0,
         );
         update_positions_modulo(
-            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &b.vx.clone(),
-            &b.vy.clone(), ncx, ncy, 1.0,
+            &mut b.icell,
+            &mut b.ix,
+            &mut b.iy,
+            &mut b.dx,
+            &mut b.dy,
+            &b.vx.clone(),
+            &b.vy.clone(),
+            ncx,
+            ncy,
+            1.0,
         );
         update_positions_branchless(
-            &mut c.icell, &mut c.ix, &mut c.iy, &mut c.dx, &mut c.dy, &c.vx.clone(),
-            &c.vy.clone(), ncx, ncy, 1.0,
+            &mut c.icell,
+            &mut c.ix,
+            &mut c.iy,
+            &mut c.dx,
+            &mut c.dy,
+            &c.vx.clone(),
+            &c.vy.clone(),
+            ncx,
+            ncy,
+            1.0,
         );
         assert_same(&a, &b);
         assert_same(&a, &c);
@@ -290,14 +317,26 @@ mod tests {
         let mut p = mk(300, ncx, ncy);
         let (vx, vy) = (p.vx.clone(), p.vy.clone());
         update_positions_branchless(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, ncx, ncy, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &vx,
+            &vy,
+            ncx,
+            ncy,
+            1.0,
         );
         for i in 0..p.len() {
             assert!((p.ix[i] as usize) < ncx);
             assert!((p.iy[i] as usize) < ncy);
             assert!((0.0..1.0).contains(&p.dx[i]), "dx {}", p.dx[i]);
             assert!((0.0..1.0).contains(&p.dy[i]), "dy {}", p.dy[i]);
-            assert_eq!(p.icell[i] as usize, p.ix[i] as usize * ncy + p.iy[i] as usize);
+            assert_eq!(
+                p.icell[i] as usize,
+                p.ix[i] as usize * ncy + p.iy[i] as usize
+            );
         }
     }
 
@@ -314,7 +353,16 @@ mod tests {
         p.vx[1] = -1.0;
         let (vx, vy) = (p.vx.clone(), p.vy.clone());
         update_positions_branchless(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &vx,
+            &vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(p.ix[0], 0);
         assert!((p.dx[0] - 0.5).abs() < 1e-14);
@@ -331,7 +379,16 @@ mod tests {
         p.vx[0] = 3.75; // x: 6.5 → 10.25 → cell 2, offset 0.25 (mod 8)
         let (vx, vy) = (p.vx.clone(), p.vy.clone());
         update_positions_branchless(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 1.0,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &vx,
+            &vy,
+            8,
+            8,
+            1.0,
         );
         assert_eq!(p.ix[0], 2);
         assert!((p.dx[0] - 0.25).abs() < 1e-12);
@@ -344,7 +401,16 @@ mod tests {
         p.vx[0] = 4.0;
         let (vx, vy) = (p.vx.clone(), p.vy.clone());
         update_positions_branchless(
-            &mut p.icell, &mut p.ix, &mut p.iy, &mut p.dx, &mut p.dy, &vx, &vy, 8, 8, 0.25,
+            &mut p.icell,
+            &mut p.ix,
+            &mut p.iy,
+            &mut p.dx,
+            &mut p.dy,
+            &vx,
+            &vy,
+            8,
+            8,
+            0.25,
         );
         assert_eq!(p.ix[0], 1);
         assert_eq!(p.dx[0], 0.0);
@@ -360,18 +426,41 @@ mod tests {
         let mut a = base.clone();
         let (vx, vy) = (a.vx.clone(), a.vy.clone());
         update_positions_branchless_layout(
-            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &vx, &vy, &mo, 1.0,
+            &mut a.icell,
+            &mut a.ix,
+            &mut a.iy,
+            &mut a.dx,
+            &mut a.dy,
+            &vx,
+            &vy,
+            &mo,
+            1.0,
         );
         let mut b = base.clone();
         update_positions_branchless(
-            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, ncx, ncy, 1.0,
+            &mut b.icell,
+            &mut b.ix,
+            &mut b.iy,
+            &mut b.dx,
+            &mut b.dy,
+            &vx,
+            &vy,
+            ncx,
+            ncy,
+            1.0,
         );
         // Same geometry; icell differs by the layout bijection only.
         assert_eq!(a.ix, b.ix);
         assert_eq!(a.iy, b.iy);
         for i in 0..a.len() {
-            assert_eq!(a.icell[i] as usize, mo.encode(a.ix[i] as usize, a.iy[i] as usize));
-            assert_eq!(b.icell[i] as usize, rm.encode(b.ix[i] as usize, b.iy[i] as usize));
+            assert_eq!(
+                a.icell[i] as usize,
+                mo.encode(a.ix[i] as usize, a.iy[i] as usize)
+            );
+            assert_eq!(
+                b.icell[i] as usize,
+                rm.encode(b.ix[i] as usize, b.iy[i] as usize)
+            );
         }
     }
 
@@ -383,11 +472,27 @@ mod tests {
         let (vx, vy) = (base.vx.clone(), base.vy.clone());
         let mut a = base.clone();
         update_positions_naive_if_layout(
-            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &vx, &vy, &mo, 1.0,
+            &mut a.icell,
+            &mut a.ix,
+            &mut a.iy,
+            &mut a.dx,
+            &mut a.dy,
+            &vx,
+            &vy,
+            &mo,
+            1.0,
         );
         let mut b = base.clone();
         update_positions_branchless_layout(
-            &mut b.icell, &mut b.ix, &mut b.iy, &mut b.dx, &mut b.dy, &vx, &vy, &mo, 1.0,
+            &mut b.icell,
+            &mut b.ix,
+            &mut b.iy,
+            &mut b.dx,
+            &mut b.dy,
+            &vx,
+            &vy,
+            &mo,
+            1.0,
         );
         assert_eq!(a.icell, b.icell);
         for i in 0..a.len() {
@@ -403,7 +508,16 @@ mod tests {
         let mut b = base.clone();
         let (vx, vy) = (base.vx.clone(), base.vy.clone());
         update_positions_branchless(
-            &mut a.icell, &mut a.ix, &mut a.iy, &mut a.dx, &mut a.dy, &vx, &vy, ncx, ncy, 1.0,
+            &mut a.icell,
+            &mut a.ix,
+            &mut a.iy,
+            &mut a.dx,
+            &mut a.dy,
+            &vx,
+            &vy,
+            ncx,
+            ncy,
+            1.0,
         );
         par_update_positions_branchless(&mut b, ncx, ncy, 1.0, 8);
         assert_same(&a, &b);

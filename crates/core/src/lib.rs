@@ -50,12 +50,15 @@ pub mod diag;
 pub mod fields;
 pub mod grid;
 pub mod kernels;
+pub mod par;
 pub mod particles;
+pub mod resilience;
+pub mod rng;
 pub mod sim;
 pub mod sort;
 pub mod trace;
 
-/// Errors produced when configuring or constructing a simulation.
+/// Errors produced when configuring, constructing, or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PicError {
     /// The grid layout could not be built.
@@ -64,6 +67,13 @@ pub enum PicError {
     Spectral(spectral::SpectralError),
     /// A configuration value was invalid.
     Config(String),
+    /// A checkpoint snapshot could not be encoded, decoded, or applied.
+    Checkpoint(String),
+    /// A runtime invariant failed (NaN/Inf field values, out-of-range cell
+    /// indices, charge loss, or energy drift beyond the watchdog threshold).
+    Diverged(String),
+    /// An I/O operation on a checkpoint file failed.
+    Io(String),
 }
 
 impl std::fmt::Display for PicError {
@@ -72,6 +82,9 @@ impl std::fmt::Display for PicError {
             PicError::Layout(e) => write!(f, "layout error: {e}"),
             PicError::Spectral(e) => write!(f, "spectral error: {e}"),
             PicError::Config(msg) => write!(f, "config error: {msg}"),
+            PicError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            PicError::Diverged(msg) => write!(f, "invariant violation: {msg}"),
+            PicError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

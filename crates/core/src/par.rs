@@ -1,0 +1,112 @@
+//! Minimal fork-join parallelism on `std::thread::scope`.
+//!
+//! The paper's thread level is OpenMP `parallel for` over particle chunks;
+//! earlier revisions used rayon for the same shape. Rayon is unavailable in
+//! the offline build environment, so this module provides the two patterns
+//! the kernels actually need — parallel `for_each` over owned work items
+//! and parallel map with an ordered fold — on scoped OS threads. Chunk
+//! counts are small (a few × thread count) and chunk bodies are large
+//! (10⁴–10⁶ particles), so per-call thread spawning is well amortized.
+
+/// Run `f` over every item concurrently, one scoped thread per item beyond
+/// the first (the first runs on the caller's thread). With zero or one item
+/// this degenerates to a plain loop with no thread traffic.
+pub fn for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if items.len() <= 1 {
+        for it in items {
+            f(it);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut iter = items.into_iter();
+        let first = iter.next();
+        for it in iter {
+            let f = &f;
+            s.spawn(move || f(it));
+        }
+        if let Some(it) = first {
+            f(it);
+        }
+    });
+}
+
+/// Map every item concurrently and return the results in item order.
+pub fn map_collect<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|it| {
+                let f = &f;
+                s.spawn(move || f(it))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // A panic in a worker is a programming error in the mapped
+                // closure; re-raise it on the caller.
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        for_each((0..37).collect(), |i: usize| {
+            hits.fetch_add(i + 1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), (1..=37).sum());
+    }
+
+    #[test]
+    fn for_each_handles_empty_and_single() {
+        let hits = AtomicUsize::new(0);
+        for_each(Vec::<usize>::new(), |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        for_each(vec![5usize], |i| {
+            hits.fetch_add(i, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn for_each_gives_threads_disjoint_mut_slices() {
+        let mut data = vec![0u64; 100];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(13).collect();
+        for_each(chunks, |c| {
+            for x in c.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out = map_collect((0..20).collect(), |i: usize| i * i);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -12,9 +12,7 @@
 //! units otherwise; [`crate::sim::Simulation`] owns that convention.
 
 use crate::grid::Grid2D;
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use sfc::CellLayout;
 
 /// One particle, AoS form.
@@ -37,14 +35,14 @@ pub struct Particle {
 }
 
 /// Array-of-Structures storage (the paper's baseline particle layout).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParticlesAoS {
     /// The particles.
     pub p: Vec<Particle>,
 }
 
 /// Structure-of-Arrays storage (the layout that vectorizes, §IV-C1).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParticlesSoA {
     /// Flat cell indices.
     pub icell: Vec<u32>,
@@ -169,20 +167,12 @@ pub enum InitialDistribution {
     Uniform,
 }
 
-/// Sample a standard normal via Box–Muller (keeps `rand` usage to the
-/// uniform generator, so results are stable across `rand` versions).
-fn normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 /// Rejection-sample x in `[0, lx)` with density `∝ 1 + α cos(k x)`.
-fn sample_perturbed_x(rng: &mut StdRng, lx: f64, alpha: f64, k: f64) -> f64 {
+fn sample_perturbed_x(rng: &mut Rng, lx: f64, alpha: f64, k: f64) -> f64 {
     debug_assert!(alpha.abs() <= 1.0);
     loop {
-        let x = rng.gen_range(0.0..lx);
-        let accept: f64 = rng.gen_range(0.0..1.0 + alpha.abs());
+        let x = rng.range(0.0, lx);
+        let accept = rng.range(0.0, 1.0 + alpha.abs());
         if accept <= 1.0 + alpha * (k * x).cos() {
             return x;
         }
@@ -199,31 +189,38 @@ pub fn initialize(
     n: usize,
     seed: u64,
 ) -> ParticlesSoA {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
+    initialize_with_rng(grid, layout, dist, n, &mut rng)
+}
+
+/// [`initialize`] with a caller-owned generator, so the caller can retain
+/// (and checkpoint) the stream position after sampling.
+pub fn initialize_with_rng(
+    grid: &Grid2D,
+    layout: &dyn CellLayout,
+    dist: InitialDistribution,
+    n: usize,
+    rng: &mut Rng,
+) -> ParticlesSoA {
     let mut out = ParticlesSoA::zeroed(n);
     for i in 0..n {
         let (x_phys, y_phys, vx, vy) = match dist {
             InitialDistribution::Landau { alpha, k } => {
-                let x = sample_perturbed_x(&mut rng, grid.lx, alpha, k);
-                let y = rng.gen_range(0.0..grid.ly);
-                (x, y, normal(&mut rng), normal(&mut rng))
+                let x = sample_perturbed_x(rng, grid.lx, alpha, k);
+                let y = rng.range(0.0, grid.ly);
+                (x, y, rng.normal(), rng.normal())
             }
             InitialDistribution::TwoStream { alpha, k, v0, vt } => {
-                let x = sample_perturbed_x(&mut rng, grid.lx, alpha, k);
-                let y = rng.gen_range(0.0..grid.ly);
-                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                (
-                    x,
-                    y,
-                    sign * v0 + vt * normal(&mut rng),
-                    vt * normal(&mut rng),
-                )
+                let x = sample_perturbed_x(rng, grid.lx, alpha, k);
+                let y = rng.range(0.0, grid.ly);
+                let sign = if rng.coin() { 1.0 } else { -1.0 };
+                (x, y, sign * v0 + vt * rng.normal(), vt * rng.normal())
             }
             InitialDistribution::Uniform => (
-                rng.gen_range(0.0..grid.lx),
-                rng.gen_range(0.0..grid.ly),
-                normal(&mut rng),
-                normal(&mut rng),
+                rng.range(0.0, grid.lx),
+                rng.range(0.0, grid.ly),
+                rng.normal(),
+                rng.normal(),
             ),
         };
         let (cx, ox) = grid.split_x(grid.to_grid_x(x_phys));
@@ -254,23 +251,19 @@ pub fn reencode(particles: &mut ParticlesSoA, layout: &dyn CellLayout) {
     }
 }
 
-/// A `rand` `Distribution` adapter for the in-cell offsets — used by
-/// property tests.
-pub struct UnitOffset;
-
-impl Distribution<f64> for UnitOffset {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        rng.gen_range(0.0..1.0)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use sfc::RowMajor;
 
     fn grid() -> Grid2D {
-        Grid2D::new(32, 32, 4.0 * std::f64::consts::PI, 4.0 * std::f64::consts::PI).unwrap()
+        Grid2D::new(
+            32,
+            32,
+            4.0 * std::f64::consts::PI,
+            4.0 * std::f64::consts::PI,
+        )
+        .unwrap()
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! The checkpoint wire format: versioned, checksummed, little-endian.
+//!
+//! Layout of an encoded snapshot:
+//!
+//! ```text
+//! magic            8 B   b"PIC2DCKP"
+//! version          u32   FORMAT_VERSION
+//! config_fprint    u64   hash of Debug-formatted PicConfig (layout knobs,
+//!                        grid, dt, seed — a snapshot only restores into a
+//!                        simulation built from the same configuration)
+//! step_count       u64
+//! rng_state        4×u64 xoshiro256++ stream position
+//! charge_ref       f64   total-charge reference for the watchdog
+//! n_particles      u64
+//! icell,ix,iy      3×n×u32
+//! dx,dy,vx,vy      4×n×f64
+//! n_grid           u64
+//! rho,ex,ey        3×n_grid×f64
+//! n_diag           u64
+//! diag history     n_diag×4×f64 (time, kinetic, field, ex_mode)
+//! checksum         u64   FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! All floating-point values are stored as raw IEEE-754 bit patterns, so a
+//! decode→encode round trip is the identity and restore is bit-exact. The
+//! trailing checksum covers the header too: any single flipped bit in a
+//! snapshot file is rejected with [`PicError::Checkpoint`] rather than
+//! silently corrupting a resumed run.
+
+use crate::particles::ParticlesSoA;
+use crate::sim::DiagSample;
+use crate::PicError;
+
+/// Current snapshot format version. Bumped on any layout change; decoding
+/// rejects snapshots from other versions.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 8] = *b"PIC2DCKP";
+
+/// The complete restorable state of a [`crate::sim::Simulation`], as plain
+/// data. [`crate::sim::Simulation::checkpoint`] gathers one of these and
+/// [`encode`]s it; restore [`decode`]s and applies it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimState {
+    /// Fingerprint of the owning configuration.
+    pub config_fingerprint: u64,
+    /// Steps taken when the snapshot was captured.
+    pub step_count: u64,
+    /// RNG stream position (xoshiro256++ internal state).
+    pub rng_state: [u64; 4],
+    /// Total-charge reference captured at initialization.
+    pub charge_ref: f64,
+    /// Particle store (SoA canonical form; AoS runs convert losslessly).
+    pub particles: ParticlesSoA,
+    /// Charge density on grid points.
+    pub rho: Vec<f64>,
+    /// Electric field x-component on grid points.
+    pub ex: Vec<f64>,
+    /// Electric field y-component on grid points.
+    pub ey: Vec<f64>,
+    /// Diagnostics history (one sample per step plus the initial state).
+    pub diag: Vec<DiagSample>,
+}
+
+/// FNV-1a 64-bit hash over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------- encoding ----------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_u32_slice(buf: &mut Vec<u8>, s: &[u32]) {
+    for &v in s {
+        put_u32(buf, v);
+    }
+}
+
+fn put_f64_slice(buf: &mut Vec<u8>, s: &[f64]) {
+    for &v in s {
+        put_f64(buf, v);
+    }
+}
+
+/// Serialize a [`SimState`] into a self-contained checksummed snapshot.
+pub fn encode(state: &SimState) -> Vec<u8> {
+    let n = state.particles.len();
+    let mut buf = Vec::with_capacity(64 + n * 44 + state.rho.len() * 24 + state.diag.len() * 32);
+    buf.extend_from_slice(&MAGIC);
+    put_u32(&mut buf, FORMAT_VERSION);
+    put_u64(&mut buf, state.config_fingerprint);
+    put_u64(&mut buf, state.step_count);
+    for w in state.rng_state {
+        put_u64(&mut buf, w);
+    }
+    put_f64(&mut buf, state.charge_ref);
+
+    put_u64(&mut buf, n as u64);
+    put_u32_slice(&mut buf, &state.particles.icell);
+    put_u32_slice(&mut buf, &state.particles.ix);
+    put_u32_slice(&mut buf, &state.particles.iy);
+    put_f64_slice(&mut buf, &state.particles.dx);
+    put_f64_slice(&mut buf, &state.particles.dy);
+    put_f64_slice(&mut buf, &state.particles.vx);
+    put_f64_slice(&mut buf, &state.particles.vy);
+
+    put_u64(&mut buf, state.rho.len() as u64);
+    put_f64_slice(&mut buf, &state.rho);
+    put_f64_slice(&mut buf, &state.ex);
+    put_f64_slice(&mut buf, &state.ey);
+
+    put_u64(&mut buf, state.diag.len() as u64);
+    for s in &state.diag {
+        put_f64(&mut buf, s.time);
+        put_f64(&mut buf, s.kinetic);
+        put_f64(&mut buf, s.field);
+        put_f64(&mut buf, s.ex_mode);
+    }
+
+    let sum = fnv1a(&buf);
+    put_u64(&mut buf, sum);
+    buf
+}
+
+// ---------------- decoding ----------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PicError> {
+        if self.pos + n > self.buf.len() {
+            return Err(PicError::Checkpoint(format!(
+                "snapshot truncated: need {} bytes at offset {}, have {}",
+                n,
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PicError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, PicError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, PicError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn u32_vec(&mut self, n: usize) -> Result<Vec<u32>, PicError> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+
+    fn f64_vec(&mut self, n: usize) -> Result<Vec<f64>, PicError> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    /// Bounded length prefix: a corrupted count must not drive a huge
+    /// allocation before the checksum gets a chance to reject the buffer.
+    fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, PicError> {
+        let n = self.u64()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(elem_bytes) > remaining {
+            return Err(PicError::Checkpoint(format!(
+                "snapshot corrupt: length prefix {n} exceeds remaining {remaining} bytes"
+            )));
+        }
+        Ok(n)
+    }
+}
+
+/// Parse and validate a snapshot produced by [`encode`].
+///
+/// Checks, in order: minimum size, trailing checksum over the whole
+/// payload, magic, format version, and internal length consistency. The
+/// caller ([`crate::sim::Simulation::restore`]) additionally checks the
+/// configuration fingerprint and the array lengths against its own grid.
+pub fn decode(bytes: &[u8]) -> Result<SimState, PicError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(PicError::Checkpoint(format!(
+            "snapshot too small ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("split_at(len-8) leaves 8 bytes"));
+    let actual = fnv1a(payload);
+    if stored != actual {
+        return Err(PicError::Checkpoint(format!(
+            "snapshot checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(PicError::Checkpoint("bad snapshot magic".into()));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(PicError::Checkpoint(format!(
+            "unsupported snapshot version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let config_fingerprint = r.u64()?;
+    let step_count = r.u64()?;
+    let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    let charge_ref = r.f64()?;
+
+    let n = r.len_prefix(44)?; // 3×u32 + 4×f64 per particle
+    let particles = ParticlesSoA {
+        icell: r.u32_vec(n)?,
+        ix: r.u32_vec(n)?,
+        iy: r.u32_vec(n)?,
+        dx: r.f64_vec(n)?,
+        dy: r.f64_vec(n)?,
+        vx: r.f64_vec(n)?,
+        vy: r.f64_vec(n)?,
+    };
+
+    let ng = r.len_prefix(24)?; // 3×f64 per grid point
+    let rho = r.f64_vec(ng)?;
+    let ex = r.f64_vec(ng)?;
+    let ey = r.f64_vec(ng)?;
+
+    let nd = r.len_prefix(32)?; // 4×f64 per sample
+    let mut diag = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        diag.push(DiagSample {
+            time: r.f64()?,
+            kinetic: r.f64()?,
+            field: r.f64()?,
+            ex_mode: r.f64()?,
+        });
+    }
+
+    if r.pos != payload.len() {
+        return Err(PicError::Checkpoint(format!(
+            "snapshot has {} trailing bytes",
+            payload.len() - r.pos
+        )));
+    }
+
+    Ok(SimState {
+        config_fingerprint,
+        step_count,
+        rng_state,
+        charge_ref,
+        particles,
+        rho,
+        ex,
+        ey,
+        diag,
+    })
+}
+
+/// Fingerprint a configuration via its Debug formatting — cheap, and it
+/// covers every field (a new config knob automatically changes the
+/// fingerprint, forcing old snapshots to be rejected rather than applied
+/// under different semantics).
+pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> SimState {
+        let mut p = ParticlesSoA::zeroed(5);
+        for i in 0..5 {
+            p.icell[i] = i as u32;
+            p.ix[i] = 2 * i as u32;
+            p.iy[i] = 3 * i as u32;
+            p.dx[i] = 0.1 * i as f64;
+            p.dy[i] = 0.2 * i as f64;
+            p.vx[i] = -1.5 + i as f64;
+            p.vy[i] = 0.5 - i as f64;
+        }
+        SimState {
+            config_fingerprint: 0xDEAD_BEEF,
+            step_count: 42,
+            rng_state: [1, 2, 3, 4],
+            charge_ref: -1024.0,
+            particles: p,
+            rho: vec![0.25; 16],
+            ex: vec![1.0; 16],
+            ey: vec![-1.0; 16],
+            diag: vec![DiagSample {
+                time: 0.05,
+                kinetic: 10.0,
+                field: 0.01,
+                ex_mode: 1e-3,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let s = sample_state();
+        let bytes = encode(&s);
+        let t = decode(&bytes).unwrap();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let bytes = encode(&sample_state());
+        // Flip one bit in a spread of positions (including header, data,
+        // and the checksum itself) — all must fail decode.
+        for pos in (0..bytes.len()).step_by(97) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode(&bad).is_err(), "flip at {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_state());
+        for keep in [0, 7, 19, bytes.len() - 9, bytes.len() - 1] {
+            assert!(decode(&bytes[..keep]).is_err(), "truncated to {keep}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = encode(&sample_state());
+        // Version field sits right after the 8-byte magic.
+        bytes[8] = FORMAT_VERSION as u8 + 1;
+        // Re-stamp the checksum so only the version check can fire.
+        let n = bytes.len();
+        let sum = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(matches!(err, PicError::Checkpoint(ref m) if m.contains("version")));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_drive_huge_allocation() {
+        let mut bytes = encode(&sample_state());
+        // n_particles sits after magic(8) + version(4) + fprint(8) +
+        // steps(8) + rng(32) + charge(8) = offset 68.
+        bytes[68..76].copy_from_slice(&u64::MAX.to_le_bytes());
+        let n = bytes.len();
+        let sum = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(matches!(err, PicError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = crate::sim::PicConfig::landau_table1(1000);
+        let mut b = a.clone();
+        b.seed += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+    }
+}

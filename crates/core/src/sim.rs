@@ -19,9 +19,11 @@ use crate::fields::{Field2D, RedundantE, RedundantRho};
 use crate::grid::Grid2D;
 use crate::kernels::{accumulate, aos, fused, position, velocity};
 use crate::particles::{self, InitialDistribution, ParticlesAoS, ParticlesSoA};
+use crate::resilience::checkpoint::{self as ckpt, SimState};
+use crate::rng::Rng;
 use crate::sort;
 use crate::PicError;
-use sfc::{CellLayout, Hilbert, L4D, Morton, Ordering, RowMajor};
+use sfc::{CellLayout, Hilbert, Morton, Ordering, RowMajor, L4D};
 use spectral::poisson::PoissonSolver2D;
 use std::time::Instant;
 
@@ -381,10 +383,14 @@ impl PicConfig {
         if self.n_particles == 0 {
             return Err(PicError::Config("need at least one particle".into()));
         }
-        if !(self.dt > 0.0) {
-            return Err(PicError::Config(format!("dt must be positive, got {}", self.dt)));
+        if self.dt.is_nan() || self.dt <= 0.0 {
+            return Err(PicError::Config(format!(
+                "dt must be positive, got {}",
+                self.dt
+            )));
         }
-        if self.field_layout == FieldLayout::Standard && !matches!(self.ordering, Ordering::RowMajor)
+        if self.field_layout == FieldLayout::Standard
+            && !matches!(self.ordering, Ordering::RowMajor)
         {
             return Err(PicError::Config(
                 "the standard field layout only supports row-major ordering".into(),
@@ -423,7 +429,12 @@ pub struct Simulation {
     step_count: usize,
     timers: PhaseTimes,
     diag: Diagnostics,
-    pool: Option<rayon::ThreadPool>,
+    /// The sampling RNG, retained past initialization so its stream
+    /// position can be checkpointed and restored.
+    rng: Rng,
+    /// Total deposited charge right after initialization (post-reduce) —
+    /// the conservation reference for the watchdog.
+    charge_ref: f64,
 }
 
 impl Simulation {
@@ -452,12 +463,13 @@ impl Simulation {
         let solver = PoissonSolver2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)?;
         let weight = particles::particle_weight(&grid, cfg.n_particles);
 
-        let mut particles = particles::initialize(
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut particles = particles::initialize_with_rng(
             &grid,
             layout.as_dyn(),
             cfg.distribution,
             cfg.n_particles,
-            cfg.seed,
+            &mut rng,
         );
         if let Some((start, end)) = cfg.keep_range {
             if start >= end || end > cfg.n_particles {
@@ -480,16 +492,6 @@ impl Simulation {
         let field = Field2D::new(&grid);
         let e8 = RedundantE::new(layout.as_dyn());
         let rho4 = RedundantRho::new(layout.as_dyn());
-        let pool = if cfg.threads > 1 {
-            Some(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(cfg.threads)
-                    .build()
-                    .map_err(|e| PicError::Config(format!("rayon pool: {e}")))?,
-            )
-        } else {
-            None
-        };
 
         let mut sim = Self {
             // Deposition magnitude: macro-charge per unit area, so that the
@@ -510,7 +512,8 @@ impl Simulation {
             step_count: 0,
             timers: PhaseTimes::default(),
             diag: Diagnostics::default(),
-            pool,
+            rng,
+            charge_ref: 0.0,
             cfg,
         };
 
@@ -523,6 +526,7 @@ impl Simulation {
         // distributed runs.
         sim.deposit_initial();
         reduce(&mut sim.field.rho);
+        sim.charge_ref = sim.field.rho.iter().sum();
         sim.solve_field();
 
         // Leap-frog half-step: v(−Δt/2) = v(0) − (q/m)·E(x₀)·Δt/2.
@@ -593,6 +597,108 @@ impl Simulation {
         (&self.field.ex, &self.field.ey)
     }
 
+    /// The active cell layout (dynamic view).
+    pub fn cell_layout(&self) -> &dyn CellLayout {
+        self.layout.as_dyn()
+    }
+
+    /// Current total deposited charge, `Σ ρ` over grid points.
+    pub fn total_charge(&self) -> f64 {
+        self.field.rho.iter().sum()
+    }
+
+    /// Total-charge reference captured at initialization (post-reduce).
+    pub fn charge_reference(&self) -> f64 {
+        self.charge_ref
+    }
+
+    // ---------------- checkpoint / restart ----------------
+
+    /// Capture the complete restorable state as a versioned, checksummed
+    /// binary snapshot. Restoring it (into a simulation built from the
+    /// same [`PicConfig`]) and stepping on is bit-exact against an
+    /// uninterrupted run, for both SoA and AoS particle layouts.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        // AoS runs keep the AoS array canonical between sorts; serialize
+        // from it so no stale SoA data leaks into the snapshot. The
+        // conversion copies f64/u32 values verbatim — no precision loss.
+        let particles = match &self.particles_aos {
+            Some(aos) => aos.to_soa(),
+            None => self.particles.clone(),
+        };
+        ckpt::encode(&SimState {
+            config_fingerprint: ckpt::config_fingerprint(&self.cfg),
+            step_count: self.step_count as u64,
+            rng_state: self.rng.state(),
+            charge_ref: self.charge_ref,
+            particles,
+            rho: self.field.rho.clone(),
+            ex: self.field.ex.clone(),
+            ey: self.field.ey.clone(),
+            diag: self.diag.history.clone(),
+        })
+    }
+
+    /// Replace the simulation state with a decoded snapshot.
+    ///
+    /// Rejects (without touching current state) snapshots that fail the
+    /// checksum, carry a different format version, belong to a different
+    /// configuration, or whose array shapes disagree with this
+    /// simulation's grid. Derived structures (the redundant field view,
+    /// the AoS mirror, the sort scratch buffer) are rebuilt, not restored
+    /// — they are deterministic functions of the restored state.
+    pub fn restore(&mut self, snapshot: &[u8]) -> Result<(), PicError> {
+        let st = ckpt::decode(snapshot)?;
+        if st.config_fingerprint != ckpt::config_fingerprint(&self.cfg) {
+            return Err(PicError::Checkpoint(
+                "snapshot belongs to a different configuration".into(),
+            ));
+        }
+        let ng = self.grid.ncells();
+        if st.rho.len() != ng || st.ex.len() != ng || st.ey.len() != ng {
+            return Err(PicError::Checkpoint(format!(
+                "snapshot grid size {} does not match {} cells",
+                st.rho.len(),
+                ng
+            )));
+        }
+        let ncells = self.layout.as_dyn().ncells();
+        if st.particles.icell.iter().any(|&c| (c as usize) >= ncells) {
+            return Err(PicError::Checkpoint(
+                "snapshot particle cell index out of range".into(),
+            ));
+        }
+
+        self.step_count = st.step_count as usize;
+        self.rng = Rng::from_state(st.rng_state);
+        self.charge_ref = st.charge_ref;
+        self.scratch = ParticlesSoA::zeroed(st.particles.len());
+        self.particles = st.particles;
+        self.field.rho = st.rho;
+        self.field.ex = st.ex;
+        self.field.ey = st.ey;
+        self.diag.history = st.diag;
+        self.rho4.clear();
+        self.refresh_field_views();
+        self.particles_aos =
+            (self.cfg.particle_layout == ParticleLayout::Aos).then(|| self.particles.to_aos());
+        Ok(())
+    }
+
+    /// Write a checkpoint to a file.
+    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<(), PicError> {
+        std::fs::write(path.as_ref(), self.checkpoint())
+            .map_err(|e| PicError::Io(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Restore from a checkpoint file written by
+    /// [`save_checkpoint`](Self::save_checkpoint).
+    pub fn restore_from_file(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), PicError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| PicError::Io(format!("read {}: {e}", path.as_ref().display())))?;
+        self.restore(&bytes)
+    }
+
     /// Deposit the initial charge without moving particles.
     fn deposit_initial(&mut self) {
         self.rho4.clear();
@@ -620,8 +726,7 @@ impl Simulation {
         let t = Instant::now();
         if self.cfg.field_layout == FieldLayout::Redundant {
             let (sx, sy) = self.kick_scales();
-            self.e8
-                .fill_from(&self.field, self.layout.as_dyn(), sx, sy);
+            self.e8.fill_from(&self.field, self.layout.as_dyn(), sx, sy);
         }
         self.timers.convert += t.elapsed().as_secs_f64();
     }
@@ -631,7 +736,10 @@ impl Simulation {
         if self.cfg.hoisted {
             // Δv_grid = (q/m)·E·Δt · (Δt/Δ) — all folded into the stored field.
             let c = QE * self.cfg.dt / ME;
-            (c * self.cfg.dt / self.grid.dx(), c * self.cfg.dt / self.grid.dy())
+            (
+                c * self.cfg.dt / self.grid.dx(),
+                c * self.cfg.dt / self.grid.dy(),
+            )
         } else {
             (1.0, 1.0)
         }
@@ -694,7 +802,7 @@ impl Simulation {
         self.step_count += 1;
 
         // Periodic sort (lines 4–6).
-        if self.cfg.sort_period > 0 && self.step_count % self.cfg.sort_period == 0 {
+        if self.cfg.sort_period > 0 && self.step_count.is_multiple_of(self.cfg.sort_period) {
             self.sort_particles();
         }
 
@@ -739,8 +847,7 @@ impl Simulation {
         if self.cfg.threads > 1 && self.cfg.sort_out_of_place {
             let ntasks = self.cfg.threads;
             let (particles, scratch) = (&mut self.particles, &mut self.scratch);
-            let pool = self.pool.as_ref().expect("pool exists when threads > 1");
-            pool.install(|| sort::par_sort_out_of_place(particles, scratch, ncells, ntasks));
+            sort::par_sort_out_of_place(particles, scratch, ncells, ntasks);
         } else if self.cfg.sort_out_of_place {
             sort::sort_out_of_place(&mut self.particles, &mut self.scratch, ncells);
         } else {
@@ -775,10 +882,7 @@ impl Simulation {
             let p = &mut self.particles;
             if self.cfg.hoisted {
                 if threads > 1 {
-                    let pool = self.pool.as_ref().unwrap();
-                    pool.install(|| {
-                        velocity::par_update_velocities_redundant_hoisted(p, e8, nchunks)
-                    });
+                    velocity::par_update_velocities_redundant_hoisted(p, e8, nchunks);
                 } else {
                     velocity::update_velocities_redundant_hoisted(
                         &p.icell, &p.dx, &p.dy, &mut p.vx, &mut p.vy, e8,
@@ -787,8 +891,7 @@ impl Simulation {
             } else {
                 let (cx, cy, _) = unhoisted;
                 if threads > 1 {
-                    let pool = self.pool.as_ref().unwrap();
-                    pool.install(|| velocity::par_update_velocities_redundant(p, e8, cx, cy, nchunks));
+                    velocity::par_update_velocities_redundant(p, e8, cx, cy, nchunks);
                 } else {
                     velocity::update_velocities_redundant(
                         &p.icell, &p.dx, &p.dy, &mut p.vx, &mut p.vy, e8, cx, cy,
@@ -809,10 +912,7 @@ impl Simulation {
         let w = self.wq * QE.signum();
         if threads > 1 {
             let (p, rho4) = (&self.particles, &mut self.rho4);
-            let pool = self.pool.as_ref().unwrap();
-            pool.install(|| {
-                accumulate::par_accumulate_redundant(&p.icell, &p.dx, &p.dy, rho4, w, nchunks)
-            });
+            accumulate::par_accumulate_redundant(&p.icell, &p.dx, &p.dy, rho4, w, nchunks);
         } else {
             accumulate::accumulate_redundant(
                 &self.particles.icell,
@@ -948,20 +1048,19 @@ impl Simulation {
 
         // Parallel path first (takes the whole store).
         if threads > 1 {
-            let pool = self.pool.as_ref().unwrap();
             match &self.layout {
-                AnyLayout::RowMajor(_) => pool.install(|| {
+                AnyLayout::RowMajor(_) => {
                     position::par_update_positions_branchless(p, ncx, ncy, scale, nchunks)
-                }),
-                AnyLayout::L4D(l) => pool.install(|| {
+                }
+                AnyLayout::L4D(l) => {
                     position::par_update_positions_branchless_layout(p, l, scale, nchunks)
-                }),
-                AnyLayout::Morton(l) => pool.install(|| {
+                }
+                AnyLayout::Morton(l) => {
                     position::par_update_positions_branchless_layout(p, l, scale, nchunks)
-                }),
-                AnyLayout::Hilbert(l) => pool.install(|| {
+                }
+                AnyLayout::Hilbert(l) => {
                     position::par_update_positions_branchless_layout(p, l, scale, nchunks)
-                }),
+                }
             }
             return;
         }
@@ -1098,21 +1197,19 @@ impl Simulation {
                     let (cx, cy, _) = self.unhoisted_coeffs();
                     let mut scaled = self.e8.clone();
                     for cell in scaled.e8.iter_mut() {
-                        for k in 0..4 {
-                            cell[k] *= cx;
+                        let (ex, ey) = cell.split_at_mut(4);
+                        for e in ex {
+                            *e *= cx;
                         }
-                        for k in 4..8 {
-                            cell[k] *= cy;
+                        for e in ey {
+                            *e *= cy;
                         }
                     }
                     scaled_e8 = scaled;
                     &scaled_e8.e8
                 };
                 if threads > 1 {
-                    let pool = self.pool.as_ref().unwrap();
-                    pool.install(|| {
-                        aos::par_update_velocities_redundant_aos(&mut aos.p, e8, chunk)
-                    });
+                    aos::par_update_velocities_redundant_aos(&mut aos.p, e8, chunk);
                 } else {
                     aos::update_velocities_redundant_aos(&mut aos.p, e8);
                 }
@@ -1125,16 +1222,13 @@ impl Simulation {
                 };
                 {
                     let (ncx, ncy) = (self.grid.ncx, self.grid.ncy);
-                    let pool = self.pool.as_ref();
                     macro_rules! aos_push {
                         ($l:expr) => {{
                             let l = $l;
                             if threads > 1 {
-                                pool.unwrap().install(|| {
-                                    aos::par_update_positions_branchless_layout_aos(
-                                        &mut aos.p, l, scale, chunk,
-                                    )
-                                });
+                                aos::par_update_positions_branchless_layout_aos(
+                                    &mut aos.p, l, scale, chunk,
+                                );
                             } else {
                                 aos::update_positions_branchless_layout_aos(&mut aos.p, l, scale);
                             }
@@ -1143,11 +1237,9 @@ impl Simulation {
                     match &self.layout {
                         AnyLayout::RowMajor(_) => {
                             if threads > 1 {
-                                pool.unwrap().install(|| {
-                                    aos::par_update_positions_branchless_aos(
-                                        &mut aos.p, ncx, ncy, scale, chunk,
-                                    )
-                                });
+                                aos::par_update_positions_branchless_aos(
+                                    &mut aos.p, ncx, ncy, scale, chunk,
+                                );
                             } else {
                                 aos::update_positions_branchless_aos(&mut aos.p, ncx, ncy, scale);
                             }
@@ -1162,9 +1254,7 @@ impl Simulation {
                 self.rho4.clear();
                 let w = self.wq * QE.signum();
                 if threads > 1 {
-                    let pool = self.pool.as_ref().unwrap();
-                    let rho4 = &mut self.rho4;
-                    pool.install(|| aos::par_accumulate_redundant_aos(&aos.p, rho4, w, chunk));
+                    aos::par_accumulate_redundant_aos(&aos.p, &mut self.rho4, w, chunk);
                 } else {
                     aos::accumulate_redundant_aos(&aos.p, &mut self.rho4, w);
                 }
@@ -1181,13 +1271,17 @@ impl Simulation {
                 let w = self.wq * QE.signum();
                 let (ncx, ncy) = (self.grid.ncx, self.grid.ncy);
                 if threads > 1 {
-                    let pool = self.pool.as_ref().unwrap();
                     let (e8, rho4) = (&self.e8.e8, &mut self.rho4);
-                    pool.install(|| {
-                        aos::par_fused_redundant_aos(&mut aos.p, e8, rho4, ncx, ncy, w, chunk)
-                    });
+                    aos::par_fused_redundant_aos(&mut aos.p, e8, rho4, ncx, ncy, w, chunk);
                 } else {
-                    aos::fused_redundant_aos(&mut aos.p, &self.e8.e8, &mut self.rho4.rho4, ncx, ncy, w);
+                    aos::fused_redundant_aos(
+                        &mut aos.p,
+                        &self.e8.e8,
+                        &mut self.rho4.rho4,
+                        ncx,
+                        ncy,
+                        w,
+                    );
                 }
                 self.timers.accumulate += t.elapsed().as_secs_f64();
                 let t = Instant::now();
@@ -1214,10 +1308,7 @@ impl Simulation {
     /// Kinetic energy in physical units, `½·w·m·Σ|v|²`.
     pub fn kinetic_energy(&self) -> f64 {
         let (cx, cy) = if self.cfg.hoisted {
-            (
-                self.grid.dx() / self.cfg.dt,
-                self.grid.dy() / self.cfg.dt,
-            )
+            (self.grid.dx() / self.cfg.dt, self.grid.dy() / self.cfg.dt)
         } else {
             (1.0, 1.0)
         };
@@ -1304,7 +1395,10 @@ mod tests {
         for _ in 0..5 {
             sim.step();
             let total: f64 = sim.rho().iter().sum();
-            assert!((total - expect).abs() < 1e-9 * expect.abs(), "{total} vs {expect}");
+            assert!(
+                (total - expect).abs() < 1e-9 * expect.abs(),
+                "{total} vs {expect}"
+            );
         }
     }
 
@@ -1543,10 +1637,7 @@ mod tests {
         sim.run(80); // t = 8
         let h = &sim.diagnostics().history;
         let early = h[0].ex_mode;
-        let late_max = h[60..]
-            .iter()
-            .map(|s| s.ex_mode)
-            .fold(0.0f64, f64::max);
+        let late_max = h[60..].iter().map(|s| s.ex_mode).fold(0.0f64, f64::max);
         assert!(
             late_max < 0.5 * early,
             "expected damping: early {early}, late max {late_max}"

@@ -14,8 +14,8 @@
 //!   array, every task writes disjoint memory. Each task scans the whole
 //!   particle array (the paper accepts this read amplification).
 
+use crate::par;
 use crate::particles::ParticlesSoA;
-use rayon::prelude::*;
 
 /// Histogram of particles per cell. `ncells` must exceed every `icell`.
 pub fn cell_counts(icell: &[u32], ncells: usize) -> Vec<u32> {
@@ -118,8 +118,8 @@ pub fn par_sort_out_of_place(
     let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(ntasks);
     let mut begin = 0usize;
     let mut acc = 0usize;
-    for cell in 0..ncells {
-        acc += counts[cell] as usize;
+    for (cell, &count) in counts.iter().enumerate() {
+        acc += count as usize;
         if acc >= target && ranges.len() + 1 < ntasks {
             ranges.push((begin, cell + 1));
             begin = cell + 1;
@@ -186,17 +186,14 @@ pub fn par_sort_out_of_place(
     }
 
     let pi = &*p;
-    outs.par_iter_mut().for_each(|(c0, c1, out)| {
-        let base = starts[*c0] as usize;
+    par::for_each(outs, |(c0, c1, out)| {
+        let base = starts[c0] as usize;
         // Local cursors relative to this task's slice.
-        let mut cursor: Vec<u32> = (starts[*c0..*c1])
-            .iter()
-            .map(|&s| s - base as u32)
-            .collect();
+        let mut cursor: Vec<u32> = (starts[c0..c1]).iter().map(|&s| s - base as u32).collect();
         for i in 0..n {
             let c = pi.icell[i] as usize;
-            if c >= *c0 && c < *c1 {
-                let k = c - *c0;
+            if c >= c0 && c < c1 {
+                let k = c - c0;
                 let dst = cursor[k] as usize;
                 cursor[k] += 1;
                 out.icell[dst] = pi.icell[i];

@@ -178,9 +178,7 @@ mod tests {
         let n = 40_000usize;
         let sorted: Vec<u32> = (0..n).map(|i| (i * ncells / n) as u32).collect();
         // Deterministic shuffle (LCG step through a coprime stride).
-        let shuffled: Vec<u32> = (0..n)
-            .map(|i| sorted[(i * 7919) % n])
-            .collect();
+        let shuffled: Vec<u32> = (0..n).map(|i| sorted[(i * 7919) % n]).collect();
 
         let m = MemoryMap::contiguous(0, n, ncells);
         let run = |cells: &[u32]| {

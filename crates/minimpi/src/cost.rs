@@ -238,7 +238,13 @@ mod tests {
         // increase late gives far less than 8× — the Fig. 9 saturation.
         let ratio_small = pts[0].total() / pts[1].total(); // 16 → 64 ranks (ideal 4×)
         let ratio_large = pts[3].total() / pts[4].total(); // 1024 → 8192 (ideal 8×)
-        assert!(ratio_small > 3.8, "early scaling near-ideal, got {ratio_small}");
-        assert!(ratio_large < 4.0, "late scaling saturates, got {ratio_large}");
+        assert!(
+            ratio_small > 3.8,
+            "early scaling near-ideal, got {ratio_small}"
+        );
+        assert!(
+            ratio_large < 4.0,
+            "late scaling saturates, got {ratio_large}"
+        );
     }
 }

@@ -1,0 +1,239 @@
+//! Deterministic fault injection for the transport layer.
+//!
+//! A [`FaultPlan`] decides, for every transmission attempt of every data
+//! frame, whether that attempt is delivered clean, dropped, corrupted in
+//! flight, or delayed. Decisions are pure functions of
+//! `(seed, src, dst, tag, seq, attempt)` via a splitmix64-based hash, so a
+//! fault schedule is exactly reproducible across runs and independent of
+//! thread interleaving — the property that makes fault-injection tests
+//! deterministic.
+//!
+//! Including the retransmission `attempt` counter in the hash is what makes
+//! sub-certain fault rates *recoverable*: each retry of the same frame
+//! draws a fresh decision, so with drop probability `p < 1` a frame
+//! eventually gets through, while `p = 1` ([`FaultPlan::always_drop`])
+//! starves every retry and surfaces a clean
+//! [`CommError`](crate::CommError) at the sender.
+
+use std::time::Duration;
+
+/// splitmix64 — the 64-bit finalizer used for all fault decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a word sequence down to one u64 (order-sensitive).
+fn hash_words(seed: u64, words: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    h
+}
+
+/// Map a hash to a uniform f64 in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The outcome of a fault decision for one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fault {
+    /// Deliver the frame unmodified.
+    None,
+    /// Silently discard the frame.
+    Drop,
+    /// Deliver the frame with a flipped payload bit (checksum unchanged,
+    /// so the receiver detects and discards it).
+    Corrupt,
+    /// Deliver the frame after sleeping.
+    Delay(Duration),
+}
+
+/// A deterministic, seeded schedule of message faults.
+///
+/// Build with [`FaultPlan::new`] and the chainable setters; install into a
+/// world with [`World::run_with_faults`](crate::World::run_with_faults).
+/// Probabilities apply independently per transmission attempt, evaluated
+/// in the order drop → corrupt → delay.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_prob: f64,
+    corrupt_prob: f64,
+    delay_prob: f64,
+    delay: Duration,
+    /// Restrict injection to frames *sent by* these ranks (None = all).
+    targets: Option<Vec<usize>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (yet); chain setters to arm it.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::from_micros(100),
+            targets: None,
+        }
+    }
+
+    /// A plan that drops every data frame from every rank — no retry can
+    /// succeed, so reliable sends fail cleanly with
+    /// [`CommError::RetriesExhausted`](crate::CommError::RetriesExhausted).
+    pub fn always_drop(seed: u64) -> Self {
+        Self::new(seed).drop_messages(1.0)
+    }
+
+    /// Drop each transmission attempt with probability `p`.
+    pub fn drop_messages(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Corrupt each delivered attempt with probability `p`.
+    pub fn corrupt_messages(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Delay each delivered attempt by `delay` with probability `p`.
+    pub fn delay_messages(mut self, p: f64, delay: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.delay_prob = p;
+        self.delay = delay;
+        self
+    }
+
+    /// Only inject faults into frames sent by the listed ranks.
+    pub fn target_ranks(mut self, ranks: &[usize]) -> Self {
+        self.targets = Some(ranks.to_vec());
+        self
+    }
+
+    /// Decide the fate of one transmission attempt.
+    pub(crate) fn decide(&self, src: usize, dst: usize, tag: u64, seq: u64, attempt: u64) -> Fault {
+        if let Some(t) = &self.targets {
+            if !t.contains(&src) {
+                return Fault::None;
+            }
+        }
+        let key = [src as u64, dst as u64, tag, seq, attempt];
+        if unit(hash_words(self.seed ^ 1, &key)) < self.drop_prob {
+            return Fault::Drop;
+        }
+        if unit(hash_words(self.seed ^ 2, &key)) < self.corrupt_prob {
+            return Fault::Corrupt;
+        }
+        if unit(hash_words(self.seed ^ 3, &key)) < self.delay_prob {
+            return Fault::Delay(self.delay);
+        }
+        Fault::None
+    }
+}
+
+/// FNV-1a checksum over the raw bit patterns of an `f64` payload — the
+/// integrity check every data frame carries. Bitwise, so `-0.0`, `NaN`
+/// payloads, and denormals all checksum stably.
+pub fn checksum(data: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Flip one mantissa bit of one hash-chosen payload element — the in-flight
+/// corruption a [`Fault::Corrupt`] decision applies. No-op on empty payloads.
+pub(crate) fn corrupt_payload(seed: u64, src: usize, seq: u64, data: &mut [f64]) {
+    if data.is_empty() {
+        return;
+    }
+    let idx = hash_words(seed ^ 4, &[src as u64, seq]) as usize % data.len();
+    data[idx] = f64::from_bits(data[idx].to_bits() ^ (1 << 51));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::new(7).drop_messages(0.5).corrupt_messages(0.25);
+        for src in 0..4 {
+            for seq in 0..100 {
+                let a = plan.decide(src, 1, 10, seq, 0);
+                let b = plan.decide(src, 1, 10, seq, 0);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_counter_changes_decisions() {
+        // With p = 0.5 some frame must flip outcome across attempts.
+        let plan = FaultPlan::new(42).drop_messages(0.5);
+        let mut saw_flip = false;
+        for seq in 0..64 {
+            let d0 = plan.decide(0, 1, 0, seq, 0);
+            let d1 = plan.decide(0, 1, 0, seq, 1);
+            if d0 != d1 {
+                saw_flip = true;
+            }
+        }
+        assert!(saw_flip);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let plan = FaultPlan::new(3).drop_messages(0.3);
+        let n = 10_000;
+        let drops = (0..n)
+            .filter(|&seq| plan.decide(0, 1, 0, seq, 0) == Fault::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn always_drop_drops_everything() {
+        let plan = FaultPlan::always_drop(1);
+        for seq in 0..100 {
+            for attempt in 0..10 {
+                assert_eq!(plan.decide(2, 3, 9, seq, attempt), Fault::Drop);
+            }
+        }
+    }
+
+    #[test]
+    fn targeting_excludes_other_ranks() {
+        let plan = FaultPlan::always_drop(1).target_ranks(&[2]);
+        assert_eq!(plan.decide(2, 0, 0, 0, 0), Fault::Drop);
+        assert_eq!(plan.decide(1, 0, 0, 0, 0), Fault::None);
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flip() {
+        let data = vec![1.0, -2.5, 3e17, 0.0];
+        let sum = checksum(&data);
+        let mut bad = data.clone();
+        corrupt_payload(9, 0, 0, &mut bad);
+        assert_ne!(bad, data);
+        assert_ne!(checksum(&bad), sum);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(&[1.0, 2.0]), checksum(&[2.0, 1.0]));
+    }
+}

@@ -177,7 +177,8 @@ mod tests {
                 let cur = h.decode(icell);
                 let d = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
                 assert_eq!(
-                    d, 1,
+                    d,
+                    1,
                     "side {side}: decode({}) = {:?} → decode({icell}) = {:?} not adjacent",
                     icell - 1,
                     prev,

@@ -50,7 +50,7 @@ pub mod locality;
 mod morton;
 pub mod three_d;
 
-pub use dilate::{contract_bits, dilate_bits, contract_bits_lut, dilate_bits_lut};
+pub use dilate::{contract_bits, contract_bits_lut, dilate_bits, dilate_bits_lut};
 pub use hilbert::Hilbert;
 pub use l4d::L4D;
 pub use linear::{ColMajor, RowMajor};
@@ -142,7 +142,7 @@ pub trait CellLayout: Send + Sync {
 
 /// The orderings studied in the paper, as a plain enum for configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+
 pub enum Ordering {
     /// Canonical C row-major order.
     RowMajor,
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn encode_batch_matches_scalar() {
         let layout = Morton::new(32, 32).unwrap();
-        let ix: Vec<usize> = (0..32).flat_map(|x| std::iter::repeat(x).take(32)).collect();
+        let ix: Vec<usize> = (0..32).flat_map(|x| std::iter::repeat_n(x, 32)).collect();
         let iy: Vec<usize> = (0..32).cycle().take(32 * 32).collect();
         let mut out = vec![0usize; ix.len()];
         layout.encode_batch(&ix, &iy, &mut out);

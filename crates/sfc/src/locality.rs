@@ -84,7 +84,7 @@ pub fn locality_score(layout: &dyn CellLayout, near_threshold: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Hilbert, L4D, Morton, RowMajor};
+    use crate::{Hilbert, Morton, RowMajor, L4D};
 
     #[test]
     fn row_major_y_moves_all_unit() {

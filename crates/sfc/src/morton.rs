@@ -88,7 +88,7 @@ impl CellLayout for Morton {
     #[inline]
     fn decode(&self, icell: usize) -> (usize, usize) {
         debug_assert!(icell < self.ncells());
-        let low = (icell as u64) & ((1u64 << (2 * self.m)) - 1).max(0);
+        let low = (icell as u64) & ((1u64 << (2 * self.m)) - 1);
         let ix_low = contract_bits(low >> 1) as usize;
         let iy_low = contract_bits(low) as usize;
         let high = icell >> (2 * self.m);
@@ -143,8 +143,7 @@ impl CellLayout for MortonLut {
     fn encode(&self, ix: usize, iy: usize) -> usize {
         debug_assert!(ix < self.0.ncx && iy < self.0.ncy);
         let mask = self.0.low_mask();
-        let low =
-            (dilate_bits_lut((ix & mask) as u64) << 1) | dilate_bits_lut((iy & mask) as u64);
+        let low = (dilate_bits_lut((ix & mask) as u64) << 1) | dilate_bits_lut((iy & mask) as u64);
         let high = if self.0.bx > self.0.by {
             ix >> self.0.m
         } else {

@@ -76,7 +76,7 @@ pub fn dielectric(k: f64, omega: Complex64) -> Complex64 {
 /// by complex Newton iteration from the Bohm–Gross estimate.
 /// Returns `ω = ω_r + iγ` (γ < 0 = damping) or `None` if no convergence.
 pub fn landau_root(k: f64) -> Option<Complex64> {
-    if !(k > 0.0) {
+    if k.is_nan() || k <= 0.0 {
         return None;
     }
     // Bohm–Gross: ω² ≈ 1 + 3k² (thermal speed 1), slightly damped.

@@ -37,15 +37,19 @@ impl PoissonSolver2D {
         if nx == 0 || ny == 0 {
             return Err(SpectralError::ZeroDimension);
         }
-        if !(lx > 0.0) {
+        if lx.is_nan() || lx <= 0.0 {
             return Err(SpectralError::BadExtent { extent: lx });
         }
-        if !(ly > 0.0) {
+        if ly.is_nan() || ly <= 0.0 {
             return Err(SpectralError::BadExtent { extent: ly });
         }
         let plan = Fft2Plan::new(nx, ny)?;
         let freq = |i: usize, n: usize, l: f64| -> f64 {
-            let s = if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
+            let s = if i <= n / 2 {
+                i as f64
+            } else {
+                i as f64 - n as f64
+            };
             2.0 * std::f64::consts::PI * s / l
         };
         let kx = (0..nx).map(|i| freq(i, nx, lx)).collect();
@@ -145,11 +149,7 @@ impl PoissonSolver2D {
     /// grid — the diagnostic the paper's Landau-damping validation tracks.
     pub fn field_energy(&self, ex: &[f64], ey: &[f64]) -> f64 {
         let cell = (self.lx / self.nx as f64) * (self.ly / self.ny as f64);
-        0.5 * cell
-            * ex.iter()
-                .zip(ey)
-                .map(|(&x, &y)| x * x + y * y)
-                .sum::<f64>()
+        0.5 * cell * ex.iter().zip(ey).map(|(&x, &y)| x * x + y * y).sum::<f64>()
     }
 }
 

@@ -1,6 +1,6 @@
 //! Hybrid parallelism demo — the paper's §V scheme end to end: several
 //! `minimpi` ranks (processes), each running its slice of one global
-//! particle population with multiple rayon threads (OpenMP), communicating
+//! particle population with multiple worker threads (OpenMP), communicating
 //! only through the per-step allreduce of ρ.
 //!
 //! ```sh
@@ -9,9 +9,21 @@
 
 use pic2d::minimpi::World;
 use pic2d::pic_core::sim::{PicConfig, Simulation};
+use pic2d::pic_core::PicError;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), PicError> {
     let mut args = std::env::args().skip(1);
     let ranks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
     let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
@@ -20,26 +32,28 @@ fn main() {
 
     println!("hybrid run: {ranks} rank(s) x {threads} thread(s), {per_rank} particles/rank");
 
-    let results = World::run_timed(ranks, |comm| {
+    let results = World::run_timed(ranks, |comm| -> Result<(f64, f64, f64, f64), PicError> {
         let mut cfg = PicConfig::landau_table1(per_rank * comm.size());
         cfg.threads = threads;
         let r = comm.rank();
         cfg.keep_range = Some((r * per_rank, (r + 1) * per_rank));
-        let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))
-            .expect("valid configuration");
+        let mut sim = Simulation::new_with_reduce(cfg, |rho| comm.allreduce_sum(rho))?;
         let wall = Instant::now();
         for _ in 0..steps {
             sim.step_with_reduce(|rho| comm.allreduce_sum(rho));
         }
         let elapsed = wall.elapsed().as_secs_f64();
-        (
+        Ok((
             elapsed,
             comm.comm_time(),
             sim.diagnostics().relative_energy_drift(),
-            sim.diagnostics().history.last().unwrap().ex_mode,
-        )
+            // steps > 0, so at least one diagnostic sample was recorded
+            sim.diagnostics().history.last().expect("non-empty").ex_mode,
+        ))
     });
     let (per_rank_results, mean_comm) = results;
+    let per_rank_results: Vec<(f64, f64, f64, f64)> =
+        per_rank_results.into_iter().collect::<Result<_, _>>()?;
 
     let total: f64 =
         per_rank_results.iter().map(|r| r.0).sum::<f64>() / per_rank_results.len() as f64;
@@ -48,11 +62,15 @@ fn main() {
     let mps = (per_rank * ranks * steps) as f64 / total / 1e6;
 
     println!("wall time          : {total:.2} s");
-    println!("communication time : {mean_comm:.3} s/rank ({:.1}% of total)", 100.0 * mean_comm / total);
+    println!(
+        "communication time : {mean_comm:.3} s/rank ({:.1}% of total)",
+        100.0 * mean_comm / total
+    );
     println!("throughput         : {mps:.1} M particle-updates/s aggregate");
     println!("energy drift       : {drift:.2e} (identical on every rank)");
     println!("final |E_x| mode   : {mode:.3e}");
     println!("\nEvery rank holds the whole grid and solves Poisson redundantly;");
     println!("the only inter-rank traffic is the allreduce of the 128x128 rho array");
     println!("(the paper's no-domain-decomposition design, §V-A).");
+    Ok(())
 }

@@ -10,8 +10,20 @@
 //! With `--csv`, dumps `t, |E_x mode|, field energy` rows for plotting.
 
 use pic2d::pic_core::sim::{PicConfig, Simulation};
+use pic2d::pic_core::PicError;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), PicError> {
     let csv = std::env::args().any(|a| a == "--csv");
 
     // ---------- linear regime ----------
@@ -19,7 +31,7 @@ fn main() {
     cfg.grid_nx = 64;
     cfg.grid_ny = 16;
     cfg.dt = 0.05;
-    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    let mut sim = Simulation::new(cfg)?;
     sim.run(400); // t = 20
 
     if csv {
@@ -32,11 +44,14 @@ fn main() {
     let gamma = sim
         .diagnostics()
         .mode_envelope_rate(0.0, 12.0)
-        .expect("enough oscillation peaks");
+        .ok_or_else(|| PicError::Diverged("too few oscillation peaks to fit a rate".into()))?;
     eprintln!("linear Landau damping (alpha=0.01, k=0.5):");
     eprintln!("  measured gamma = {gamma:.4}");
     eprintln!("  analytic gamma = -0.1533");
-    eprintln!("  energy drift   = {:.2e}", sim.diagnostics().relative_energy_drift());
+    eprintln!(
+        "  energy drift   = {:.2e}",
+        sim.diagnostics().relative_energy_drift()
+    );
     eprintln!(
         "  oscillation peaks: {:?}",
         sim.diagnostics()
@@ -51,7 +66,7 @@ fn main() {
     cfg.grid_nx = 64;
     cfg.grid_ny = 16;
     cfg.dt = 0.05;
-    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    let mut sim = Simulation::new(cfg)?;
     sim.run(800); // t = 40
 
     if csv {
@@ -60,10 +75,18 @@ fn main() {
         }
     }
 
-    let early = sim.diagnostics().mode_envelope_rate(0.0, 10.0).unwrap();
-    let late = sim.diagnostics().mode_envelope_rate(15.0, 35.0).unwrap();
+    let no_peaks = || PicError::Diverged("too few oscillation peaks to fit a rate".into());
+    let early = sim
+        .diagnostics()
+        .mode_envelope_rate(0.0, 10.0)
+        .ok_or_else(no_peaks)?;
+    let late = sim
+        .diagnostics()
+        .mode_envelope_rate(15.0, 35.0)
+        .ok_or_else(no_peaks)?;
     eprintln!("\nnonlinear Landau damping (alpha=0.5):");
     eprintln!("  initial decay rate  = {early:.4}  (literature ~ -0.29)");
     eprintln!("  later envelope rate = {late:.4}  (rebound: rate increases)");
     assert!(late > early, "nonlinear case should rebound");
+    Ok(())
 }

@@ -8,20 +8,38 @@
 //! ```
 
 use pic2d::cachesim::{Hierarchy, HierarchyConfig, MemSink};
+use pic2d::pic_core::PicError;
 use pic2d::sfc::locality::{axis_move_stats, Axis};
-use pic2d::sfc::{CellLayout, Hilbert, L4D, Morton, RowMajor};
+use pic2d::sfc::{CellLayout, Hilbert, Morton, RowMajor, L4D};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), PicError> {
     let mut args = std::env::args().skip(1);
     let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     let l4d_size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
-    assert!(side.is_power_of_two(), "side must be a power of two");
+    if !side.is_power_of_two() {
+        return Err(PicError::Config(format!(
+            "side must be a power of two, got {side}"
+        )));
+    }
 
+    // The layout constructors reject bad dimensions (e.g. a zero or
+    // larger-than-grid l4d tile); `?` turns that into the exit diagnostic.
     let layouts: Vec<Box<dyn CellLayout>> = vec![
-        Box::new(RowMajor::new(side, side).unwrap()),
-        Box::new(L4D::new(side, side, l4d_size).unwrap()),
-        Box::new(Morton::new(side, side).unwrap()),
-        Box::new(Hilbert::new(side, side).unwrap()),
+        Box::new(RowMajor::new(side, side)?),
+        Box::new(L4D::new(side, side, l4d_size)?),
+        Box::new(Morton::new(side, side)?),
+        Box::new(Hilbert::new(side, side)?),
     ];
 
     for layout in &layouts {
@@ -70,4 +88,5 @@ fn main() {
     }
 
     println!("\n(The paper's Fig. 3/4 correspond to `Morton 8` and `L4D 128 8`.)");
+    Ok(())
 }

@@ -7,8 +7,20 @@
 //! ```
 
 use pic2d::pic_core::sim::{PicConfig, Simulation};
+use pic2d::pic_core::PicError;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), PicError> {
     // Table I scaled down: 128×128 grid, 500 k particles (paper: 50 M),
     // Morton-ordered redundant field arrays, SoA particles, split loops,
     // branchless position update, sorting every 20 iterations.
@@ -18,20 +30,30 @@ fn main() {
         cfg.grid_nx, cfg.grid_ny, cfg.n_particles, cfg.ordering, cfg.dt
     );
 
-    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    let mut sim = Simulation::new(cfg)?;
     let steps = 100;
     let wall = std::time::Instant::now();
     sim.run(steps);
     let elapsed = wall.elapsed().as_secs_f64();
 
     let d = sim.diagnostics();
-    let first = d.history.first().unwrap();
-    let last = d.history.last().unwrap();
+    // `run(steps)` with steps > 0 records at least one sample.
+    let first = d.history.first().expect("history non-empty after run");
+    let last = d.history.last().expect("history non-empty after run");
     println!("\nenergy budget (normalized units):");
-    println!("  t=0   kinetic {:>12.4}  field {:>10.3e}  total {:>12.4}",
-        first.kinetic, first.field, first.total());
-    println!("  t={:<4} kinetic {:>12.4}  field {:>10.3e}  total {:>12.4}",
-        last.time, last.kinetic, last.field, last.total());
+    println!(
+        "  t=0   kinetic {:>12.4}  field {:>10.3e}  total {:>12.4}",
+        first.kinetic,
+        first.field,
+        first.total()
+    );
+    println!(
+        "  t={:<4} kinetic {:>12.4}  field {:>10.3e}  total {:>12.4}",
+        last.time,
+        last.kinetic,
+        last.field,
+        last.total()
+    );
     println!("  relative drift {:.2e}", d.relative_energy_drift());
 
     let ph = sim.timers();
@@ -46,4 +68,5 @@ fn main() {
     let mps = sim.config().n_particles as f64 * steps as f64 / elapsed / 1e6;
     println!("\nthroughput: {mps:.1} million particle-updates/s on one core");
     println!("(the paper reports 65 M/s on a Haswell core at 50 M particles)");
+    Ok(())
 }

@@ -9,26 +9,43 @@
 
 use pic2d::pic_core::autotune::autotune_sort_period;
 use pic2d::pic_core::sim::{PicConfig, Simulation};
+use pic2d::pic_core::PicError;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), PicError> {
     let mut cfg = PicConfig::landau_table1(500_000);
     cfg.sort_period = 0; // the tuner drives sorting during trials
-    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    let mut sim = Simulation::new(cfg)?;
 
     // Let the particles randomize first so the trials see realistic drift.
     sim.run(10);
 
     let candidates = [5usize, 10, 20, 50, 100];
     println!("trialing sort periods {candidates:?} (window 100 steps each)...");
-    let report = autotune_sort_period(&mut sim, &candidates, 100);
+    let report = autotune_sort_period(&mut sim, &candidates, 100)?;
 
     println!("\n{:>8}  {:>14}", "period", "s/step");
     for t in &report.trials {
-        let marker = if t.period == report.best_period { "  <== best" } else { "" };
+        let marker = if t.period == report.best_period {
+            "  <== best"
+        } else {
+            ""
+        };
         println!("{:>8}  {:>14.5}{marker}", t.period, t.secs_per_step);
     }
     println!(
         "\nselected sort period: {} (paper: 20 optimal on Haswell, 50 on Sandy Bridge —\nthe optimum is architecture- and scale-dependent, which is exactly why the\npaper wants it auto-tuned)",
         report.best_period
     );
+    Ok(())
 }

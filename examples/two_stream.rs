@@ -7,15 +7,27 @@
 //! ```
 
 use pic2d::pic_core::sim::{PicConfig, Simulation};
+use pic2d::pic_core::PicError;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), PicError> {
     let csv = std::env::args().any(|a| a == "--csv");
 
     let mut cfg = PicConfig::two_stream(500_000);
     cfg.grid_nx = 64;
     cfg.grid_ny = 16;
     cfg.dt = 0.05;
-    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    let mut sim = Simulation::new(cfg)?;
 
     let mut vx_spread_initial = None;
     let steps = 700; // t = 35
@@ -29,12 +41,17 @@ fn main() {
     if csv {
         println!("t,ex_mode,field_energy,kinetic");
         for s in &sim.diagnostics().history {
-            println!("{},{:.6e},{:.6e},{:.6e}", s.time, s.ex_mode, s.field, s.kinetic);
+            println!(
+                "{},{:.6e},{:.6e},{:.6e}",
+                s.time, s.ex_mode, s.field, s.kinetic
+            );
         }
     }
 
     let d = sim.diagnostics();
-    let growth = d.mode_amplitude_rate(5.0, 20.0).expect("samples in window");
+    let growth = d
+        .mode_amplitude_rate(5.0, 20.0)
+        .ok_or_else(|| PicError::Diverged("no diagnostic samples in the fit window".into()))?;
     let h = &d.history;
     eprintln!("two-stream instability (v0 = 3, k = 0.2):");
     eprintln!("  mode amplitude t=0 : {:.3e}", h[0].ex_mode);
@@ -47,9 +64,11 @@ fn main() {
     eprintln!("  late-time envelope rate: {late:.4} (saturation: well below the linear rate)");
 
     // Particle trapping heats the beams: the vx distribution spreads.
-    let (p10_0, p90_0) = vx_spread_initial.unwrap();
+    // Set on the first loop iteration, and steps > 0.
+    let (p10_0, p90_0) = vx_spread_initial.expect("recorded at step 0");
     let (p10, p90) = vx_percentiles(&sim);
     eprintln!("  beam spread (10th..90th vx percentile): initial [{p10_0:.2}, {p90_0:.2}] -> final [{p10:.2}, {p90:.2}]");
+    Ok(())
 }
 
 /// 10th and 90th percentile of physical vx.
@@ -61,6 +80,6 @@ fn vx_percentiles(sim: &Simulation) -> (f64, f64) {
         1.0
     };
     let mut v: Vec<f64> = sim.particles().vx.iter().map(|&u| u * scale).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     (v[v.len() / 10], v[9 * v.len() / 10])
 }

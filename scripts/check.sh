@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline repo gate: formatting, lints, build, and the full test suite.
+# Everything runs without network access (the workspace has no external
+# dependencies); run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "All checks passed."

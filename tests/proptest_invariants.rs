@@ -1,52 +1,77 @@
-//! Property-based tests on the core data structures and kernel invariants,
-//! spanning the sfc, spectral and pic-core crates.
+//! Seeded randomized tests on the core data structures and kernel
+//! invariants, spanning the sfc, spectral and pic-core crates.
+//!
+//! Each test draws a few hundred cases from the in-repo xoshiro PRNG with a
+//! fixed seed — deterministic (failures reproduce exactly) and free of the
+//! proptest dependency, which this offline environment cannot fetch.
 
 use pic2d::pic_core::fields::cic_weights;
 use pic2d::pic_core::grid::{split_periodic, wrap_grid};
 use pic2d::pic_core::particles::ParticlesSoA;
-use pic2d::pic_core::sort::{is_sorted_by_cell, par_sort_out_of_place, sort_in_place, sort_out_of_place};
-use pic2d::sfc::{CellLayout, Hilbert, L4D, Morton, RowMajor};
+use pic2d::pic_core::rng::Rng;
+use pic2d::pic_core::sort::{
+    is_sorted_by_cell, par_sort_out_of_place, sort_in_place, sort_out_of_place,
+};
+use pic2d::sfc::{CellLayout, Hilbert, Morton, RowMajor, L4D};
 use pic2d::spectral::fft::{dft_naive, Direction, FftPlan};
 use pic2d::spectral::Complex64;
-use proptest::prelude::*;
 
-proptest! {
-    // ---------------- sfc ----------------
+const CASES: usize = 256;
 
-    #[test]
-    fn morton_roundtrip(ix in 0usize..1024, iy in 0usize..1024) {
-        let l = Morton::new(1024, 1024).unwrap();
+// ---------------- sfc ----------------
+
+#[test]
+fn morton_roundtrip() {
+    let l = Morton::new(1024, 1024).unwrap();
+    let mut rng = Rng::seed_from_u64(0x5fc0);
+    for _ in 0..CASES {
+        let (ix, iy) = (rng.below(1024) as usize, rng.below(1024) as usize);
         let c = l.encode(ix, iy);
-        prop_assert!(c < 1024 * 1024);
-        prop_assert_eq!(l.decode(c), (ix, iy));
+        assert!(c < 1024 * 1024);
+        assert_eq!(l.decode(c), (ix, iy));
     }
+}
 
-    #[test]
-    fn hilbert_roundtrip(ix in 0usize..256, iy in 0usize..256) {
-        let l = Hilbert::new(256, 256).unwrap();
-        prop_assert_eq!(l.decode(l.encode(ix, iy)), (ix, iy));
+#[test]
+fn hilbert_roundtrip() {
+    let l = Hilbert::new(256, 256).unwrap();
+    let mut rng = Rng::seed_from_u64(0x5fc1);
+    for _ in 0..CASES {
+        let (ix, iy) = (rng.below(256) as usize, rng.below(256) as usize);
+        assert_eq!(l.decode(l.encode(ix, iy)), (ix, iy));
     }
+}
 
-    #[test]
-    fn l4d_roundtrip(ix in 0usize..128, iy in 0usize..128, size in 1usize..=128) {
+#[test]
+fn l4d_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x5fc2);
+    for _ in 0..CASES {
+        let size = rng.below(128) as usize + 1;
         let l = L4D::new(128, 128, size).unwrap();
-        prop_assert_eq!(l.decode(l.encode(ix, iy)), (ix, iy));
+        let (ix, iy) = (rng.below(128) as usize, rng.below(128) as usize);
+        assert_eq!(l.decode(l.encode(ix, iy)), (ix, iy), "size={size}");
     }
+}
 
-    #[test]
-    fn hilbert_consecutive_adjacent(start in 0usize..(64 * 64 - 8)) {
-        // Any window of the Hilbert walk moves by exactly one 4-neighbour
-        // step per index.
-        let l = Hilbert::new(64, 64).unwrap();
+#[test]
+fn hilbert_consecutive_adjacent() {
+    // Any window of the Hilbert walk moves by exactly one 4-neighbour
+    // step per index.
+    let l = Hilbert::new(64, 64).unwrap();
+    let mut rng = Rng::seed_from_u64(0x5fc3);
+    for _ in 0..CASES {
+        let start = rng.below((64 * 64 - 8) as u64) as usize;
         for i in start..start + 7 {
             let a = l.decode(i);
             let b = l.decode(i + 1);
-            prop_assert_eq!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1), 1);
+            assert_eq!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1), 1, "i={i}");
         }
     }
+}
 
-    #[test]
-    fn layouts_agree_on_totals(side_pow in 3u32..=7) {
+#[test]
+fn layouts_agree_on_totals() {
+    for side_pow in 3u32..=7 {
         let side = 1usize << side_pow;
         let layouts: Vec<Box<dyn CellLayout>> = vec![
             Box::new(RowMajor::new(side, side).unwrap()),
@@ -54,44 +79,57 @@ proptest! {
             Box::new(Hilbert::new(side, side).unwrap()),
         ];
         for l in &layouts {
-            let sum: usize = (0..side).flat_map(|x| (0..side).map(move |y| (x, y)))
-                .map(|(x, y)| l.encode(x, y)).sum();
+            let sum: usize = (0..side)
+                .flat_map(|x| (0..side).map(move |y| (x, y)))
+                .map(|(x, y)| l.encode(x, y))
+                .sum();
             // A bijection onto [0, n) always sums to n(n-1)/2.
             let n = side * side;
-            prop_assert_eq!(sum, n * (n - 1) / 2);
+            assert_eq!(sum, n * (n - 1) / 2, "side={side}");
         }
     }
+}
 
-    // ---------------- grid arithmetic ----------------
+// ---------------- grid arithmetic ----------------
 
-    #[test]
-    fn split_periodic_in_range(g in -1e5f64..1e5, pow in 1u32..=10) {
-        let n = 1usize << pow;
+#[test]
+fn split_periodic_in_range() {
+    let mut rng = Rng::seed_from_u64(0x61d0);
+    for _ in 0..CASES {
+        let g = rng.range(-1e5, 1e5);
+        let n = 1usize << (rng.below(10) + 1);
         let (cell, off) = split_periodic(g, n);
-        prop_assert!(cell < n);
-        prop_assert!((0.0..1.0).contains(&off));
+        assert!(cell < n);
+        assert!((0.0..1.0).contains(&off));
         // Reconstruction is congruent mod n.
         let rebuilt = wrap_grid(cell as f64 + off, n);
         let reference = wrap_grid(g, n);
         let d = (rebuilt - reference).abs();
-        prop_assert!(d < 1e-6 || (n as f64 - d) < 1e-6, "g={} d={}", g, d);
+        assert!(d < 1e-6 || (n as f64 - d) < 1e-6, "g={g} d={d}");
     }
+}
 
-    #[test]
-    fn cic_weights_are_a_partition_of_unity(dx in 0.0f64..1.0, dy in 0.0f64..1.0) {
+#[test]
+fn cic_weights_are_a_partition_of_unity() {
+    let mut rng = Rng::seed_from_u64(0x61d1);
+    for _ in 0..CASES {
+        let (dx, dy) = (rng.uniform(), rng.uniform());
         let w = cic_weights(dx, dy);
-        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12, "({dx}, {dy})");
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
     }
+}
 
-    // ---------------- sorting ----------------
+// ---------------- sorting ----------------
 
-    #[test]
-    fn sorts_agree_and_preserve_payload(cells in prop::collection::vec(0u32..256, 1..500)) {
-        let n = cells.len();
+#[test]
+fn sorts_agree_and_preserve_payload() {
+    let mut rng = Rng::seed_from_u64(0x50f7);
+    for case in 0..64 {
+        let n = rng.below(499) as usize + 1;
         let mut p = ParticlesSoA::zeroed(n);
-        p.icell.copy_from_slice(&cells);
         for i in 0..n {
+            p.icell[i] = rng.below(256) as u32;
             p.vx[i] = i as f64; // unique payload
         }
         let mut a = p.clone();
@@ -102,44 +140,55 @@ proptest! {
         sort_out_of_place(&mut a, &mut s1, 256);
         sort_in_place(&mut b, 256);
         par_sort_out_of_place(&mut c, &mut s2, 256, 4);
-        prop_assert!(is_sorted_by_cell(&a));
-        prop_assert!(is_sorted_by_cell(&b));
+        assert!(is_sorted_by_cell(&a), "case={case}");
+        assert!(is_sorted_by_cell(&b), "case={case}");
         // Out-of-place sorts are stable and must agree exactly.
-        prop_assert_eq!(&a.icell, &c.icell);
-        prop_assert_eq!(&a.vx, &c.vx);
+        assert_eq!(&a.icell, &c.icell);
+        assert_eq!(&a.vx, &c.vx);
         // In-place is unstable: compare multisets.
         let multiset = |p: &ParticlesSoA| {
-            let mut v: Vec<(u32, u64)> =
-                (0..p.len()).map(|i| (p.icell[i], p.vx[i].to_bits())).collect();
+            let mut v: Vec<(u32, u64)> = (0..p.len())
+                .map(|i| (p.icell[i], p.vx[i].to_bits()))
+                .collect();
             v.sort_unstable();
             v
         };
-        prop_assert_eq!(multiset(&a), multiset(&b));
+        assert_eq!(multiset(&a), multiset(&b));
     }
+}
 
-    // ---------------- spectral ----------------
+// ---------------- spectral ----------------
 
-    #[test]
-    fn fft_matches_dft(values in prop::collection::vec(-100.0f64..100.0, 16)) {
-        let sig: Vec<Complex64> = values.iter().map(|&v| Complex64::from_re(v)).collect();
+#[test]
+fn fft_matches_dft() {
+    let mut rng = Rng::seed_from_u64(0xff70);
+    for _ in 0..64 {
+        let sig: Vec<Complex64> = (0..16)
+            .map(|_| Complex64::from_re(rng.range(-100.0, 100.0)))
+            .collect();
         let plan = FftPlan::new(16).unwrap();
         let mut fast = sig.clone();
         plan.forward(&mut fast);
         let slow = dft_naive(&sig, Direction::Forward);
         for k in 0..16 {
-            prop_assert!((fast[k] - slow[k]).abs() < 1e-8);
+            assert!((fast[k] - slow[k]).abs() < 1e-8, "k={k}");
         }
     }
+}
 
-    #[test]
-    fn fft_roundtrip_random(values in prop::collection::vec(-1e6f64..1e6, 64)) {
-        let sig: Vec<Complex64> = values.iter().map(|&v| Complex64::from_re(v)).collect();
+#[test]
+fn fft_roundtrip_random() {
+    let mut rng = Rng::seed_from_u64(0xff71);
+    for _ in 0..64 {
+        let sig: Vec<Complex64> = (0..64)
+            .map(|_| Complex64::from_re(rng.range(-1e6, 1e6)))
+            .collect();
         let plan = FftPlan::new(64).unwrap();
         let mut d = sig.clone();
         plan.forward(&mut d);
         plan.inverse(&mut d);
         for k in 0..64 {
-            prop_assert!((d[k] - sig[k]).abs() < 1e-6 * (1.0 + sig[k].abs()));
+            assert!((d[k] - sig[k]).abs() < 1e-6 * (1.0 + sig[k].abs()), "k={k}");
         }
     }
 }
