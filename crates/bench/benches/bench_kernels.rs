@@ -1,21 +1,36 @@
 //! Criterion benchmarks for the particle-loop kernels — the micro version
 //! of Tables III/IV: each optimization variant of each loop, on a sorted
-//! particle population.
+//! particle population, with the lane-blocked SIMD kernels benchmarked
+//! against their scalar twins.
+//!
+//! Besides the human-readable report, `main` writes
+//! `results/BENCH_kernels.json` with per-kernel ns/particle so regressions
+//! can be tracked by script. Set `PIC_BENCH_PARTICLES` to override the
+//! default 1 M particle population.
 
-use pic_bench::harness::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pic_bench::harness::{black_box, criterion_group, Criterion, Throughput};
+use pic_bench::report::{records_to_json, results_path, take_records, write_json_file, Json};
 use pic_core::fields::{Field2D, RedundantE, RedundantRho};
 use pic_core::grid::Grid2D;
-use pic_core::kernels::{accumulate, position, velocity};
+use pic_core::kernels::{accumulate, position, simd, velocity};
 use pic_core::particles::{initialize, InitialDistribution, ParticlesSoA};
 use pic_core::sort::sort_out_of_place;
 use sfc::{CellLayout, Morton, RowMajor};
 
-const N: usize = 100_000;
 const SIDE: usize = 128;
+
+/// Particle count: `PIC_BENCH_PARTICLES` or 1 M (the scale the lane-vs-
+/// scalar acceptance numbers are quoted at).
+fn particles() -> usize {
+    std::env::var("PIC_BENCH_PARTICLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000)
+}
 
 fn setup(layout: &dyn CellLayout) -> ParticlesSoA {
     let grid = Grid2D::new(SIDE, SIDE, 1.0, 1.0).unwrap();
-    let mut p = initialize(&grid, layout, InitialDistribution::Uniform, N, 42);
+    let mut p = initialize(&grid, layout, InitialDistribution::Uniform, particles(), 42);
     // Grid-unit velocities ~ half a cell per step.
     for v in p.vx.iter_mut().chain(p.vy.iter_mut()) {
         *v *= 0.5;
@@ -42,7 +57,7 @@ fn bench_update_velocities(c: &mut Criterion) {
     let p = setup(&layout);
     let (f, e8) = field(&layout);
     let mut g = c.benchmark_group("update_velocities");
-    g.throughput(Throughput::Elements(N as u64));
+    g.throughput(Throughput::Elements(p.len() as u64));
 
     let mut vx = p.vx.clone();
     let mut vy = p.vy.clone();
@@ -59,9 +74,37 @@ fn bench_update_velocities(c: &mut Criterion) {
             black_box(vx[0])
         })
     });
+    g.bench_function("redundant_hoisted_lanes", |b| {
+        b.iter(|| {
+            simd::update_velocities_redundant_hoisted_lanes(
+                black_box(&p.icell),
+                &p.dx,
+                &p.dy,
+                &mut vx,
+                &mut vy,
+                &e8.e8,
+            );
+            black_box(vx[0])
+        })
+    });
     g.bench_function("redundant_coeff", |b| {
         b.iter(|| {
             velocity::update_velocities_redundant(
+                black_box(&p.icell),
+                &p.dx,
+                &p.dy,
+                &mut vx,
+                &mut vy,
+                &e8.e8,
+                0.5,
+                0.5,
+            );
+            black_box(vx[0])
+        })
+    });
+    g.bench_function("redundant_coeff_lanes", |b| {
+        b.iter(|| {
+            simd::update_velocities_redundant_lanes(
                 black_box(&p.icell),
                 &p.dx,
                 &p.dy,
@@ -98,7 +141,7 @@ fn bench_update_positions(c: &mut Criterion) {
     let mo = Morton::new(SIDE, SIDE).unwrap();
     let base = setup(&rm);
     let mut g = c.benchmark_group("update_positions");
-    g.throughput(Throughput::Elements(N as u64));
+    g.throughput(Throughput::Elements(base.len() as u64));
 
     g.bench_function("naive_if", |b| {
         let mut p = base.clone();
@@ -157,11 +200,48 @@ fn bench_update_positions(c: &mut Criterion) {
             black_box(p.icell[0])
         })
     });
+    g.bench_function("branchless_lanes", |b| {
+        let mut p = base.clone();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        b.iter(|| {
+            simd::update_positions_branchless_lanes(
+                &mut p.icell,
+                &mut p.ix,
+                &mut p.iy,
+                &mut p.dx,
+                &mut p.dy,
+                &vx,
+                &vy,
+                SIDE,
+                SIDE,
+                1.0,
+            );
+            black_box(p.icell[0])
+        })
+    });
     g.bench_function("branchless_morton", |b| {
         let mut p = base.clone();
         let (vx, vy) = (base.vx.clone(), base.vy.clone());
         b.iter(|| {
             position::update_positions_branchless_layout(
+                &mut p.icell,
+                &mut p.ix,
+                &mut p.iy,
+                &mut p.dx,
+                &mut p.dy,
+                &vx,
+                &vy,
+                &mo,
+                1.0,
+            );
+            black_box(p.icell[0])
+        })
+    });
+    g.bench_function("branchless_morton_lanes", |b| {
+        let mut p = base.clone();
+        let (vx, vy) = (base.vx.clone(), base.vy.clone());
+        b.iter(|| {
+            simd::update_positions_branchless_layout_lanes(
                 &mut p.icell,
                 &mut p.ix,
                 &mut p.iy,
@@ -182,12 +262,19 @@ fn bench_accumulate(c: &mut Criterion) {
     let layout = Morton::new(SIDE, SIDE).unwrap();
     let p = setup(&layout);
     let mut g = c.benchmark_group("accumulate");
-    g.throughput(Throughput::Elements(N as u64));
+    g.throughput(Throughput::Elements(p.len() as u64));
 
     g.bench_function("redundant", |b| {
         let mut acc = RedundantRho::new(&layout);
         b.iter(|| {
             accumulate::accumulate_redundant(black_box(&p.icell), &p.dx, &p.dy, &mut acc.rho4, 1.0);
+            black_box(acc.rho4[0][0])
+        })
+    });
+    g.bench_function("redundant_lanes", |b| {
+        let mut acc = RedundantRho::new(&layout);
+        b.iter(|| {
+            simd::accumulate_redundant_lanes(black_box(&p.icell), &p.dx, &p.dy, &mut acc.rho4, 1.0);
             black_box(acc.rho4[0][0])
         })
     });
@@ -225,4 +312,53 @@ fn short() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_main!(benches);
+/// Per-record metadata the JSON consumers want: which cell layout the bench
+/// ran on and whether it used the scalar or the lane-blocked kernel path.
+fn annotate(group: &str, id: &str) -> (&'static str, &'static str) {
+    let layout = match group {
+        "update_positions" if !id.contains("morton") => "row_major",
+        _ => "morton",
+    };
+    let path = if id.ends_with("_lanes") {
+        "lanes"
+    } else {
+        "scalar"
+    };
+    (layout, path)
+}
+
+fn main() {
+    benches();
+    let records = take_records();
+    let results = match records_to_json(&records) {
+        Json::Arr(items) => Json::Arr(
+            items
+                .into_iter()
+                .zip(&records)
+                .map(|(j, r)| {
+                    let (layout, path) = annotate(&r.group, &r.id);
+                    match j {
+                        Json::Obj(mut pairs) => {
+                            pairs.push(("layout".into(), Json::s(layout)));
+                            pairs.push(("path".into(), Json::s(path)));
+                            Json::Obj(pairs)
+                        }
+                        other => other,
+                    }
+                })
+                .collect(),
+        ),
+        other => other,
+    };
+    let doc = Json::obj([
+        ("bench", Json::s("bench_kernels")),
+        ("particles", Json::Int(particles() as i64)),
+        ("grid", Json::Int(SIDE as i64)),
+        ("threads", Json::Int(1)),
+        ("lanes", Json::Int(simd::LANES as i64)),
+        ("results", results),
+    ]);
+    let path = results_path("BENCH_kernels.json");
+    write_json_file(&path, &doc).expect("write BENCH_kernels.json");
+    println!("\nwrote {}", path.display());
+}

@@ -11,6 +11,7 @@
 //! it despite its good cache behaviour.
 
 use pic_bench::cli::Args;
+use pic_bench::report::{results_path, write_json_file, Json};
 use pic_bench::table::{secs, Table};
 use pic_bench::workloads::{self, run_fresh};
 use pic_core::sim::{FieldLayout, PhaseTimes};
@@ -50,19 +51,46 @@ fn run() -> Result<(), PicError> {
     println!("# particles={particles} grid={grid} iters={iters} sort-every=20");
 
     let mut t = Table::new(&["Layout", "Update v", "Update x", "Accumulate", "Total"]);
+    let mut rows = Vec::new();
+    let json_row = |label: &str, ph: &PhaseTimes| {
+        let ns = |s: f64| Json::Num(pic_bench::ns_per_particle(s, particles, iters));
+        Json::obj([
+            ("layout", Json::s(label)),
+            ("update_v_s", Json::Num(ph.update_v)),
+            ("update_x_s", Json::Num(ph.update_x)),
+            ("accumulate_s", Json::Num(ph.accumulate)),
+            ("total_s", Json::Num(ph.total())),
+            ("update_v_ns_per_particle", ns(ph.update_v)),
+            ("update_x_ns_per_particle", ns(ph.update_x)),
+            ("accumulate_ns_per_particle", ns(ph.accumulate)),
+        ])
+    };
 
     // 2-D standard: standard field arrays, row-major.
     let mut cfg = workloads::table1(particles, grid, Ordering::RowMajor);
     cfg.field_layout = FieldLayout::Standard;
     cfg.hoisted = false; // standard layout has no pre-scaled redundant copy
-    run_case("2d standard", cfg, iters, &mut t)?;
+    let ph = run_case("2d standard", cfg, iters, &mut t)?;
+    rows.push(json_row("2d standard", &ph));
 
     // Redundant layout under each ordering.
     for ordering in Ordering::paper_set() {
         let cfg = workloads::table1(particles, grid, ordering);
-        run_case(&ordering.to_string(), cfg, iters, &mut t)?;
+        let ph = run_case(&ordering.to_string(), cfg, iters, &mut t)?;
+        rows.push(json_row(&ordering.to_string(), &ph));
     }
     t.print();
+
+    let doc = Json::obj([
+        ("bench", Json::s("table3_loop_times")),
+        ("particles", Json::Int(particles as i64)),
+        ("grid", Json::Int(grid as i64)),
+        ("iters", Json::Int(iters as i64)),
+        ("results", Json::Arr(rows)),
+    ]);
+    let path = results_path("BENCH_table3.json");
+    write_json_file(&path, &doc).map_err(|e| PicError::Io(format!("{}: {e}", path.display())))?;
+    println!("# wrote {}", path.display());
 
     if args.has("l4d-sweep") {
         println!("\n# L4D SIZE sweep (paper: SIZE=8 best on Haswell)");

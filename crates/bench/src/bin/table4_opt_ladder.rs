@@ -8,6 +8,7 @@
 //! the largest single contributions from loop splitting and SoA.
 
 use pic_bench::cli::Args;
+use pic_bench::report::{results_path, write_json_file, Json};
 use pic_bench::table::{secs, Table};
 use pic_bench::workloads::{self, run_fresh};
 use pic_core::PicError;
@@ -27,6 +28,7 @@ fn run() -> Result<(), PicError> {
 
     let ladder = workloads::table4_ladder(particles, grid);
     let mut t = Table::new(&["Configuration", "Time(s)", "Gain(%)", "Acc. gain(%)"]);
+    let mut rows = Vec::new();
     let mut baseline = None;
     let mut prev = None;
     for (label, cfg) in ladder {
@@ -45,13 +47,34 @@ fn run() -> Result<(), PicError> {
             format!("{gain:.1}"),
             format!("{acc:.1}"),
         ]);
+        rows.push(Json::obj([
+            ("configuration", Json::s(label)),
+            ("time_s", Json::Num(time)),
+            ("gain_pct", Json::Num(gain)),
+            ("acc_gain_pct", Json::Num(acc)),
+            (
+                "ns_per_particle",
+                Json::Num(pic_bench::ns_per_particle(time, particles, iters)),
+            ),
+        ]));
         prev = Some(time);
     }
     t.print();
 
     println!("\n# Paper (50 M particles, Haswell, icc): 120.4 s -> 68.8 s, 42.8% accumulated gain");
-    // The ladder always has seven rungs, so `prev` was set on every path.
+    // The ladder is never empty, so `prev` was set on every path.
     let mp = pic_bench::mp_per_s(particles, iters, prev.expect("ladder is non-empty"));
     println!("# Final rung throughput: {mp:.1} M particles/s (paper: 65 M/s on Haswell)");
+
+    let doc = Json::obj([
+        ("bench", Json::s("table4_opt_ladder")),
+        ("particles", Json::Int(particles as i64)),
+        ("grid", Json::Int(grid as i64)),
+        ("iters", Json::Int(iters as i64)),
+        ("results", Json::Arr(rows)),
+    ]);
+    let path = results_path("BENCH_table4.json");
+    write_json_file(&path, &doc).map_err(|e| PicError::Io(format!("{}: {e}", path.display())))?;
+    println!("# wrote {}", path.display());
     Ok(())
 }

@@ -265,6 +265,17 @@ fn report(group: &str, id: &str, samples: &[f64], throughput: Option<Throughput>
     let median = sorted[sorted.len() / 2];
     let min = sorted[0];
     let max = sorted[sorted.len() - 1];
+    crate::report::record(crate::report::BenchRecord {
+        group: group.to_string(),
+        id: id.to_string(),
+        median_secs: median,
+        min_secs: min,
+        max_secs: max,
+        elements: match throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        },
+    });
     let name = format!("{group}/{id}");
     let mut line = format!(
         "{name:<44} time: [{} {} {}]",

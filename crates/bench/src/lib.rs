@@ -11,6 +11,8 @@
 //!   versions of the paper's Table I test case;
 //! * [`membench`] — the STREAM kernels (McCalpin) used as the bandwidth
 //!   ceiling in Fig. 8;
+//! * [`report`] — machine-readable (JSON) benchmark output: a registry the
+//!   harness feeds and a dependency-free JSON writer;
 //! * [`literature`] — published comparison constants (Decyk & Singh 2014,
 //!   Table V), quoted rather than re-measured, exactly as the paper does.
 
@@ -21,6 +23,7 @@ pub mod cli;
 pub mod harness;
 pub mod literature;
 pub mod membench;
+pub mod report;
 pub mod table;
 pub mod workloads;
 

@@ -1,0 +1,252 @@
+//! Machine-readable benchmark output.
+//!
+//! The text tables the binaries print are for humans; regression tracking
+//! wants something a script can diff. This module provides the two pieces:
+//!
+//! * a process-global registry of [`BenchRecord`]s that the harness in
+//!   [`crate::harness`] feeds as each benchmark finishes, so a bench
+//!   binary's `main` can collect everything it ran with [`take_records`];
+//! * a tiny dependency-free JSON value type ([`Json`]) plus
+//!   [`write_json_file`], enough to emit well-formed JSON without pulling
+//!   in serde (the workspace is offline and carries no external crates).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One finished benchmark: identity plus the timing statistics the harness
+/// computed over its samples.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name (first path component of the printed id).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median seconds per iteration.
+    pub median_secs: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_secs: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_secs: f64,
+    /// Elements per iteration, when the group declared
+    /// [`crate::harness::Throughput::Elements`].
+    pub elements: Option<u64>,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Append a record to the process-global registry. Called by the harness;
+/// bench code normally never needs this directly.
+pub fn record(r: BenchRecord) {
+    RECORDS.lock().unwrap_or_else(|e| e.into_inner()).push(r);
+}
+
+/// Drain the registry, returning every record since the last call (or
+/// process start), in completion order.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *RECORDS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// A JSON value. Construct with the shorthand helpers and serialize with
+/// [`Json::to_string_pretty`] or [`write_json_file`].
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null` (also what non-finite numbers serialize as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values serialize as `null` (JSON has no NaN).
+    Num(f64),
+    /// An integer, kept separate so counts print without a decimal point.
+    Int(i64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// String value.
+    pub fn s(v: impl Into<String>) -> Self {
+        Json::Str(v.into())
+    }
+
+    /// Object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) if !v.is_finite() => out.push_str("null"),
+            Json::Num(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Path of `file` inside the workspace `results/` directory, anchored to
+/// this crate's manifest so output lands in the same place whether the
+/// binary runs under `cargo bench` (package dir) or `cargo run` (caller's
+/// working directory).
+pub fn results_path(file: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(file)
+}
+
+/// Write `json` to `path`, creating parent directories as needed.
+pub fn write_json_file(path: &Path, json: &Json) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, json.to_string_pretty())
+}
+
+/// Convert a slice of records into the standard JSON result array: one
+/// object per record with seconds and (when elements are known) derived
+/// nanoseconds per element.
+pub fn records_to_json(records: &[BenchRecord]) -> Json {
+    Json::Arr(
+        records
+            .iter()
+            .map(|r| {
+                let ns = r
+                    .elements
+                    .map(|n| Json::Num(r.median_secs * 1e9 / n as f64))
+                    .unwrap_or(Json::Null);
+                Json::obj([
+                    ("group", Json::s(&r.group)),
+                    ("id", Json::s(&r.id)),
+                    ("median_s", Json::Num(r.median_secs)),
+                    ("min_s", Json::Num(r.min_secs)),
+                    ("max_s", Json::Num(r.max_secs)),
+                    ("ns_per_elem", ns),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        let j = Json::obj([
+            ("name", Json::s("a\"b\\c\nd")),
+            ("n", Json::Int(42)),
+            ("x", Json::Num(1.5)),
+            ("bad", Json::Num(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("empty", Json::Arr(vec![])),
+            ("arr", Json::Arr(vec![Json::Int(1), Json::Null])),
+        ]);
+        let s = j.to_string_pretty();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""), "{s}");
+        assert!(s.contains("\"n\": 42"), "{s}");
+        assert!(s.contains("\"x\": 1.5"), "{s}");
+        assert!(s.contains("\"bad\": null"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
+        assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        // Drain anything other tests left behind, then check our own.
+        let _ = take_records();
+        record(BenchRecord {
+            group: "g".into(),
+            id: "i".into(),
+            median_secs: 2e-9,
+            min_secs: 1e-9,
+            max_secs: 3e-9,
+            elements: Some(2),
+        });
+        let got = take_records();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].group, "g");
+        let arr = records_to_json(&got);
+        let s = arr.to_string_pretty();
+        assert!(s.contains("\"ns_per_elem\": 1"), "{s}");
+        assert!(take_records().is_empty());
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("pic_bench_report_test");
+        let path = dir.join("nested").join("out.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_json_file(&path, &Json::obj([("ok", Json::Bool(true))])).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("\"ok\": true"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,7 +11,7 @@
 //! per-step wall time of short trial windows at several candidate periods
 //! on the *live* simulation state and returns the cheapest.
 
-use crate::sim::Simulation;
+use crate::sim::{KernelPath, Simulation};
 use crate::PicError;
 use std::time::Instant;
 
@@ -94,6 +94,75 @@ pub fn autotune_sort_period(
     })
 }
 
+/// Result of one hot-path tuning trial: a (kernel path, sort period) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotPathTrial {
+    /// The kernel path tried.
+    pub path: KernelPath,
+    /// The sorting period tried.
+    pub period: usize,
+    /// Measured mean seconds per step, including amortized sorting.
+    pub secs_per_step: f64,
+}
+
+/// Outcome of the two-dimensional hot-path tuning run.
+#[derive(Debug, Clone)]
+pub struct HotPathReport {
+    /// All trials, in the order they ran.
+    pub trials: Vec<HotPathTrial>,
+    /// The winning kernel path.
+    pub best_path: KernelPath,
+    /// The winning period.
+    pub best_period: usize,
+}
+
+/// Tune the kernel path × sort period grid on the live simulation: for each
+/// path, run [`autotune_sort_period`] over `periods`. The two knobs
+/// interact — lane-blocked kernels shift the balance between compute and
+/// the cache misses that sorting repairs — so the grid is measured jointly
+/// rather than per-axis. The simulation's kernel path is restored to its
+/// configured value afterwards; as with the period tuner, the caller
+/// applies the winners.
+pub fn autotune_hot_path(
+    sim: &mut Simulation,
+    periods: &[usize],
+    paths: &[KernelPath],
+    window: usize,
+) -> Result<HotPathReport, PicError> {
+    if paths.is_empty() {
+        return Err(PicError::Config(
+            "autotune needs at least one kernel path".into(),
+        ));
+    }
+    let original = sim.config().kernel_path;
+    let mut trials = Vec::with_capacity(paths.len() * periods.len());
+    for &path in paths {
+        sim.set_kernel_path(path);
+        let report = match autotune_sort_period(sim, periods, window) {
+            Ok(r) => r,
+            Err(e) => {
+                sim.set_kernel_path(original);
+                return Err(e);
+            }
+        };
+        trials.extend(report.trials.iter().map(|t| HotPathTrial {
+            path,
+            period: t.period,
+            secs_per_step: t.secs_per_step,
+        }));
+    }
+    sim.set_kernel_path(original);
+    let best = trials
+        .iter()
+        .min_by(|a, b| a.secs_per_step.total_cmp(&b.secs_per_step))
+        .expect("paths and periods verified non-empty");
+    Ok(HotPathReport {
+        best_path: best.path,
+        best_period: best.period,
+        trials,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +207,36 @@ mod tests {
         for i in 0..ra.len() {
             assert!((ra[i] - rb[i]).abs() < 1e-9, "rho[{i}]");
         }
+    }
+
+    #[test]
+    fn hot_path_tunes_both_axes_and_restores_path() {
+        let mut s = sim(3_000);
+        let configured = s.config().kernel_path;
+        let report = autotune_hot_path(
+            &mut s,
+            &[5, 10],
+            &[KernelPath::Scalar, KernelPath::Lanes],
+            10,
+        )
+        .unwrap();
+        assert_eq!(report.trials.len(), 4);
+        assert!([5, 10].contains(&report.best_period));
+        assert_eq!(s.config().kernel_path, configured);
+        assert!(report.trials.iter().all(|t| t.secs_per_step > 0.0));
+    }
+
+    #[test]
+    fn hot_path_rejects_empty_axes() {
+        let mut s = sim(1_000);
+        assert!(matches!(
+            autotune_hot_path(&mut s, &[5], &[], 5),
+            Err(crate::PicError::Config(_))
+        ));
+        assert!(matches!(
+            autotune_hot_path(&mut s, &[], &[KernelPath::Lanes], 5),
+            Err(crate::PicError::Config(_))
+        ));
     }
 
     #[test]

@@ -91,6 +91,57 @@ pub fn par_accumulate_redundant(
     }
 }
 
+/// Zero-allocation parallel redundant deposition on a persistent pool.
+///
+/// Worker `w` deposits its particle chunk (boundaries from
+/// [`crate::pool::chunk_range`]) into `arenas[w]` — a reusable private ρ₄
+/// copy owned by the simulation — and the leader then merges the arenas
+/// into `out` in worker order, so the floating-point reduction order is
+/// deterministic regardless of thread timing. This is the steady-state form
+/// of [`par_accumulate_redundant`]: same §V-B2 array-section reduction, but
+/// no per-call `Vec` and an optional lane-blocked inner kernel.
+///
+/// # Panics
+///
+/// Panics when fewer arenas than pool workers are supplied (single-worker
+/// pools need none: deposition then goes straight into `out`).
+pub fn pool_accumulate_redundant(
+    pool: &crate::pool::ThreadPool,
+    icell: &[u32],
+    dx: &[f64],
+    dy: &[f64],
+    out: &mut RedundantRho,
+    arenas: &mut [RedundantRho],
+    w: f64,
+    lanes: bool,
+) {
+    type DepositFn = fn(&[u32], &[f64], &[f64], &mut [[f64; 4]], f64);
+    let kernel: DepositFn = if lanes {
+        super::simd::accumulate_redundant_lanes
+    } else {
+        accumulate_redundant
+    };
+    let nw = pool.nthreads();
+    let n = icell.len();
+    if nw == 1 || n == 0 {
+        kernel(icell, dx, dy, &mut out.rho4, w);
+        return;
+    }
+    assert!(
+        arenas.len() >= nw,
+        "pool_accumulate_redundant: {} arenas for {nw} workers",
+        arenas.len()
+    );
+    pool.run_items(&mut arenas[..nw], |worker, arena| {
+        let (s, e) = crate::pool::chunk_range(n, nw, worker);
+        arena.clear();
+        kernel(&icell[s..e], &dx[s..e], &dy[s..e], &mut arena.rho4, w);
+    });
+    for arena in &arenas[..nw] {
+        out.add_assign(arena);
+    }
+}
+
 /// Deposit directly to a grid-point array through the redundant
 /// accumulator: convenience wrapper used by tests and small harnesses.
 pub fn deposit_to_grid(
@@ -240,5 +291,49 @@ mod tests {
         let mut acc = RedundantRho::new(&l);
         par_accumulate_redundant(&[], &[], &[], &mut acc, 1.0, 4);
         assert!(acc.rho4.iter().all(|c| *c == [0.0; 4]));
+    }
+
+    #[test]
+    fn pool_deposition_reusable_and_deterministic() {
+        let (ncx, ncy) = (16, 16);
+        let l = Morton::new(ncx, ncy).unwrap();
+        let p = mk(10_000, ncx, ncy, &l);
+        let mut seq = RedundantRho::new(&l);
+        accumulate_redundant(&p.icell, &p.dx, &p.dy, &mut seq.rho4, 1.0);
+        for nthreads in [1usize, 2, 4] {
+            let pool = crate::pool::ThreadPool::new(nthreads);
+            for lanes in [false, true] {
+                let mut arenas: Vec<RedundantRho> = (0..pool.nthreads())
+                    .map(|_| RedundantRho::new(&l))
+                    .collect();
+                // Dirty the arenas: the helper must clear them itself.
+                for a in &mut arenas {
+                    a.rho4[0][0] = 99.0;
+                }
+                let run = |arenas: &mut [RedundantRho]| {
+                    let mut out = RedundantRho::new(&l);
+                    pool_accumulate_redundant(
+                        &pool, &p.icell, &p.dx, &p.dy, &mut out, arenas, 1.0, lanes,
+                    );
+                    out
+                };
+                let first = run(&mut arenas);
+                let second = run(&mut arenas);
+                for (cell, (a, b)) in first.rho4.iter().zip(&second.rho4).enumerate() {
+                    for k in 0..4 {
+                        // Re-running on reused arenas must be bit-identical.
+                        assert_eq!(
+                            a[k].to_bits(),
+                            b[k].to_bits(),
+                            "nthreads={nthreads} lanes={lanes} cell={cell}"
+                        );
+                        assert!(
+                            (a[k] - seq.rho4[cell][k]).abs() < 1e-10,
+                            "nthreads={nthreads} lanes={lanes} cell={cell}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

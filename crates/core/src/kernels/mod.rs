@@ -30,6 +30,7 @@ pub mod aos;
 pub mod boundary;
 pub mod fused;
 pub mod position;
+pub mod simd;
 pub mod velocity;
 
 use crate::particles::ParticlesSoA;
@@ -115,6 +116,69 @@ pub fn split_soa_mut(p: &mut ParticlesSoA, nchunks: usize) -> Vec<SoaViewMut<'_>
 /// Alias kept for discoverability in docs.
 pub type SoaChunksMut<'a> = Vec<SoaViewMut<'a>>;
 
+/// Allocation-free variant of [`split_soa_mut`]: writes the views into
+/// `out` (a stack array on the hot path) and returns how many were
+/// produced. Chunk boundaries are identical to [`split_soa_mut`] — larger
+/// chunks first — so the two fan-out paths assign the same particles to the
+/// same worker.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than the number of chunks produced
+/// (`min(nchunks.max(1), n.max(1))`).
+pub fn split_soa_mut_into<'a>(
+    p: &'a mut ParticlesSoA,
+    nchunks: usize,
+    out: &mut [Option<SoaViewMut<'a>>],
+) -> usize {
+    let n = p.len();
+    let nchunks = nchunks.max(1).min(n.max(1));
+    assert!(
+        out.len() >= nchunks,
+        "split_soa_mut_into: {} slots for {nchunks} chunks",
+        out.len()
+    );
+    let base = n / nchunks;
+    let extra = n % nchunks;
+
+    let (mut icell, mut ix, mut iy, mut dx, mut dy, mut vx, mut vy) = (
+        p.icell.as_mut_slice(),
+        p.ix.as_mut_slice(),
+        p.iy.as_mut_slice(),
+        p.dx.as_mut_slice(),
+        p.dy.as_mut_slice(),
+        p.vx.as_mut_slice(),
+        p.vy.as_mut_slice(),
+    );
+    for (c, slot) in out.iter_mut().enumerate().take(nchunks) {
+        let len = base + usize::from(c < extra);
+        let (a, b) = icell.split_at_mut(len);
+        icell = b;
+        let (a2, b2) = ix.split_at_mut(len);
+        ix = b2;
+        let (a3, b3) = iy.split_at_mut(len);
+        iy = b3;
+        let (a4, b4) = dx.split_at_mut(len);
+        dx = b4;
+        let (a5, b5) = dy.split_at_mut(len);
+        dy = b5;
+        let (a6, b6) = vx.split_at_mut(len);
+        vx = b6;
+        let (a7, b7) = vy.split_at_mut(len);
+        vy = b7;
+        *slot = Some(SoaViewMut {
+            icell: a,
+            ix: a2,
+            iy: a3,
+            dx: a4,
+            dy: a5,
+            vx: a6,
+            vy: a7,
+        });
+    }
+    nchunks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +211,34 @@ mod tests {
         let views = split_soa_mut(&mut p, 4);
         assert_eq!(views.len(), 1);
         assert!(views[0].is_empty());
+    }
+
+    #[test]
+    fn split_into_matches_vec_variant() {
+        for (n, nchunks) in [(10, 3), (2, 8), (0, 4), (100, 7)] {
+            let mut p = ParticlesSoA::zeroed(n);
+            for i in 0..n {
+                p.icell[i] = i as u32;
+            }
+            let mut q = p.clone();
+            let vec_lens: Vec<usize> = split_soa_mut(&mut p, nchunks)
+                .iter()
+                .map(|v| v.len())
+                .collect();
+            let mut slots: [Option<SoaViewMut>; 16] = [const { None }; 16];
+            let nv = split_soa_mut_into(&mut q, nchunks, &mut slots);
+            assert_eq!(nv, vec_lens.len());
+            let mut seen = Vec::new();
+            for slot in slots.iter().take(nv) {
+                let v = slot.as_ref().unwrap();
+                seen.extend(v.icell.iter().copied());
+            }
+            assert_eq!(seen, (0..n as u32).collect::<Vec<u32>>());
+            let into_lens: Vec<usize> = slots[..nv]
+                .iter()
+                .map(|s| s.as_ref().unwrap().len())
+                .collect();
+            assert_eq!(into_lens, vec_lens);
+        }
     }
 }

@@ -1,16 +1,40 @@
-//! Minimal fork-join parallelism on `std::thread::scope`.
+//! Fork-join parallelism over a shared persistent pool.
 //!
-//! The paper's thread level is OpenMP `parallel for` over particle chunks;
-//! earlier revisions used rayon for the same shape. Rayon is unavailable in
-//! the offline build environment, so this module provides the two patterns
-//! the kernels actually need — parallel `for_each` over owned work items
-//! and parallel map with an ordered fold — on scoped OS threads. Chunk
-//! counts are small (a few × thread count) and chunk bodies are large
-//! (10⁴–10⁶ particles), so per-call thread spawning is well amortized.
+//! The paper's thread level is OpenMP `parallel for` over particle chunks.
+//! Earlier revisions spawned one scoped OS thread per work item — unbounded
+//! (a `map_collect` over 1000 items spawned 1000 threads) and paying the
+//! spawn+join cost on every call. Both patterns now run on one process-wide
+//! [`ThreadPool`] sized to `available_parallelism`, created on first use:
+//! concurrency is capped at the hardware width, threads are reused across
+//! calls, and item order is preserved exactly as before.
+//!
+//! These helpers still allocate one `Vec` per call to stage owned items, so
+//! they serve the administrative and AoS paths. The zero-allocation hot path
+//! (`sim.rs`) owns a dedicated [`ThreadPool`] and drives it directly with
+//! borrowed slices and per-worker arenas.
+//!
+//! Do not call these helpers from inside a closure already running on the
+//! global pool — pool regions must stay leaf-level (see [`ThreadPool::run`]).
 
-/// Run `f` over every item concurrently, one scoped thread per item beyond
-/// the first (the first runs on the caller's thread). With zero or one item
-/// this degenerates to a plain loop with no thread traffic.
+pub use crate::pool::ThreadPool;
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide pool behind [`for_each`] and [`map_collect`], sized to
+/// `available_parallelism` and created on first use.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::new(n)
+    })
+}
+
+/// Run `f` over every item on the global pool (at most
+/// `available_parallelism` items in flight; the caller's thread
+/// participates). With zero or one item this degenerates to a plain loop.
 pub fn for_each<T, F>(items: Vec<T>, f: F)
 where
     T: Send,
@@ -22,20 +46,13 @@ where
         }
         return;
     }
-    std::thread::scope(|s| {
-        let mut iter = items.into_iter();
-        let first = iter.next();
-        for it in iter {
-            let f = &f;
-            s.spawn(move || f(it));
-        }
-        if let Some(it) = first {
-            f(it);
-        }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    global().run_items(&mut slots, |_, slot| {
+        f(slot.take().expect("pool visits each item exactly once"));
     });
 }
 
-/// Map every item concurrently and return the results in item order.
+/// Map every item on the global pool and return the results in item order.
 pub fn map_collect<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -45,24 +62,16 @@ where
     if items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|it| {
-                let f = &f;
-                s.spawn(move || f(it))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                // A panic in a worker is a programming error in the mapped
-                // closure; re-raise it on the caller.
-                Err(e) => std::panic::resume_unwind(e),
-            })
-            .collect()
-    })
+    let mut slots: Vec<(Option<T>, Option<R>)> =
+        items.into_iter().map(|it| (Some(it), None)).collect();
+    global().run_items(&mut slots, |_, slot| {
+        let it = slot.0.take().expect("pool visits each item exactly once");
+        slot.1 = Some(f(it));
+    });
+    slots
+        .into_iter()
+        .map(|(_, r)| r.expect("pool filled every slot"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -108,5 +117,14 @@ mod tests {
     fn map_collect_preserves_order() {
         let out = map_collect((0..20).collect(), |i: usize| i * i);
         assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_collect_item_count_far_exceeds_pool_width() {
+        // The old implementation spawned one OS thread per item; the pool
+        // must handle a work list far wider than the machine.
+        let out = map_collect((0..5000).collect(), |i: usize| i + 1);
+        assert_eq!(out.len(), 5000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
     }
 }

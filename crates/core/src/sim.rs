@@ -17,14 +17,15 @@
 
 use crate::fields::{Field2D, RedundantE, RedundantRho};
 use crate::grid::Grid2D;
-use crate::kernels::{accumulate, aos, fused, position, velocity};
+use crate::kernels::{self, accumulate, aos, fused, position, simd, velocity, SoaViewMut};
 use crate::particles::{self, InitialDistribution, ParticlesAoS, ParticlesSoA};
+use crate::pool::{ThreadPool, MAX_THREADS};
 use crate::resilience::checkpoint::{self as ckpt, SimState};
 use crate::rng::Rng;
 use crate::sort;
 use crate::PicError;
 use sfc::{CellLayout, Hilbert, Morton, Ordering, RowMajor, L4D};
-use spectral::poisson::PoissonSolver2D;
+use spectral::poisson::{PoissonSolver2D, SolveScratch};
 use std::time::Instant;
 
 /// Electron charge in normalized units.
@@ -57,6 +58,22 @@ pub enum LoopStructure {
     Fused,
     /// Three split loops.
     Split,
+}
+
+/// Instruction shape of the optimized inner kernels.
+///
+/// Both paths compute the same per-particle expressions in the same order,
+/// so their results are bit-identical; they differ only in how the loops
+/// are presented to the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Plain per-particle scalar loops.
+    Scalar,
+    /// Explicit lane-blocked loops ([`crate::kernels::simd`]): fixed-width
+    /// blocks of 8 particles through array-of-lanes temporaries, which
+    /// removes the bounds checks that keep the scalar loops from
+    /// autovectorizing.
+    Lanes,
 }
 
 /// Shape of the update-positions loop (§IV-C).
@@ -295,13 +312,17 @@ pub struct PicConfig {
     pub loop_structure: LoopStructure,
     /// Update-positions shape.
     pub position_update: PositionUpdate,
+    /// Scalar vs explicit lane-blocked inner kernels (split-redundant SoA
+    /// path; other paths always run scalar).
+    pub kernel_path: KernelPath,
     /// Coefficient hoisting (§IV-D).
     pub hoisted: bool,
     /// Sort every `sort_period` steps (0 = never).
     pub sort_period: usize,
     /// Use the out-of-place sort (paper default) or in-place.
     pub sort_out_of_place: bool,
-    /// Rayon tasks for the particle loops (1 = sequential).
+    /// Workers in the simulation's persistent thread pool (1 = sequential,
+    /// no pool).
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -334,6 +355,7 @@ impl PicConfig {
             field_layout: FieldLayout::Redundant,
             loop_structure: LoopStructure::Split,
             position_update: PositionUpdate::Branchless,
+            kernel_path: KernelPath::Lanes,
             hoisted: true,
             sort_period: 20,
             sort_out_of_place: true,
@@ -375,6 +397,7 @@ impl PicConfig {
         cfg.field_layout = FieldLayout::Standard;
         cfg.loop_structure = LoopStructure::Fused;
         cfg.position_update = PositionUpdate::NaiveIf;
+        cfg.kernel_path = KernelPath::Scalar;
         cfg.hoisted = false;
         cfg
     }
@@ -435,6 +458,16 @@ pub struct Simulation {
     /// Total deposited charge right after initialization (post-reduce) —
     /// the conservation reference for the watchdog.
     charge_ref: f64,
+    /// Persistent worker pool for the particle loops (`threads > 1` only);
+    /// workers park between steps, so fork-join costs no thread spawns.
+    pool: Option<ThreadPool>,
+    /// Per-worker private ρ₄ copies for the pooled deposition reduction,
+    /// reused every step (zero steady-state allocation).
+    rho_arenas: Vec<RedundantRho>,
+    /// Reusable counting-sort buffers (histogram, prefix sums, cursors).
+    sort_arena: sort::SortArena,
+    /// Reusable spectral workspaces for the per-step Poisson solve.
+    solve_scratch: SolveScratch,
 }
 
 impl Simulation {
@@ -493,6 +526,16 @@ impl Simulation {
         let e8 = RedundantE::new(layout.as_dyn());
         let rho4 = RedundantRho::new(layout.as_dyn());
 
+        // The persistent executor: one pool for the whole simulation
+        // lifetime, plus the per-worker deposition arenas it reduces over.
+        let pool = (cfg.threads > 1).then(|| ThreadPool::new(cfg.threads));
+        let rho_arenas = match (&pool, cfg.field_layout) {
+            (Some(p), FieldLayout::Redundant) => (0..p.nthreads())
+                .map(|_| RedundantRho::new(layout.as_dyn()))
+                .collect(),
+            _ => Vec::new(),
+        };
+
         let mut sim = Self {
             // Deposition magnitude: macro-charge per unit area, so that the
             // accumulated grid values are a charge *density* (the CIC
@@ -514,6 +557,10 @@ impl Simulation {
             diag: Diagnostics::default(),
             rng,
             charge_ref: 0.0,
+            pool,
+            rho_arenas,
+            sort_arena: sort::SortArena::new(),
+            solve_scratch: SolveScratch::new(),
             cfg,
         };
 
@@ -716,8 +763,12 @@ impl Simulation {
     /// Solve Poisson from `field.rho` into `field.ex/ey`.
     fn solve_field(&mut self) {
         let t = Instant::now();
-        self.solver
-            .solve_e(&self.field.rho, &mut self.field.ex, &mut self.field.ey);
+        self.solver.solve_e_with(
+            &self.field.rho,
+            &mut self.field.ex,
+            &mut self.field.ey,
+            &mut self.solve_scratch,
+        );
         self.timers.solve += t.elapsed().as_secs_f64();
     }
 
@@ -835,6 +886,19 @@ impl Simulation {
         self.sort_particles();
     }
 
+    /// Switch between scalar and lane-blocked inner kernels at runtime.
+    /// Both paths produce bit-identical physics, so this is safe mid-run;
+    /// the autotuner and benches use it to compare the two.
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        self.cfg.kernel_path = path;
+    }
+
+    /// Pre-reserve diagnostic-history capacity for `n` further steps so
+    /// steady-state stepping appends samples without reallocating.
+    pub fn reserve_diagnostics(&mut self, n: usize) {
+        self.diag.history.reserve(n);
+    }
+
     fn sort_particles(&mut self) {
         let t = Instant::now();
         let ncells = self.layout.as_dyn().ncells();
@@ -844,14 +908,23 @@ impl Simulation {
                 self.particles = aos.to_soa();
             }
         }
-        if self.cfg.threads > 1 && self.cfg.sort_out_of_place {
-            let ntasks = self.cfg.threads;
-            let (particles, scratch) = (&mut self.particles, &mut self.scratch);
-            sort::par_sort_out_of_place(particles, scratch, ncells, ntasks);
-        } else if self.cfg.sort_out_of_place {
-            sort::sort_out_of_place(&mut self.particles, &mut self.scratch, ncells);
-        } else {
-            sort::sort_in_place(&mut self.particles, ncells);
+        match (&self.pool, self.cfg.sort_out_of_place) {
+            (Some(pool), true) => sort::pool_sort_out_of_place(
+                &mut self.particles,
+                &mut self.scratch,
+                ncells,
+                pool,
+                &mut self.sort_arena,
+            ),
+            (None, true) => sort::sort_out_of_place_with(
+                &mut self.particles,
+                &mut self.scratch,
+                ncells,
+                &mut self.sort_arena,
+            ),
+            (_, false) => {
+                sort::sort_in_place_with(&mut self.particles, ncells, &mut self.sort_arena)
+            }
         }
         if self.cfg.particle_layout == ParticleLayout::Aos {
             self.particles_aos = Some(self.particles.to_aos());
@@ -871,31 +944,72 @@ impl Simulation {
     }
 
     fn soa_split_redundant(&mut self) {
-        let nchunks = self.nchunks();
-        let threads = self.cfg.threads;
+        let lanes = self.cfg.kernel_path == KernelPath::Lanes;
+        let hoisted = self.cfg.hoisted;
         let unhoisted = self.unhoisted_coeffs();
 
-        // Kick.
+        // Kick: elementwise over particles, so a view is a view — the pool
+        // fan-out and the sequential whole-store call are bit-identical.
         let t = Instant::now();
         {
             let e8 = &self.e8.e8;
             let p = &mut self.particles;
-            if self.cfg.hoisted {
-                if threads > 1 {
-                    velocity::par_update_velocities_redundant_hoisted(p, e8, nchunks);
-                } else {
-                    velocity::update_velocities_redundant_hoisted(
-                        &p.icell, &p.dx, &p.dy, &mut p.vx, &mut p.vy, e8,
-                    );
+            let kick = |v: &mut SoaViewMut<'_>| match (hoisted, lanes) {
+                (true, true) => simd::update_velocities_redundant_hoisted_lanes(
+                    v.icell, v.dx, v.dy, v.vx, v.vy, e8,
+                ),
+                (true, false) => velocity::update_velocities_redundant_hoisted(
+                    v.icell, v.dx, v.dy, v.vx, v.vy, e8,
+                ),
+                (false, true) => simd::update_velocities_redundant_lanes(
+                    v.icell,
+                    v.dx,
+                    v.dy,
+                    v.vx,
+                    v.vy,
+                    e8,
+                    unhoisted.0,
+                    unhoisted.1,
+                ),
+                (false, false) => velocity::update_velocities_redundant(
+                    v.icell,
+                    v.dx,
+                    v.dy,
+                    v.vx,
+                    v.vy,
+                    e8,
+                    unhoisted.0,
+                    unhoisted.1,
+                ),
+            };
+            match &self.pool {
+                Some(pool) => {
+                    let mut views: [Option<SoaViewMut<'_>>; MAX_THREADS] =
+                        [const { None }; MAX_THREADS];
+                    let nv = kernels::split_soa_mut_into(p, pool.nthreads(), &mut views);
+                    pool.run_items(&mut views[..nv], |_, slot| {
+                        kick(slot.as_mut().expect("view slot filled"));
+                    });
                 }
-            } else {
-                let (cx, cy, _) = unhoisted;
-                if threads > 1 {
-                    velocity::par_update_velocities_redundant(p, e8, cx, cy, nchunks);
-                } else {
-                    velocity::update_velocities_redundant(
-                        &p.icell, &p.dx, &p.dy, &mut p.vx, &mut p.vy, e8, cx, cy,
-                    );
+                None => {
+                    let ParticlesSoA {
+                        icell,
+                        ix,
+                        iy,
+                        dx,
+                        dy,
+                        vx,
+                        vy,
+                    } = p;
+                    kick(&mut SoaViewMut {
+                        icell,
+                        ix,
+                        iy,
+                        dx,
+                        dy,
+                        vx,
+                        vy,
+                    });
                 }
             }
         }
@@ -910,17 +1024,27 @@ impl Simulation {
         let t = Instant::now();
         self.rho4.clear();
         let w = self.wq * QE.signum();
-        if threads > 1 {
-            let (p, rho4) = (&self.particles, &mut self.rho4);
-            accumulate::par_accumulate_redundant(&p.icell, &p.dx, &p.dy, rho4, w, nchunks);
-        } else {
-            accumulate::accumulate_redundant(
+        match &self.pool {
+            Some(pool) => {
+                let (p, rho4, arenas) = (&self.particles, &mut self.rho4, &mut self.rho_arenas);
+                accumulate::pool_accumulate_redundant(
+                    pool, &p.icell, &p.dx, &p.dy, rho4, arenas, w, lanes,
+                );
+            }
+            None if lanes => simd::accumulate_redundant_lanes(
                 &self.particles.icell,
                 &self.particles.dx,
                 &self.particles.dy,
                 &mut self.rho4.rho4,
                 w,
-            );
+            ),
+            None => accumulate::accumulate_redundant(
+                &self.particles.icell,
+                &self.particles.dx,
+                &self.particles.dy,
+                &mut self.rho4.rho4,
+                w,
+            ),
         }
         self.timers.accumulate += t.elapsed().as_secs_f64();
 
@@ -1043,24 +1167,47 @@ impl Simulation {
             self.cfg.dt / self.grid.dx()
         };
         let (ncx, ncy) = (self.grid.ncx, self.grid.ncy);
-        let threads = self.cfg.threads;
-        let nchunks = threads.max(1) * 4;
+        let lanes = self.cfg.kernel_path == KernelPath::Lanes;
 
-        // Parallel path first (takes the whole store).
-        if threads > 1 {
+        // Pooled path first: fan views out to the workers (the push is
+        // elementwise, so chunking never changes results). As before, the
+        // parallel path always runs the branchless kernel.
+        if let Some(pool) = &self.pool {
+            let mut views: [Option<SoaViewMut<'_>>; MAX_THREADS] = [const { None }; MAX_THREADS];
+            let nv = kernels::split_soa_mut_into(p, pool.nthreads(), &mut views);
+            macro_rules! pooled_layout {
+                ($l:expr) => {{
+                    let l = $l;
+                    pool.run_items(&mut views[..nv], |_, slot| {
+                        let v = slot.as_mut().expect("view slot filled");
+                        if lanes {
+                            simd::update_positions_branchless_layout_lanes(
+                                v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, l, scale,
+                            );
+                        } else {
+                            position::update_positions_branchless_layout(
+                                v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, l, scale,
+                            );
+                        }
+                    });
+                }};
+            }
             match &self.layout {
-                AnyLayout::RowMajor(_) => {
-                    position::par_update_positions_branchless(p, ncx, ncy, scale, nchunks)
-                }
-                AnyLayout::L4D(l) => {
-                    position::par_update_positions_branchless_layout(p, l, scale, nchunks)
-                }
-                AnyLayout::Morton(l) => {
-                    position::par_update_positions_branchless_layout(p, l, scale, nchunks)
-                }
-                AnyLayout::Hilbert(l) => {
-                    position::par_update_positions_branchless_layout(p, l, scale, nchunks)
-                }
+                AnyLayout::RowMajor(_) => pool.run_items(&mut views[..nv], |_, slot| {
+                    let v = slot.as_mut().expect("view slot filled");
+                    if lanes {
+                        simd::update_positions_branchless_lanes(
+                            v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, ncx, ncy, scale,
+                        );
+                    } else {
+                        position::update_positions_branchless(
+                            v.icell, v.ix, v.iy, v.dx, v.dy, v.vx, v.vy, ncx, ncy, scale,
+                        );
+                    }
+                }),
+                AnyLayout::L4D(l) => pooled_layout!(l),
+                AnyLayout::Morton(l) => pooled_layout!(l),
+                AnyLayout::Hilbert(l) => pooled_layout!(l),
             }
             return;
         }
@@ -1081,9 +1228,15 @@ impl Simulation {
             ($l:expr) => {
                 match self.cfg.position_update {
                     PositionUpdate::Branchless | PositionUpdate::ModuloInt => {
-                        position::update_positions_branchless_layout(
-                            icell, ix, iy, dx, dy, vx, vy, $l, scale,
-                        )
+                        if lanes {
+                            simd::update_positions_branchless_layout_lanes(
+                                icell, ix, iy, dx, dy, vx, vy, $l, scale,
+                            )
+                        } else {
+                            position::update_positions_branchless_layout(
+                                icell, ix, iy, dx, dy, vx, vy, $l, scale,
+                            )
+                        }
                     }
                     PositionUpdate::NaiveIf => position::update_positions_naive_if_layout(
                         icell, ix, iy, dx, dy, vx, vy, $l, scale,
@@ -1092,14 +1245,17 @@ impl Simulation {
             };
         }
         match &self.layout {
-            AnyLayout::RowMajor(_) => match self.cfg.position_update {
-                PositionUpdate::NaiveIf => position::update_positions_naive_if(
+            AnyLayout::RowMajor(_) => match (self.cfg.position_update, lanes) {
+                (PositionUpdate::NaiveIf, _) => position::update_positions_naive_if(
                     icell, ix, iy, dx, dy, vx, vy, ncx, ncy, scale,
                 ),
-                PositionUpdate::ModuloInt => position::update_positions_modulo(
+                (PositionUpdate::ModuloInt, _) => position::update_positions_modulo(
                     icell, ix, iy, dx, dy, vx, vy, ncx, ncy, scale,
                 ),
-                PositionUpdate::Branchless => position::update_positions_branchless(
+                (PositionUpdate::Branchless, true) => simd::update_positions_branchless_lanes(
+                    icell, ix, iy, dx, dy, vx, vy, ncx, ncy, scale,
+                ),
+                (PositionUpdate::Branchless, false) => position::update_positions_branchless(
                     icell, ix, iy, dx, dy, vx, vy, ncx, ncy, scale,
                 ),
             },

@@ -16,39 +16,97 @@
 
 use crate::par;
 use crate::particles::ParticlesSoA;
+use crate::pool::{ThreadPool, MAX_THREADS};
 
 /// Histogram of particles per cell. `ncells` must exceed every `icell`.
 pub fn cell_counts(icell: &[u32], ncells: usize) -> Vec<u32> {
     let mut counts = vec![0u32; ncells];
+    cell_counts_into(icell, &mut counts);
+    counts
+}
+
+/// Fill an existing histogram buffer (allocation-free [`cell_counts`]).
+pub fn cell_counts_into(icell: &[u32], counts: &mut [u32]) {
+    counts.fill(0);
     for &c in icell {
         counts[c as usize] += 1;
     }
-    counts
 }
 
 /// Exclusive prefix sum of the histogram: `starts[c]` = first output slot of
 /// cell `c`. The returned vector has `ncells + 1` entries (the last is `n`).
 pub fn cell_starts(counts: &[u32]) -> Vec<u32> {
-    let mut starts = Vec::with_capacity(counts.len() + 1);
-    let mut acc = 0u32;
-    starts.push(0);
-    for &c in counts {
-        acc += c;
-        starts.push(acc);
-    }
+    let mut starts = vec![0u32; counts.len() + 1];
+    cell_starts_into(counts, &mut starts);
     starts
+}
+
+/// Fill an existing prefix-sum buffer of `counts.len() + 1` entries
+/// (allocation-free [`cell_starts`]).
+pub fn cell_starts_into(counts: &[u32], starts: &mut [u32]) {
+    assert_eq!(starts.len(), counts.len() + 1);
+    let mut acc = 0u32;
+    starts[0] = 0;
+    for (c, s) in counts.iter().zip(&mut starts[1..]) {
+        acc += c;
+        *s = acc;
+    }
+}
+
+/// Reusable scratch buffers for the counting sorts: the per-cell histogram,
+/// prefix sums, and write cursors that the plain entry points allocate per
+/// call. Owned by the simulation so steady-state sorting allocates nothing
+/// once the arena has grown to the grid size.
+#[derive(Debug, Default, Clone)]
+pub struct SortArena {
+    counts: Vec<u32>,
+    starts: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl SortArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the buffers to cover `ncells` (no-op, and no allocation, once
+    /// large enough).
+    pub fn ensure(&mut self, ncells: usize) {
+        if self.counts.len() < ncells {
+            self.counts.resize(ncells, 0);
+            self.cursor.resize(ncells, 0);
+        }
+        if self.starts.len() < ncells + 1 {
+            self.starts.resize(ncells + 1, 0);
+        }
+    }
 }
 
 /// Out-of-place counting sort. `scratch` is resized as needed and holds the
 /// sorted result, which is swapped back into `p`.
 pub fn sort_out_of_place(p: &mut ParticlesSoA, scratch: &mut ParticlesSoA, ncells: usize) {
+    let mut arena = SortArena::new();
+    sort_out_of_place_with(p, scratch, ncells, &mut arena);
+}
+
+/// [`sort_out_of_place`] with caller-owned scratch buffers: allocation-free
+/// when `arena` has seen `ncells` before and `scratch` is already sized.
+pub fn sort_out_of_place_with(
+    p: &mut ParticlesSoA,
+    scratch: &mut ParticlesSoA,
+    ncells: usize,
+    arena: &mut SortArena,
+) {
     let n = p.len();
     if scratch.len() != n {
         *scratch = ParticlesSoA::zeroed(n);
     }
-    let counts = cell_counts(&p.icell, ncells);
-    let starts = cell_starts(&counts);
-    let mut cursor: Vec<u32> = starts[..ncells].to_vec();
+    arena.ensure(ncells);
+    cell_counts_into(&p.icell, &mut arena.counts[..ncells]);
+    cell_starts_into(&arena.counts[..ncells], &mut arena.starts[..ncells + 1]);
+    arena.cursor[..ncells].copy_from_slice(&arena.starts[..ncells]);
+    let cursor = &mut arena.cursor;
     for i in 0..n {
         let c = p.icell[i] as usize;
         let dst = cursor[c] as usize;
@@ -67,10 +125,20 @@ pub fn sort_out_of_place(p: &mut ParticlesSoA, scratch: &mut ParticlesSoA, ncell
 /// In-place cycle-chasing counting sort (no scratch array; ~3 moves per
 /// displaced particle — the paper's measured 2× slower variant).
 pub fn sort_in_place(p: &mut ParticlesSoA, ncells: usize) {
-    let counts = cell_counts(&p.icell, ncells);
-    let starts = cell_starts(&counts);
+    let mut arena = SortArena::new();
+    sort_in_place_with(p, ncells, &mut arena);
+}
+
+/// [`sort_in_place`] with caller-owned scratch buffers (allocation-free in
+/// steady state).
+pub fn sort_in_place_with(p: &mut ParticlesSoA, ncells: usize, arena: &mut SortArena) {
+    arena.ensure(ncells);
+    cell_counts_into(&p.icell, &mut arena.counts[..ncells]);
+    cell_starts_into(&arena.counts[..ncells], &mut arena.starts[..ncells + 1]);
+    let starts = &arena.starts;
     // `next[c]`: next free slot within cell c's output range.
-    let mut next: Vec<u32> = starts[..ncells].to_vec();
+    arena.cursor[..ncells].copy_from_slice(&starts[..ncells]);
+    let next = &mut arena.cursor;
     // Walk output slots; for each, chase the displacement cycle.
     for cell in 0..ncells {
         let end = starts[cell + 1];
@@ -209,6 +277,143 @@ pub fn par_sort_out_of_place(
     std::mem::swap(p, scratch);
 }
 
+/// Zero-allocation parallel out-of-place counting sort on a persistent
+/// pool: the cell-partitioned scheme of [`par_sort_out_of_place`], but with
+/// the histogram, prefix sums, per-task cursors, and task descriptors all in
+/// caller-owned or stack storage. Produces the exact stable order of the
+/// sequential sort. One task per pool worker.
+pub fn pool_sort_out_of_place(
+    p: &mut ParticlesSoA,
+    scratch: &mut ParticlesSoA,
+    ncells: usize,
+    pool: &ThreadPool,
+    arena: &mut SortArena,
+) {
+    let n = p.len();
+    if scratch.len() != n {
+        *scratch = ParticlesSoA::zeroed(n);
+    }
+    let ntasks = pool.nthreads().min(ncells).max(1);
+    if ntasks == 1 || n == 0 {
+        sort_out_of_place_with(p, scratch, ncells, arena);
+        return;
+    }
+    arena.ensure(ncells);
+    cell_counts_into(&p.icell, &mut arena.counts[..ncells]);
+    cell_starts_into(&arena.counts[..ncells], &mut arena.starts[..ncells + 1]);
+    let starts = &arena.starts;
+
+    // Greedy cell partition into contiguous ranges of near-equal particle
+    // count, in a stack array (ntasks ≤ pool width ≤ MAX_THREADS).
+    let mut ranges = [(0usize, 0usize); MAX_THREADS];
+    let mut nranges = 0usize;
+    {
+        let target = n.div_ceil(ntasks).max(1);
+        let mut begin = 0usize;
+        let mut acc = 0usize;
+        for (cell, &count) in arena.counts[..ncells].iter().enumerate() {
+            acc += count as usize;
+            if acc >= target && nranges + 1 < ntasks {
+                ranges[nranges] = (begin, cell + 1);
+                nranges += 1;
+                begin = cell + 1;
+                acc = 0;
+            }
+        }
+        ranges[nranges] = (begin, ncells);
+        nranges += 1;
+    }
+
+    // Write cursors relative to each range's base output slot, stored in the
+    // arena so each task can own a disjoint sub-slice.
+    for &(c0, c1) in &ranges[..nranges] {
+        let base = starts[c0];
+        for (cur, &start) in arena.cursor[c0..c1].iter_mut().zip(&starts[c0..c1]) {
+            *cur = start - base;
+        }
+    }
+
+    struct Task<'a> {
+        c0: usize,
+        c1: usize,
+        cursor: &'a mut [u32],
+        icell: &'a mut [u32],
+        ix: &'a mut [u32],
+        iy: &'a mut [u32],
+        dx: &'a mut [f64],
+        dy: &'a mut [f64],
+        vx: &'a mut [f64],
+        vy: &'a mut [f64],
+    }
+    let mut tasks: [Option<Task>; MAX_THREADS] = [const { None }; MAX_THREADS];
+    {
+        let mut cursor = &mut arena.cursor[..ncells];
+        let (mut icell, mut ix, mut iy, mut dx, mut dy, mut vx, mut vy) = (
+            scratch.icell.as_mut_slice(),
+            scratch.ix.as_mut_slice(),
+            scratch.iy.as_mut_slice(),
+            scratch.dx.as_mut_slice(),
+            scratch.dy.as_mut_slice(),
+            scratch.vx.as_mut_slice(),
+            scratch.vy.as_mut_slice(),
+        );
+        for (t, &(c0, c1)) in ranges[..nranges].iter().enumerate() {
+            let len = (starts[c1] - starts[c0]) as usize;
+            let (cu, cr) = cursor.split_at_mut(c1 - c0);
+            cursor = cr;
+            let (a1, b1) = icell.split_at_mut(len);
+            icell = b1;
+            let (a2, b2) = ix.split_at_mut(len);
+            ix = b2;
+            let (a3, b3) = iy.split_at_mut(len);
+            iy = b3;
+            let (a4, b4) = dx.split_at_mut(len);
+            dx = b4;
+            let (a5, b5) = dy.split_at_mut(len);
+            dy = b5;
+            let (a6, b6) = vx.split_at_mut(len);
+            vx = b6;
+            let (a7, b7) = vy.split_at_mut(len);
+            vy = b7;
+            tasks[t] = Some(Task {
+                c0,
+                c1,
+                cursor: cu,
+                icell: a1,
+                ix: a2,
+                iy: a3,
+                dx: a4,
+                dy: a5,
+                vx: a6,
+                vy: a7,
+            });
+        }
+    }
+
+    let pi = &*p;
+    pool.run_items(&mut tasks[..nranges], |_, slot| {
+        let t = slot.as_mut().expect("task slot filled above");
+        // Each task scans the whole input and keeps only its cell range
+        // (the paper accepts this read amplification for disjoint writes).
+        for i in 0..n {
+            let c = pi.icell[i] as usize;
+            if c >= t.c0 && c < t.c1 {
+                let k = c - t.c0;
+                let dst = t.cursor[k] as usize;
+                t.cursor[k] += 1;
+                t.icell[dst] = pi.icell[i];
+                t.ix[dst] = pi.ix[i];
+                t.iy[dst] = pi.iy[i];
+                t.dx[dst] = pi.dx[i];
+                t.dy[dst] = pi.dy[i];
+                t.vx[dst] = pi.vx[i];
+                t.vy[dst] = pi.vy[i];
+            }
+        }
+    });
+    std::mem::swap(p, scratch);
+}
+
 /// True if particles are sorted by cell index (diagnostic).
 pub fn is_sorted_by_cell(p: &ParticlesSoA) -> bool {
     p.icell.windows(2).all(|w| w[0] <= w[1])
@@ -335,6 +540,43 @@ mod tests {
         let mut scratch = ParticlesSoA::zeroed(0);
         sort_out_of_place(&mut p, &mut scratch, 64);
         assert_eq!(payload_multiset(&p), before);
+    }
+
+    #[test]
+    fn pool_sort_matches_sequential_exactly() {
+        for nthreads in [1usize, 2, 3, 4] {
+            let pool = ThreadPool::new(nthreads);
+            let mut arena = SortArena::new();
+            let mut a = mk(3000, 32, 49);
+            let mut b = a.clone();
+            let mut s1 = ParticlesSoA::zeroed(0);
+            let mut s2 = ParticlesSoA::zeroed(0);
+            sort_out_of_place(&mut a, &mut s1, 32);
+            // Sort twice through the same arena: the second run (already
+            // sorted input) must also match, proving the arena re-primes.
+            pool_sort_out_of_place(&mut b, &mut s2, 32, &pool, &mut arena);
+            pool_sort_out_of_place(&mut b, &mut s2, 32, &pool, &mut arena);
+            assert_eq!(a.icell, b.icell, "nthreads={nthreads}");
+            assert_eq!(a.vx, b.vx, "nthreads={nthreads}");
+        }
+    }
+
+    #[test]
+    fn in_place_arena_variant_sorts_and_permutes() {
+        // The cycle-chasing sort is unstable, so only sortedness and the
+        // payload multiset are comparable across variants.
+        let mut p = mk(2000, 16, 50);
+        let before = payload_multiset(&p);
+        let mut arena = SortArena::new();
+        sort_in_place_with(&mut p, 16, &mut arena);
+        assert!(is_sorted_by_cell(&p));
+        assert_eq!(payload_multiset(&p), before);
+        // Reuse the arena on a second store.
+        let mut q = mk(500, 16, 51);
+        let before = payload_multiset(&q);
+        sort_in_place_with(&mut q, 16, &mut arena);
+        assert!(is_sorted_by_cell(&q));
+        assert_eq!(payload_multiset(&q), before);
     }
 
     #[test]

@@ -157,7 +157,8 @@ impl Fft2Plan {
     /// # Panics
     /// Panics if `data.len() != nx * ny`.
     pub fn forward(&self, data: &mut [Complex64]) {
-        self.transform2(data, Direction::Forward);
+        let mut colbuf = vec![Complex64::ZERO; self.nx];
+        self.forward_with(data, &mut colbuf);
     }
 
     /// In-place 2-D inverse transform (normalized by `1/(nx·ny)`).
@@ -165,11 +166,31 @@ impl Fft2Plan {
     /// # Panics
     /// Panics if `data.len() != nx * ny`.
     pub fn inverse(&self, data: &mut [Complex64]) {
-        self.transform2(data, Direction::Inverse);
+        let mut colbuf = vec![Complex64::ZERO; self.nx];
+        self.inverse_with(data, &mut colbuf);
     }
 
-    fn transform2(&self, data: &mut [Complex64], dir: Direction) {
+    /// [`forward`](Self::forward) with a caller-owned column buffer of
+    /// `nx` entries — the allocation-free form for per-step solves.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny` or `colbuf.len() != nx`.
+    pub fn forward_with(&self, data: &mut [Complex64], colbuf: &mut [Complex64]) {
+        self.transform2(data, Direction::Forward, colbuf);
+    }
+
+    /// [`inverse`](Self::inverse) with a caller-owned column buffer of
+    /// `nx` entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny` or `colbuf.len() != nx`.
+    pub fn inverse_with(&self, data: &mut [Complex64], colbuf: &mut [Complex64]) {
+        self.transform2(data, Direction::Inverse, colbuf);
+    }
+
+    fn transform2(&self, data: &mut [Complex64], dir: Direction, colbuf: &mut [Complex64]) {
         assert_eq!(data.len(), self.nx * self.ny, "2-D FFT size mismatch");
+        assert_eq!(colbuf.len(), self.nx, "2-D FFT column buffer mismatch");
         // Rows (contiguous).
         for r in data.chunks_exact_mut(self.ny) {
             match dir {
@@ -178,14 +199,13 @@ impl Fft2Plan {
             }
         }
         // Columns: gather → transform → scatter, one column buffer at a time.
-        let mut colbuf = vec![Complex64::ZERO; self.nx];
         for iy in 0..self.ny {
             for ix in 0..self.nx {
                 colbuf[ix] = data[ix * self.ny + iy];
             }
             match dir {
-                Direction::Forward => self.col.forward(&mut colbuf),
-                Direction::Inverse => self.col.inverse(&mut colbuf),
+                Direction::Forward => self.col.forward(colbuf),
+                Direction::Inverse => self.col.inverse(colbuf),
             }
             for ix in 0..self.nx {
                 data[ix * self.ny + iy] = colbuf[ix];

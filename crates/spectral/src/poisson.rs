@@ -17,6 +17,35 @@
 use crate::fft::Fft2Plan;
 use crate::{Complex64, SpectralError};
 
+/// Reusable buffers for [`PoissonSolver2D::solve_e_with`]: the spectral
+/// workspaces that [`PoissonSolver2D::solve_e`] allocates on every call.
+/// Own one per simulation and the per-step field solve allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct SolveScratch {
+    hat: Vec<Complex64>,
+    hx: Vec<Complex64>,
+    hy: Vec<Complex64>,
+    colbuf: Vec<Complex64>,
+}
+
+impl SolveScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize, nx: usize) {
+        if self.hat.len() < n {
+            self.hat.resize(n, Complex64::ZERO);
+            self.hx.resize(n, Complex64::ZERO);
+            self.hy.resize(n, Complex64::ZERO);
+        }
+        if self.colbuf.len() < nx {
+            self.colbuf.resize(nx, Complex64::ZERO);
+        }
+    }
+}
+
 /// A reusable spectral Poisson solver for a fixed grid.
 #[derive(Debug, Clone)]
 pub struct PoissonSolver2D {
@@ -115,14 +144,35 @@ impl PoissonSolver2D {
     /// # Panics
     /// Panics if slice lengths differ from `nx * ny`.
     pub fn solve_e(&self, rho: &[f64], ex: &mut [f64], ey: &mut [f64]) {
+        let mut scratch = SolveScratch::new();
+        self.solve_e_with(rho, ex, ey, &mut scratch);
+    }
+
+    /// [`solve_e`](Self::solve_e) with caller-owned spectral workspaces:
+    /// allocation-free once `scratch` has grown to the grid size.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from `nx * ny`.
+    pub fn solve_e_with(
+        &self,
+        rho: &[f64],
+        ex: &mut [f64],
+        ey: &mut [f64],
+        scratch: &mut SolveScratch,
+    ) {
         let n = self.nx * self.ny;
         assert_eq!(rho.len(), n);
         assert_eq!(ex.len(), n);
         assert_eq!(ey.len(), n);
-        let mut hat: Vec<Complex64> = rho.iter().map(|&r| Complex64::from_re(r)).collect();
-        self.plan.forward(&mut hat);
-        let mut hx = vec![Complex64::ZERO; n];
-        let mut hy = vec![Complex64::ZERO; n];
+        scratch.ensure(n, self.nx);
+        let hat = &mut scratch.hat[..n];
+        let hx = &mut scratch.hx[..n];
+        let hy = &mut scratch.hy[..n];
+        let colbuf = &mut scratch.colbuf[..self.nx];
+        for (h, &r) in hat.iter_mut().zip(rho) {
+            *h = Complex64::from_re(r);
+        }
+        self.plan.forward_with(hat, colbuf);
         for ix in 0..self.nx {
             for iy in 0..self.ny {
                 let kx = self.kx[ix];
@@ -134,11 +184,14 @@ impl PoissonSolver2D {
                     let phi_hat = hat[idx] / k2;
                     hx[idx] = -phi_hat.mul_i().scale(kx);
                     hy[idx] = -phi_hat.mul_i().scale(ky);
+                } else {
+                    hx[idx] = Complex64::ZERO;
+                    hy[idx] = Complex64::ZERO;
                 }
             }
         }
-        self.plan.inverse(&mut hx);
-        self.plan.inverse(&mut hy);
+        self.plan.inverse_with(hx, colbuf);
+        self.plan.inverse_with(hy, colbuf);
         for i in 0..n {
             ex[i] = hx[i].re;
             ey[i] = hy[i].re;

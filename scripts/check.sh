@@ -20,4 +20,7 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> perf smoke (lane-blocked vs scalar kernels)"
+cargo run --release -q -p pic-bench --bin perf_smoke
+
 echo "All checks passed."

@@ -1,0 +1,94 @@
+//! Steady-state allocation audit: after warm-up, `Simulation::step` must
+//! perform ZERO heap allocations — including steps that sort and steps on
+//! the pooled multi-threaded path. This pins down the point of the
+//! persistent pool / arena work: per-worker ρ arenas, the sort arena, the
+//! spectral solve scratch, and the stack-array fork-join views mean the
+//! hot loop never touches the allocator once the first sort period has
+//! populated every scratch buffer.
+//!
+//! Mechanism: a counting `#[global_allocator]` that forwards to the system
+//! allocator and, while the `TRACK` flag is up, counts every allocation
+//! from any thread. The single test body serializes its phases so nothing
+//! else in the process can allocate while tracking is on.
+
+use pic_core::sim::{KernelPath, PicConfig, Simulation};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static TRACK: AtomicBool = AtomicBool::new(false);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growing Vec shows up here, not in `alloc` — count it too.
+        if TRACK.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Build a fully-optimized simulation, warm it past its first sort period,
+/// then count allocator calls over two further sort periods.
+fn steady_state_allocs(threads: usize, path: KernelPath) -> u64 {
+    let mut cfg = PicConfig::landau_table1(20_000);
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    cfg.threads = threads;
+    cfg.sort_period = 5;
+    cfg.kernel_path = path;
+    let mut sim = Simulation::new(cfg).unwrap();
+
+    // Measure two full sort periods. Warm-up first: at least one sort
+    // (fills the sort arena, per-worker ρ arenas, and the spectral
+    // scratch), plus history capacity for everything still to come.
+    let measured = 2 * 5;
+    sim.reserve_diagnostics(measured + 16);
+    sim.run(7);
+
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    TRACK.store(true, Ordering::SeqCst);
+    sim.run(measured);
+    TRACK.store(false, Ordering::SeqCst);
+    ALLOC_CALLS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn step_is_allocation_free_after_warmup() {
+    // One test body: phases must not interleave with other allocating
+    // tests, and a single #[test] in this binary guarantees that.
+    for (threads, path) in [
+        (1, KernelPath::Scalar),
+        (1, KernelPath::Lanes),
+        (2, KernelPath::Lanes),
+    ] {
+        let n = steady_state_allocs(threads, path);
+        assert_eq!(
+            n, 0,
+            "steady-state step allocated {n} times (threads={threads}, {path:?})"
+        );
+    }
+}

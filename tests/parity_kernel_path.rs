@@ -1,0 +1,91 @@
+//! Kernel-path parity: a simulation stepped on the lane-blocked SIMD path
+//! must be *bit-identical* to the same simulation on the scalar path — same
+//! ρ, same particle cells/offsets/velocities — across cell orderings,
+//! thread counts, and particle counts that do and do not divide the lane
+//! width. This is the contract that makes `KernelPath` a pure performance
+//! knob: switching it (or autotuning over it) can never change physics.
+
+use pic_core::sim::{KernelPath, PicConfig, Simulation};
+use sfc::Ordering;
+
+/// Run `cfg` for `steps` under both kernel paths and compare every
+/// particle- and field-level output bit for bit.
+fn assert_paths_bit_identical(mut cfg: PicConfig, steps: usize, what: &str) {
+    cfg.kernel_path = KernelPath::Scalar;
+    let mut scalar = Simulation::new(cfg.clone()).unwrap();
+    cfg.kernel_path = KernelPath::Lanes;
+    let mut lanes = Simulation::new(cfg).unwrap();
+
+    scalar.run(steps);
+    lanes.run(steps);
+
+    let (rs, rl) = (scalar.rho(), lanes.rho());
+    assert_eq!(rs.len(), rl.len(), "{what}: rho length");
+    for i in 0..rs.len() {
+        assert_eq!(
+            rs[i].to_bits(),
+            rl[i].to_bits(),
+            "{what}: rho[{i}] differs: {} vs {}",
+            rs[i],
+            rl[i]
+        );
+    }
+
+    let (ps, pl) = (scalar.particles(), lanes.particles());
+    assert_eq!(ps.icell, pl.icell, "{what}: icell");
+    assert_eq!(ps.ix, pl.ix, "{what}: ix");
+    assert_eq!(ps.iy, pl.iy, "{what}: iy");
+    for i in 0..ps.len() {
+        assert_eq!(ps.dx[i].to_bits(), pl.dx[i].to_bits(), "{what}: dx[{i}]");
+        assert_eq!(ps.dy[i].to_bits(), pl.dy[i].to_bits(), "{what}: dy[{i}]");
+        assert_eq!(ps.vx[i].to_bits(), pl.vx[i].to_bits(), "{what}: vx[{i}]");
+        assert_eq!(ps.vy[i].to_bits(), pl.vy[i].to_bits(), "{what}: vy[{i}]");
+    }
+}
+
+/// Fully-optimized config at a small grid; `n` deliberately not a multiple
+/// of the lane width in most tests.
+fn cfg(n: usize) -> PicConfig {
+    let mut cfg = PicConfig::landau_table1(n);
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    cfg.sort_period = 3; // several sorts inside a short run
+    cfg
+}
+
+#[test]
+fn parity_across_orderings() {
+    for ordering in Ordering::paper_set() {
+        let mut c = cfg(1003);
+        c.ordering = ordering;
+        assert_paths_bit_identical(c, 7, &format!("ordering {ordering}"));
+    }
+}
+
+#[test]
+fn parity_with_thread_pool() {
+    for threads in [1, 2, 3] {
+        let mut c = cfg(2005);
+        c.ordering = Ordering::Morton;
+        c.threads = threads;
+        assert_paths_bit_identical(c, 7, &format!("threads {threads}"));
+    }
+}
+
+#[test]
+fn parity_at_lane_edge_counts() {
+    // Below one lane block, exactly one block, one block plus a tail.
+    for n in [1, 5, 8, 9, 1003] {
+        assert_paths_bit_identical(cfg(n), 5, &format!("n {n}"));
+    }
+}
+
+#[test]
+fn parity_on_baseline_row_major() {
+    // The baseline config exercises the non-redundant/standard dispatch
+    // (where the lane path only affects the branchless position update).
+    let mut c = PicConfig::baseline(777);
+    c.grid_nx = 32;
+    c.grid_ny = 32;
+    assert_paths_bit_identical(c, 5, "baseline");
+}
