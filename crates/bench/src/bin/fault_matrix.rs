@@ -1,0 +1,158 @@
+//! Fault-matrix gate for `scripts/check.sh`: fixed-seed fault scenarios
+//! that must all recover AND reproduce the fault-free trajectory bitwise.
+//!
+//! Three scenarios, all on a small Landau workload so the release-mode run
+//! stays under a couple of seconds:
+//!
+//! * **drop+corrupt** — 4 ranks over a link dropping 25% and corrupting
+//!   15% of frames; the ack/retry transport must hide it completely.
+//! * **kill@2** / **kill@4** — the last rank is killed mid-step on 2- and
+//!   4-rank runs; survivors must detect, shrink, roll back to the buddy
+//!   checkpoint, and finish with ρ bit-identical per logical rank.
+//!
+//! Any mismatch or failed recovery exits nonzero, so check.sh can gate on
+//! it. Seeds are fixed: the scenarios are deterministic, not sampled.
+
+use minimpi::{Comm, FaultPlan, World};
+use pic_core::resilience::{run_resilient_distributed, DistConfig};
+use pic_core::sim::{PicConfig, Simulation};
+use pic_core::PicError;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const N: usize = 2_000;
+const STEPS: u64 = 6;
+// Lands in step 3's reduction, one step past the committed step-2
+// checkpoint (init 2 ops, checkpointed step 4 ops, plain step 2 ops).
+const KILL_OP: u64 = 13;
+
+fn workload(id: usize, ranks: usize) -> PicConfig {
+    let per = N / ranks;
+    let mut cfg = PicConfig::landau_table1(N);
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    cfg.sort_period = 0;
+    cfg.keep_range = Some((id * per, (id + 1) * per));
+    cfg
+}
+
+/// ρ per logical rank from a distributed run, merged across ranks.
+type RhoById = BTreeMap<usize, Vec<f64>>;
+
+fn merge(per_rank: Vec<RhoById>) -> RhoById {
+    let mut all = RhoById::new();
+    for m in per_rank {
+        for (id, rho) in m {
+            assert!(
+                all.insert(id, rho).is_none(),
+                "logical rank {id} hosted twice"
+            );
+        }
+    }
+    all
+}
+
+fn resilient_body(ranks: usize) -> impl Fn(&mut Comm) -> (bool, usize, RhoById) + Send + Sync {
+    move |comm| {
+        let make_cfg = move |id: usize| workload(id, ranks);
+        let rcfg = DistConfig {
+            checkpoint_every: 2,
+            max_recoveries: 2,
+            heartbeat_timeout: None,
+            recv_deadline: Some(Duration::from_secs(10)),
+        };
+        let out = run_resilient_distributed(comm, &make_cfg, STEPS, &rcfg).unwrap();
+        let rhos = out
+            .sims
+            .iter()
+            .map(|(id, sim)| (*id, sim.rho().to_vec()))
+            .collect();
+        (out.survivor, out.recoveries, rhos)
+    }
+}
+
+fn check_kill(ranks: usize) -> Result<(), PicError> {
+    let clean = merge(
+        World::run(ranks, resilient_body(ranks))
+            .into_iter()
+            .map(|(_, _, r)| r)
+            .collect(),
+    );
+    let plan = FaultPlan::new(0xD1E).kill_rank(ranks - 1, KILL_OP);
+    let outcomes = World::run_with_faults(ranks, plan, resilient_body(ranks));
+    let mut recovered = false;
+    for (rank, (survivor, recoveries, _)) in outcomes.iter().enumerate() {
+        if rank == ranks - 1 && *survivor {
+            return Err(PicError::Diverged(format!(
+                "kill@{ranks}: rank {rank} should have died"
+            )));
+        }
+        recovered |= *survivor && *recoveries > 0;
+    }
+    if !recovered {
+        return Err(PicError::Diverged(format!(
+            "kill@{ranks}: no survivor reported a recovery"
+        )));
+    }
+    let faulty = merge(outcomes.into_iter().map(|(_, _, r)| r).collect());
+    for (id, rho) in &clean {
+        if faulty.get(id) != Some(rho) {
+            return Err(PicError::Diverged(format!(
+                "kill@{ranks}: logical rank {id} diverged from the fault-free run"
+            )));
+        }
+    }
+    println!(
+        "  kill@{ranks}: recovered, {} logical ranks bit-exact",
+        clean.len()
+    );
+    Ok(())
+}
+
+fn lossy_body(ranks: usize) -> impl Fn(&mut Comm) -> Vec<f64> + Send + Sync {
+    move |comm| {
+        let r = comm.rank();
+        let mut sim = Simulation::new_with_reduce(workload(r, ranks), |rho| {
+            comm.try_allreduce_sum_tree(rho, 1 << 40).unwrap()
+        })
+        .unwrap();
+        for step in 0..STEPS {
+            sim.step_with_reduce(|rho| {
+                comm.try_allreduce_sum_tree(rho, step * 10_000)
+                    .expect("recoverable fault rates must not surface errors")
+            });
+        }
+        sim.rho().to_vec()
+    }
+}
+
+fn check_drop_corrupt() -> Result<(), PicError> {
+    let ranks = 4;
+    let clean = World::run(ranks, lossy_body(ranks));
+    let plan = FaultPlan::new(0xF417)
+        .drop_messages(0.25)
+        .corrupt_messages(0.15);
+    let faulty = World::run_with_faults(ranks, plan, lossy_body(ranks));
+    for rank in 0..ranks {
+        if faulty[rank] != clean[rank] {
+            return Err(PicError::Diverged(format!(
+                "drop+corrupt: rank {rank} diverged from the fault-free run"
+            )));
+        }
+    }
+    println!("  drop+corrupt: {ranks} ranks bit-exact through lossy transport");
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}
+
+fn run() -> Result<(), PicError> {
+    println!("fault matrix ({N} particles, {STEPS} steps):");
+    check_drop_corrupt()?;
+    check_kill(2)?;
+    check_kill(4)?;
+    println!("fault matrix: all scenarios recovered bit-exact");
+    Ok(())
+}

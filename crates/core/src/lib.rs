@@ -51,6 +51,7 @@
 
 pub mod autotune;
 pub mod diag;
+pub mod faultlog;
 pub mod fields;
 pub mod grid;
 pub mod kernels;

@@ -32,8 +32,10 @@
 #![allow(unsafe_code)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Hard cap on pool width: bounds the stack-allocated per-worker tables the
 /// kernels use (chunk ranges, view arrays) so the hot path never allocates.
@@ -68,6 +70,27 @@ struct Shared {
     work: Condvar,
     /// The caller parks here waiting for `remaining` to hit zero.
     done: Condvar,
+    /// Stall deadline in nanoseconds (0 = detection off). When set, a job
+    /// whose stripes have not all retired within the deadline records a
+    /// [`StallEvent`] — the caller keeps waiting regardless (abandoning a
+    /// stripe would free borrowed job state under a running worker), but
+    /// the hang becomes observable instead of silent.
+    stall_nanos: AtomicU64,
+    /// Stalls observed so far; drained by [`ThreadPool::take_stall_events`].
+    stalls: Mutex<Vec<StallEvent>>,
+}
+
+/// One detected worker stall: a job exceeded the configured deadline with
+/// stripes still outstanding.
+#[derive(Debug, Clone)]
+pub struct StallEvent {
+    /// Causal sequence number (see [`minimpi::next_event_seq`]) so stalls
+    /// merge into the same ledger as transport and recovery events.
+    pub seq: u64,
+    /// Spawned-worker stripes still running when the deadline elapsed.
+    pub remaining: usize,
+    /// How long the caller had been waiting when the stall was recorded.
+    pub waited: Duration,
 }
 
 /// The borrowed, monomorphized context behind a [`Job`].
@@ -118,6 +141,8 @@ impl ThreadPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            stall_nanos: AtomicU64::new(0),
+            stalls: Mutex::new(Vec::new()),
         });
         let handles = (1..nthreads)
             .map(|w| {
@@ -139,6 +164,23 @@ impl ThreadPool {
     /// Workers in the pool, including the caller's thread.
     pub fn nthreads(&self) -> usize {
         self.nthreads
+    }
+
+    /// Arm (or disarm, with `None`) hung-worker detection: a job whose
+    /// stripes are not all retired within `deadline` records a
+    /// [`StallEvent`]. The caller still waits for the job to finish —
+    /// abandoning a stripe would free borrowed state under a live worker —
+    /// so this turns a silent hang into a diagnosable one.
+    pub fn set_stall_deadline(&self, deadline: Option<Duration>) {
+        let nanos = deadline.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+        self.shared
+            .stall_nanos
+            .store(nanos, AtomicOrdering::Relaxed);
+    }
+
+    /// Drain the stall events recorded since the last call.
+    pub fn take_stall_events(&self) -> Vec<StallEvent> {
+        std::mem::take(&mut *self.shared.stalls.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Run `f(0), f(1), …, f(njobs − 1)` across the pool and return when all
@@ -186,8 +228,38 @@ impl ThreadPool {
         }));
         let worker_panic = {
             let mut st = self.shared.state.lock().expect("pool state lock");
-            while st.remaining > 0 {
-                st = self.shared.done.wait(st).expect("pool done wait");
+            let stall = self.shared.stall_nanos.load(AtomicOrdering::Relaxed);
+            if stall == 0 {
+                while st.remaining > 0 {
+                    st = self.shared.done.wait(st).expect("pool done wait");
+                }
+            } else {
+                let deadline = Duration::from_nanos(stall);
+                let started = Instant::now();
+                let mut reported = false;
+                while st.remaining > 0 {
+                    let (guard, timeout) = self
+                        .shared
+                        .done
+                        .wait_timeout(st, deadline)
+                        .expect("pool done wait");
+                    st = guard;
+                    if timeout.timed_out() && st.remaining > 0 && !reported {
+                        // Record once per job, then keep waiting: the
+                        // soundness invariant (caller blocks until every
+                        // stripe retires) is non-negotiable.
+                        reported = true;
+                        self.shared
+                            .stalls
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(StallEvent {
+                                seq: minimpi::next_event_seq(),
+                                remaining: st.remaining,
+                                waited: started.elapsed(),
+                            });
+                    }
+                }
             }
             st.job = None;
             st.panic.take()
@@ -384,6 +456,31 @@ mod tests {
                 assert_eq!(covered, n);
             }
         }
+    }
+
+    #[test]
+    fn stall_deadline_detects_slow_stripe_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        pool.set_stall_deadline(Some(Duration::from_millis(20)));
+        // Stripe on the spawned worker (odd index) sleeps well past the
+        // deadline; the job still completes, but the stall is recorded.
+        pool.run(2, |i| {
+            if i == 1 {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+        });
+        let stalls = pool.take_stall_events();
+        assert_eq!(stalls.len(), 1, "one stall per job");
+        assert_eq!(stalls[0].remaining, 1);
+        assert!(stalls[0].waited >= Duration::from_millis(20));
+        assert!(pool.take_stall_events().is_empty(), "drained");
+        // Fast jobs under the same deadline record nothing.
+        pool.run(8, |_| {});
+        assert!(pool.take_stall_events().is_empty());
+        // Disarming returns to the untimed wait.
+        pool.set_stall_deadline(None);
+        pool.run(8, |_| {});
+        assert!(pool.take_stall_events().is_empty());
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! Coordinated distributed checkpointing and crash-fault recovery — the
+//! rank-level counterpart of [`super::watchdog`]'s single-process rollback.
+//!
+//! [`run_resilient_distributed`] drives `W` *logical* ranks (one
+//! [`Simulation`] slice of the global particle set each, via the caller's
+//! `make_cfg`) over a [`minimpi::Comm`] whose physical ranks can die
+//! mid-run. The design has three pillars:
+//!
+//! * **Ordered logical reduction.** Each step, every hosted simulation
+//!   deposits its partial ρ; the partials travel to the group root, which
+//!   sums them *strictly in logical-rank order 0‥W−1* and broadcasts the
+//!   total. Summation order is therefore a function of the logical
+//!   decomposition alone — independent of which physical rank hosts which
+//!   simulation — which is what makes a post-recovery trajectory (fewer
+//!   physical ranks, same logical ranks) bit-exact against the fault-free
+//!   run.
+//! * **Buddy checkpointing.** Every `checkpoint_every` steps each rank
+//!   snapshots its hosted simulations through the versioned format of
+//!   [`super::checkpoint`] and replicates the bytes in-memory to its
+//!   *buddy* — the next live rank in the group. One copy survives any
+//!   single rank loss per checkpoint interval; losing a rank *and* its
+//!   buddy together is reported as unrecoverable rather than guessed at.
+//! * **Shrinking recovery.** When a collective surfaces
+//!   [`CommError::RankFailed`], survivors agree on the failure via
+//!   [`minimpi::Comm::shrink`], the dead rank's logical simulations are
+//!   rebuilt on its buddy from the replicated snapshot, every survivor
+//!   rolls back to its own snapshot, and the run resumes from the
+//!   checkpointed step — all of it recorded in a [`FaultLog`].
+//!
+//! The fault-free path pays only the snapshot encode + one buddy
+//! send/recv per checkpoint interval (measured in
+//! `results/BENCH_resilience.json`); detection machinery is entirely
+//! inside `minimpi` and idle unless armed.
+
+use crate::faultlog::{FaultKind, FaultLog};
+use crate::sim::{PicConfig, Simulation};
+use crate::PicError;
+use minimpi::{Comm, CommError};
+use std::time::Duration;
+
+/// Tag blocks for the runner's collectives; all below minimpi's control
+/// ranges and disjoint from each other.
+const INIT_TAG: u64 = 1 << 32;
+const CKPT_TAG: u64 = 1 << 33;
+const RECOVER_TAG: u64 = 1 << 34;
+const STEP_TAG: u64 = 1 << 20;
+
+/// Knobs for [`run_resilient_distributed`].
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Take a coordinated buddy checkpoint every this many steps (≥ 1).
+    pub checkpoint_every: u64,
+    /// Give up after this many successful recoveries.
+    pub max_recoveries: usize,
+    /// Arm the heartbeat failure detector with this timeout (crash faults
+    /// injected through [`minimpi::FaultPlan::kill_rank`] are detected via
+    /// shared dead flags even without it).
+    pub heartbeat_timeout: Option<Duration>,
+    /// Override the transport receive deadline for the whole run.
+    pub recv_deadline: Option<Duration>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 5,
+            max_recoveries: 3,
+            heartbeat_timeout: None,
+            recv_deadline: None,
+        }
+    }
+}
+
+/// What one physical rank ends a [`run_resilient_distributed`] call with.
+pub struct DistOutcome {
+    /// False if this rank was killed by a crash fault (its `sims` are gone).
+    pub survivor: bool,
+    /// This rank's world rank.
+    pub world_rank: usize,
+    /// The logical simulations this rank hosts after the run, sorted by
+    /// logical id — its own, plus any adopted from dead ranks.
+    pub sims: Vec<(usize, Simulation)>,
+    /// Completed recoveries (shrink + rollback cycles).
+    pub recoveries: usize,
+    /// Coordinated checkpoints taken.
+    pub checkpoints: usize,
+    /// This rank's slice of the fault-event ledger; merge the per-rank
+    /// logs with [`FaultLog::merge`] for the causally ordered whole.
+    pub log: FaultLog,
+}
+
+/// One committed coordinated checkpoint generation. The runner keeps the
+/// last two: a crash during a checkpoint exchange can leave some survivors
+/// with the new generation committed and others still on the old one, and
+/// recovery then agrees on the newest *globally* committed step — which
+/// every rank holds as either its latest or its previous generation.
+struct Ckpt {
+    step: u64,
+    /// Live group at checkpoint time (buddy placement is defined on it).
+    group: Vec<usize>,
+    /// Logical-rank → hosting physical rank at checkpoint time.
+    assign: Vec<usize>,
+    /// This rank's own snapshots: `(logical id, bytes)`.
+    own: Vec<(usize, Vec<u8>)>,
+    /// Packed snapshots held for the predecessor (this rank is its
+    /// buddy), kept in transport form and unpacked only if recovery
+    /// actually needs them — unpacking every generation on the fault-free
+    /// path was measurable checkpoint overhead.
+    buddy: Vec<f64>,
+}
+
+fn comm_err(ctx: &str, e: CommError) -> PicError {
+    PicError::Io(format!("{ctx}: {e}"))
+}
+
+/// Pack checkpoint snapshots into an f64 payload:
+/// `[count, (id, nbytes, ceil(nbytes/8) packed words)…]`.
+fn pack_snaps(snaps: &[(usize, Vec<u8>)]) -> Vec<f64> {
+    let total: usize = snaps.iter().map(|(_, b)| 2 + b.len().div_ceil(8)).sum();
+    let mut out = Vec::with_capacity(1 + total);
+    out.push(snaps.len() as f64);
+    for (id, bytes) in snaps {
+        out.push(*id as f64);
+        out.push(bytes.len() as f64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            out.push(f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            out.push(f64::from_bits(u64::from_le_bytes(word)));
+        }
+    }
+    out
+}
+
+fn unpack_snaps(payload: &[f64]) -> Vec<(usize, Vec<u8>)> {
+    let count = payload[0] as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 1;
+    for _ in 0..count {
+        let id = payload[off] as usize;
+        let nbytes = payload[off + 1] as usize;
+        let nwords = nbytes.div_ceil(8);
+        let mut bytes = vec![0u8; nwords * 8];
+        for (dst, w) in bytes
+            .chunks_exact_mut(8)
+            .zip(&payload[off + 2..off + 2 + nwords])
+        {
+            dst.copy_from_slice(&w.to_bits().to_le_bytes());
+        }
+        bytes.truncate(nbytes);
+        out.push((id, bytes));
+        off += 2 + nwords;
+    }
+    out
+}
+
+/// Sum the partial ρ of every hosted simulation across the group, strictly
+/// in logical-rank order: gather `(id, ρ)` pairs to the group root, left-fold
+/// from logical rank 0 upward, broadcast the total. The result is bitwise
+/// independent of the physical hosting (and, with one logical rank, bitwise
+/// equal to the lone partial).
+fn ordered_reduce(
+    comm: &mut Comm,
+    w: usize,
+    local: &[(usize, Vec<f64>)],
+    tag: u64,
+) -> Result<Vec<f64>, CommError> {
+    let n = local[0].1.len();
+    let mut payload = Vec::with_capacity(1 + local.len() * (1 + n));
+    payload.push(local.len() as f64);
+    for (id, rho) in local {
+        payload.push(*id as f64);
+        payload.extend_from_slice(rho);
+    }
+    let mut reduced = vec![0.0; n];
+    if let Some(parts) = comm.try_gather(&payload, tag)? {
+        let mut by_id: Vec<Option<&[f64]>> = vec![None; w];
+        for p in &parts {
+            let count = p[0] as usize;
+            let mut off = 1;
+            for _ in 0..count {
+                let id = p[off] as usize;
+                by_id[id] = Some(&p[off + 1..off + 1 + n]);
+                off += 1 + n;
+            }
+        }
+        // Left-fold in logical order, seeded from logical rank 0's partial
+        // (not zeros) so a single-logical-rank reduction is the identity.
+        for (id, slot) in by_id.iter().enumerate() {
+            let part = slot.unwrap_or_else(|| panic!("logical rank {id} missing from reduction"));
+            if id == 0 {
+                reduced.copy_from_slice(part);
+            } else {
+                for (acc, v) in reduced.iter_mut().zip(part) {
+                    *acc += *v;
+                }
+            }
+        }
+    }
+    comm.try_broadcast(&mut reduced, tag + 1)?;
+    Ok(reduced)
+}
+
+/// One fallible unit of forward progress: the coordinated checkpoint (when
+/// due) plus one simulation step of every hosted logical rank.
+#[allow(clippy::too_many_arguments)]
+fn step_cycle(
+    comm: &mut Comm,
+    w: usize,
+    sims: &mut [(usize, Simulation)],
+    assign: &[usize],
+    step: u64,
+    need_ckpt: bool,
+    cks: &mut Vec<Ckpt>,
+    checkpoints: &mut usize,
+    log: &mut FaultLog,
+) -> Result<(), CommError> {
+    let rank = comm.rank();
+    if need_ckpt {
+        let own: Vec<(usize, Vec<u8>)> = sims.iter().map(|(id, s)| (*id, s.checkpoint())).collect();
+        let group = comm.group().to_vec();
+        let buddy_snaps = if group.len() > 1 {
+            let gi = group
+                .iter()
+                .position(|&g| g == rank)
+                .expect("rank in own group");
+            let buddy = group[(gi + 1) % group.len()];
+            let ward = group[(gi + group.len() - 1) % group.len()];
+            let payload = pack_snaps(&own);
+            comm.try_send(buddy, CKPT_TAG, &payload)?;
+            let got = comm.try_recv(ward, CKPT_TAG)?;
+            log.record(
+                step,
+                rank,
+                comm.op_count(),
+                FaultKind::BuddyStore,
+                format!("holding {} snapshot(s) for rank {ward}", got[0] as usize),
+            );
+            got
+        } else {
+            Vec::new()
+        };
+        // Commit only after every exchange succeeded, so a failure mid-
+        // checkpoint leaves the previous (complete) generation in force.
+        log.record(
+            step,
+            rank,
+            comm.op_count(),
+            FaultKind::Checkpoint,
+            format!("step {step}, {} sim(s)", own.len()),
+        );
+        cks.push(Ckpt {
+            step,
+            group,
+            assign: assign.to_vec(),
+            own,
+            buddy: buddy_snaps,
+        });
+        if cks.len() > 2 {
+            cks.remove(0);
+        }
+        *checkpoints += 1;
+    }
+
+    for (_, sim) in sims.iter_mut() {
+        sim.step_pre_reduce();
+    }
+    let local: Vec<(usize, Vec<f64>)> = sims
+        .iter_mut()
+        .map(|(id, s)| (*id, s.rho_mut().to_vec()))
+        .collect();
+    let reduced = ordered_reduce(comm, w, &local, STEP_TAG + 2 * step)?;
+    for (_, sim) in sims.iter_mut() {
+        sim.rho_mut().copy_from_slice(&reduced);
+        sim.step_post_reduce();
+    }
+    Ok(())
+}
+
+/// Shrink, agree on the rollback step, adopt the dead ranks' logical
+/// simulations from their buddy copies, and roll every survivor back.
+/// Returns the agreed step the run resumes from.
+#[allow(clippy::too_many_arguments)] // one call site; bundling would only rename the coupling
+fn recover(
+    comm: &mut Comm,
+    w: usize,
+    sims: &mut Vec<(usize, Simulation)>,
+    assign: &mut Vec<usize>,
+    cks: &[Ckpt],
+    make_cfg: &dyn Fn(usize) -> PicConfig,
+    log: &mut FaultLog,
+    step: u64,
+) -> Result<u64, PicError> {
+    let rank = comm.rank();
+    let new_group = comm.shrink().map_err(|e| comm_err("shrink", e))?;
+    log.ingest_transport(step, comm.take_events());
+    if cks.is_empty() {
+        // A death during construction or the very first checkpoint
+        // exchange: nothing has been replicated yet, so there is no copy
+        // of the dead rank's slice to adopt.
+        return Err(PicError::Io(
+            "unrecoverable: rank failed before the first coordinated checkpoint committed".into(),
+        ));
+    }
+
+    // A crash during a checkpoint exchange can leave survivors with
+    // different latest generations (off by one): agree on the newest step
+    // *every* survivor has committed — the minimum of the latest steps.
+    let latest = cks.last().expect("non-empty").step;
+    let agreed = {
+        let gathered = comm
+            .try_gather(&[latest as f64], RECOVER_TAG)
+            .map_err(|e| comm_err("rollback agreement", e))?;
+        let mut min =
+            gathered.map(|parts| parts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min));
+        let mut buf = [min.take().unwrap_or(0.0)];
+        comm.try_broadcast(&mut buf, RECOVER_TAG + 1)
+            .map_err(|e| comm_err("rollback agreement", e))?;
+        buf[0] as u64
+    };
+    let ck = cks.iter().rev().find(|c| c.step == agreed).ok_or_else(|| {
+        PicError::Io(format!(
+            "unrecoverable: no local checkpoint for agreed rollback step {agreed}"
+        ))
+    })?;
+
+    let buddy_snaps = if ck.buddy.is_empty() {
+        Vec::new()
+    } else {
+        unpack_snaps(&ck.buddy)
+    };
+    debug_assert_eq!(ck.assign.len(), w);
+    let mut new_assign = ck.assign.clone();
+    for (id, &host) in ck.assign.iter().enumerate() {
+        if new_group.contains(&host) {
+            if host == rank {
+                // Roll back our own copy to the checkpointed state.
+                let bytes = &ck
+                    .own
+                    .iter()
+                    .find(|(i, _)| *i == id)
+                    .expect("own checkpoint covers hosted sim")
+                    .1;
+                let sim = &mut sims
+                    .iter_mut()
+                    .find(|(i, _)| *i == id)
+                    .expect("hosted sim present")
+                    .1;
+                sim.restore(bytes)?;
+                log.record(
+                    ck.step,
+                    rank,
+                    comm.op_count(),
+                    FaultKind::Rollback,
+                    format!("logical rank {id} back to step {}", ck.step),
+                );
+            }
+            continue;
+        }
+        // Host died: only its immediate successor in the checkpoint-time
+        // group holds the replicated snapshot.
+        let gi = ck
+            .group
+            .iter()
+            .position(|&g| g == host)
+            .expect("checkpoint group covers old host");
+        let adopter = ck.group[(gi + 1) % ck.group.len()];
+        if !new_group.contains(&adopter) {
+            return Err(PicError::Io(format!(
+                "unrecoverable: rank {host} and its buddy {adopter} both failed"
+            )));
+        }
+        new_assign[id] = adopter;
+        if adopter == rank {
+            let bytes = &buddy_snaps
+                .iter()
+                .find(|(i, _)| *i == id)
+                .ok_or_else(|| {
+                    PicError::Io(format!(
+                        "unrecoverable: no buddy snapshot for logical rank {id}"
+                    ))
+                })?
+                .1;
+            if let Some((_, sim)) = sims.iter_mut().find(|(i, _)| *i == id) {
+                // Already adopted in an earlier recovery from this same
+                // checkpoint — just roll it back.
+                sim.restore(bytes)?;
+            } else {
+                let mut ghost = Simulation::new(make_cfg(id))?;
+                ghost.restore(bytes)?;
+                sims.push((id, ghost));
+            }
+            log.record(
+                ck.step,
+                rank,
+                comm.op_count(),
+                FaultKind::Restore,
+                format!("adopted logical rank {id} from dead rank {host}"),
+            );
+        }
+    }
+    // Drop anything the agreed generation assigns to another live rank
+    // (possible only after cascaded recoveries with stale adoptions).
+    sims.retain(|(id, _)| new_assign[*id] == rank);
+    sims.sort_by_key(|(id, _)| *id);
+    *assign = new_assign;
+    Ok(ck.step)
+}
+
+/// Run `nsteps` of a `W`-logical-rank distributed simulation on this
+/// physical rank, surviving crash faults: detected failures shrink the
+/// communicator, the dead rank's work moves to its buddy, and all
+/// survivors roll back to the last coordinated checkpoint and replay.
+///
+/// `make_cfg(logical_id)` must return the configuration of logical rank
+/// `logical_id` — typically [`PicConfig::landau_table1`] with
+/// `keep_range` set to that rank's particle slice. Every physical rank
+/// must call this with the same `nsteps`, `rcfg`, and (pointwise-equal)
+/// `make_cfg`.
+///
+/// With no faults injected the trajectory is bit-exact against any other
+/// physical-rank count hosting the same logical decomposition — including
+/// the single-rank case, where it reduces to a plain [`Simulation::run`].
+pub fn run_resilient_distributed(
+    comm: &mut Comm,
+    make_cfg: &dyn Fn(usize) -> PicConfig,
+    nsteps: u64,
+    rcfg: &DistConfig,
+) -> Result<DistOutcome, PicError> {
+    let w = comm.size();
+    let rank = comm.rank();
+    if let Some(d) = rcfg.heartbeat_timeout {
+        comm.set_heartbeat_timeout(d);
+    }
+    if let Some(d) = rcfg.recv_deadline {
+        comm.set_recv_deadline(d);
+    }
+    let mut log = FaultLog::new();
+
+    let dead_outcome = |recoveries, checkpoints, log| DistOutcome {
+        survivor: false,
+        world_rank: rank,
+        sims: Vec::new(),
+        recoveries,
+        checkpoints,
+        log,
+    };
+
+    // Construct this rank's own logical simulation; the initial deposit is
+    // reduced in logical order exactly like the per-step ones.
+    let mut init_err: Option<CommError> = None;
+    let sim = {
+        let init_err = &mut init_err;
+        let comm = &mut *comm;
+        Simulation::new_with_reduce(make_cfg(rank), move |rho| {
+            match ordered_reduce(comm, w, &[(rank, rho.to_vec())], INIT_TAG) {
+                Ok(reduced) => rho.copy_from_slice(&reduced),
+                Err(e) => *init_err = Some(e),
+            }
+        })?
+    };
+    log.ingest_transport(0, comm.take_events());
+    match init_err {
+        Some(CommError::RankFailed { rank: r, failed }) if failed == r => {
+            return Ok(dead_outcome(0, 0, log));
+        }
+        Some(e) => return Err(comm_err("setup reduction", e)),
+        None => {}
+    }
+
+    let mut sims: Vec<(usize, Simulation)> = vec![(rank, sim)];
+    let mut assign: Vec<usize> = (0..w).collect();
+    let mut cks: Vec<Ckpt> = Vec::new();
+    let every = rcfg.checkpoint_every.max(1);
+    let mut step: u64 = 0;
+    let mut recoveries = 0usize;
+    let mut checkpoints = 0usize;
+    let mut need_ckpt = true; // always have a committed checkpoint at step 0
+
+    while step < nsteps {
+        let res = step_cycle(
+            comm,
+            w,
+            &mut sims,
+            &assign,
+            step,
+            need_ckpt,
+            &mut cks,
+            &mut checkpoints,
+            &mut log,
+        );
+        log.ingest_transport(step, comm.take_events());
+        match res {
+            Ok(()) => {
+                need_ckpt = false;
+                step += 1;
+                if step < nsteps && step.is_multiple_of(every) {
+                    need_ckpt = true;
+                }
+            }
+            Err(CommError::RankFailed { rank: r, failed }) if failed == r => {
+                return Ok(dead_outcome(recoveries, checkpoints, log));
+            }
+            Err(CommError::RankFailed { .. }) => {
+                if recoveries >= rcfg.max_recoveries {
+                    return Err(PicError::Io(format!(
+                        "gave up after {recoveries} recoveries"
+                    )));
+                }
+                let resume = recover(
+                    comm,
+                    w,
+                    &mut sims,
+                    &mut assign,
+                    &cks,
+                    make_cfg,
+                    &mut log,
+                    step,
+                )?;
+                recoveries += 1;
+                step = resume;
+                // Re-checkpoint immediately under the shrunken topology so
+                // the buddy placement matches the new group.
+                need_ckpt = true;
+            }
+            Err(e) => return Err(comm_err("step", e)),
+        }
+    }
+
+    sims.sort_by_key(|(id, _)| *id);
+    Ok(DistOutcome {
+        survivor: true,
+        world_rank: rank,
+        sims,
+        recoveries,
+        checkpoints,
+        log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_packing_roundtrips() {
+        let snaps = vec![
+            (3usize, vec![1u8, 2, 3, 4, 5, 6, 7, 8, 9]),
+            (0usize, (0..=255u8).collect::<Vec<u8>>()),
+            (7usize, Vec::new()),
+        ];
+        let packed = pack_snaps(&snaps);
+        assert_eq!(unpack_snaps(&packed), snaps);
+        assert_eq!(unpack_snaps(&pack_snaps(&[])), Vec::new());
+    }
+}

@@ -20,7 +20,7 @@ use crate::grid::Grid2D;
 use crate::kernels::{self, accumulate, aos, fused, position, simd, velocity, SoaViewMut};
 use crate::particles::{self, InitialDistribution, ParticlesAoS, ParticlesSoA};
 use crate::pool::{ThreadPool, MAX_THREADS};
-use crate::resilience::checkpoint::{self as ckpt, SimState};
+use crate::resilience::checkpoint::{self as ckpt};
 use crate::rng::Rng;
 use crate::sort;
 use crate::PicError;
@@ -669,20 +669,27 @@ impl Simulation {
         // AoS runs keep the AoS array canonical between sorts; serialize
         // from it so no stale SoA data leaks into the snapshot. The
         // conversion copies f64/u32 values verbatim — no precision loss.
+        // SoA runs serialize straight from the live store: cloning a
+        // multi-megabyte particle array per coordinated checkpoint was
+        // the largest single cost of the resilient step loop.
+        let converted;
         let particles = match &self.particles_aos {
-            Some(aos) => aos.to_soa(),
-            None => self.particles.clone(),
+            Some(aos) => {
+                converted = aos.to_soa();
+                &converted
+            }
+            None => &self.particles,
         };
-        ckpt::encode(&SimState {
+        ckpt::encode_view(&ckpt::SimStateView {
             config_fingerprint: ckpt::config_fingerprint(&self.cfg),
             step_count: self.step_count as u64,
             rng_state: self.rng.state(),
             charge_ref: self.charge_ref,
             particles,
-            rho: self.field.rho.clone(),
-            ex: self.field.ex.clone(),
-            ey: self.field.ey.clone(),
-            diag: self.diag.history.clone(),
+            rho: &self.field.rho,
+            ex: &self.field.ex,
+            ey: &self.field.ey,
+            diag: &self.diag.history,
         })
     }
 
@@ -850,6 +857,19 @@ impl Simulation {
     /// `reduce` performs the `MPI_ALLREDUCE` that sums the per-rank charge
     /// densities, and every rank then solves Poisson over the whole grid.
     pub fn step_with_reduce(&mut self, reduce: impl FnOnce(&mut [f64])) {
+        self.step_pre_reduce();
+        // Charge reduction across ranks (no-op in single-process runs).
+        reduce(&mut self.field.rho);
+        self.step_post_reduce();
+    }
+
+    /// First half of a step: sort (periodically) and run the particle
+    /// loops, leaving the freshly deposited per-rank ρ in
+    /// [`rho_mut`](Self::rho_mut). Distributed drivers that cannot express
+    /// their reduction as a closure (e.g. a fallible collective that may
+    /// need recovery) call this, reduce ρ themselves, then finish the step
+    /// with [`step_post_reduce`](Self::step_post_reduce).
+    pub fn step_pre_reduce(&mut self) {
         self.step_count += 1;
 
         // Periodic sort (lines 4–6).
@@ -862,14 +882,22 @@ impl Simulation {
             ParticleLayout::Soa => self.step_soa(),
             ParticleLayout::Aos => self.step_aos(),
         }
+    }
 
-        // Charge reduction across ranks (no-op in single-process runs).
-        reduce(&mut self.field.rho);
-
+    /// Second half of a step: Poisson solve on the (reduced) ρ and
+    /// diagnostics. Must follow a [`step_pre_reduce`](Self::step_pre_reduce).
+    pub fn step_post_reduce(&mut self) {
         // ρ₄ → grid ρ (redundant path) happened inside step_*; solve (line 13).
         self.solve_field();
         self.refresh_field_views();
         self.record_diag();
+    }
+
+    /// Mutable view of the deposited charge density, for in-place reduction
+    /// between [`step_pre_reduce`](Self::step_pre_reduce) and
+    /// [`step_post_reduce`](Self::step_post_reduce).
+    pub fn rho_mut(&mut self) -> &mut [f64] {
+        &mut self.field.rho
     }
 
     /// Run `n` steps.

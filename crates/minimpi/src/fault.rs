@@ -68,6 +68,9 @@ pub struct FaultPlan {
     delay: Duration,
     /// Restrict injection to frames *sent by* these ranks (None = all).
     targets: Option<Vec<usize>>,
+    /// Crash faults: `(rank, op)` pairs — rank `r` dies when its per-rank
+    /// communication-operation counter reaches `op`.
+    kills: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -80,6 +83,7 @@ impl FaultPlan {
             delay_prob: 0.0,
             delay: Duration::from_micros(100),
             targets: None,
+            kills: Vec::new(),
         }
     }
 
@@ -118,6 +122,28 @@ impl FaultPlan {
         self
     }
 
+    /// Crash-fault mode: kill `rank` when its communication-operation
+    /// counter reaches `at_op` (each public `Comm` operation — send, recv,
+    /// collective — counts as one op). The killed rank marks itself dead in
+    /// the world's shared failure-detector state and every subsequent
+    /// operation on it returns
+    /// [`CommError::RankFailed`](crate::CommError::RankFailed); survivors
+    /// observe the death through the detector instead of hanging.
+    pub fn kill_rank(mut self, rank: usize, at_op: u64) -> Self {
+        self.kills.push((rank, at_op));
+        self
+    }
+
+    /// The op count at which `rank` is scheduled to die, if any (the
+    /// earliest when several kills target the same rank).
+    pub(crate) fn kill_at(&self, rank: usize) -> Option<u64> {
+        self.kills
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|&(_, op)| op)
+            .min()
+    }
+
     /// Decide the fate of one transmission attempt.
     pub(crate) fn decide(&self, src: usize, dst: usize, tag: u64, seq: u64, attempt: u64) -> Fault {
         if let Some(t) = &self.targets {
@@ -139,16 +165,33 @@ impl FaultPlan {
     }
 }
 
-/// FNV-1a checksum over the raw bit patterns of an `f64` payload — the
-/// integrity check every data frame carries. Bitwise, so `-0.0`, `NaN`
-/// payloads, and denormals all checksum stably.
+/// Checksum over the raw bit patterns of an `f64` payload — the integrity
+/// check every data frame carries. Bitwise, so `-0.0`, `NaN` payloads, and
+/// denormals all checksum stably.
+///
+/// FNV-1a style but word-wise over four independent lanes, folded in lane
+/// order at the end: a byte-serial FNV is one long dependent multiply
+/// chain (~1 GB/s), which shows up as real overhead when multi-megabyte
+/// checkpoint payloads cross the transport. Four lanes give the CPU
+/// independent chains to overlap while staying deterministic and
+/// position-sensitive (swapped elements land in different lanes or
+/// different fold positions).
 pub fn checksum(data: &[f64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &v in data {
-        for b in v.to_bits().to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = [SEED; 4];
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        for i in 0..4 {
+            lanes[i] = (lanes[i] ^ c[i].to_bits()).wrapping_mul(PRIME);
         }
+    }
+    let mut h = SEED;
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(PRIME);
+    }
+    for &v in chunks.remainder() {
+        h = (h ^ v.to_bits()).wrapping_mul(PRIME);
     }
     h
 }
@@ -235,5 +278,16 @@ mod tests {
     #[test]
     fn checksum_is_order_sensitive() {
         assert_ne!(checksum(&[1.0, 2.0]), checksum(&[2.0, 1.0]));
+    }
+
+    #[test]
+    fn kill_schedule_is_queryable() {
+        let plan = FaultPlan::new(1)
+            .kill_rank(2, 10)
+            .kill_rank(2, 5)
+            .kill_rank(0, 3);
+        assert_eq!(plan.kill_at(2), Some(5));
+        assert_eq!(plan.kill_at(0), Some(3));
+        assert_eq!(plan.kill_at(1), None);
     }
 }

@@ -35,6 +35,23 @@
 //! acknowledgements (in-process channels cannot drop frames), so the
 //! fault machinery costs nothing in normal runs.
 //!
+//! ## Crash faults and shrinking recovery
+//!
+//! Beyond lossy links, ranks can *die*: [`FaultPlan::kill_rank`] schedules a
+//! crash fault at a deterministic operation count, after which every
+//! operation on the killed rank returns [`CommError::RankFailed`] and the
+//! rank marks itself dead in the world's shared failure-detector state.
+//! Survivors observe the death — through the dead flag, or through a stale
+//! heartbeat when [`Comm::set_heartbeat_timeout`] arms the detector — and
+//! their fault-aware collectives ([`Comm::try_barrier`],
+//! [`Comm::try_allreduce_sum_tree`], [`Comm::try_broadcast`],
+//! [`Comm::try_gather`]) return [`CommError::RankFailed`] instead of
+//! hanging. [`Comm::shrink`] then rebuilds a live-rank communicator
+//! (ULFM-style) and bumps the communicator epoch so stale pre-failure
+//! traffic can never match a post-shrink collective. Every retry, timeout,
+//! kill, detection, and shrink is recorded as a [`TransportEvent`]
+//! (drained with [`Comm::take_events`]) for post-mortem ledgers.
+//!
 //! ## Example
 //!
 //! ```
@@ -75,10 +92,58 @@ pub use fault::{checksum, FaultPlan};
 use fault::Fault;
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
+
+/// Process-global monotone counter that orders fault events across ranks
+/// (and across crates: `pic_core::faultlog` stamps its ledger entries from
+/// the same counter, so a merged ledger sorts into true causal order —
+/// a kill is always sequenced before its detection).
+static EVENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Draw the next value of the process-global fault-event sequence counter.
+pub fn next_event_seq() -> u64 {
+    EVENT_SEQ.fetch_add(1, Ordering::SeqCst)
+}
+
+/// What a [`TransportEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportEventKind {
+    /// A reliable send retransmitted an unacknowledged frame.
+    Retry,
+    /// A receive deadline elapsed.
+    Timeout,
+    /// This rank was killed by the fault plan's crash schedule.
+    Kill,
+    /// A peer rank was detected as failed (first observation only).
+    Detect,
+    /// The communicator group was shrunk to the surviving ranks.
+    Shrink,
+}
+
+/// One entry of the transport-level fault ledger, recorded by [`Comm`] as
+/// faults are injected, detected, and recovered from. Drained with
+/// [`Comm::take_events`]; `seq` comes from [`next_event_seq`] so entries
+/// from different ranks merge into a single causally ordered ledger.
+#[derive(Debug, Clone)]
+pub struct TransportEvent {
+    /// Global sequence number (monotone across all ranks in the process).
+    pub seq: u64,
+    /// Event kind.
+    pub kind: TransportEventKind,
+    /// The recording rank.
+    pub rank: usize,
+    /// The peer rank involved, if any (retry destination, detected rank…).
+    pub peer: Option<usize>,
+    /// The tag of the affected exchange (0 when not applicable).
+    pub tag: u64,
+    /// The recording rank's operation counter when the event fired.
+    pub op: u64,
+    /// Human-readable context.
+    pub detail: String,
+}
 
 /// A communication failure surfaced by the fallible (`try_*`) APIs.
 ///
@@ -121,6 +186,16 @@ pub enum CommError {
         /// The rank that observed the disconnect.
         rank: usize,
     },
+    /// A rank of the communicator failed (crash fault, or heartbeat staler
+    /// than [`Comm::set_heartbeat_timeout`]). `failed == rank` means the
+    /// reporting rank itself was killed by the fault plan. Survivors
+    /// typically respond by calling [`Comm::shrink`].
+    RankFailed {
+        /// The observing rank.
+        rank: usize,
+        /// The rank detected as failed.
+        failed: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -146,6 +221,12 @@ impl fmt::Display for CommError {
             }
             CommError::Disconnected { rank } => {
                 write!(f, "rank {rank}: peer inbox disconnected")
+            }
+            CommError::RankFailed { rank, failed } if rank == failed => {
+                write!(f, "rank {rank}: killed by crash fault")
+            }
+            CommError::RankFailed { rank, failed } => {
+                write!(f, "rank {rank}: rank {failed} detected as failed")
             }
         }
     }
@@ -191,6 +272,16 @@ struct Shared {
     inboxes: Vec<Sender<Frame>>,
     /// Total communication time across ranks, in nanoseconds.
     comm_nanos: AtomicU64,
+    /// Failure detector: `dead[r]` is set by rank `r` itself when a crash
+    /// fault kills it, giving survivors an immediate, consistent signal.
+    dead: Vec<AtomicBool>,
+    /// Per-rank heartbeat timestamps (nanoseconds since `start`), refreshed
+    /// at every communication operation and while polling in fault-aware
+    /// receives. A rank whose heartbeat goes stale beyond the configured
+    /// timeout is treated as failed even if it never set its dead flag.
+    heartbeats: Vec<AtomicU64>,
+    /// World creation time — the heartbeat clock's origin.
+    start: Instant,
 }
 
 /// Bounded exponential backoff between retransmissions: 1, 2, 4, 8, 16 ms,
@@ -261,6 +352,9 @@ impl World {
             acc: Mutex::new(Vec::new()),
             inboxes: senders,
             comm_nanos: AtomicU64::new(0),
+            dead: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+            heartbeats: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            start: Instant::now(),
         });
 
         let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
@@ -316,7 +410,44 @@ pub struct Comm {
     ack_timeout: Duration,
     recv_deadline: Duration,
     max_retries: usize,
+    /// World ranks of the current (possibly shrunk) communicator group,
+    /// sorted ascending. Starts as `0..nranks`.
+    group: Vec<usize>,
+    /// Communicator epoch, bumped by [`shrink`](Self::shrink) and mixed
+    /// into the high bits of collective tags so stale pre-shrink traffic
+    /// never matches a post-shrink collective.
+    epoch: u64,
+    /// Count of public communication operations — the clock crash faults
+    /// ([`FaultPlan::kill_rank`]) key on.
+    op_count: u64,
+    /// Set when this rank's scheduled crash fault has fired.
+    dead_self: bool,
+    /// Stale-heartbeat threshold; `None` disables the heartbeat half of
+    /// the failure detector (dead flags still work).
+    heartbeat_timeout: Option<Duration>,
+    /// Poll/backoff slice for fault-aware receives: how often a blocked
+    /// receive re-checks the failure detector.
+    detect_poll: Duration,
+    /// Peers already reported as failed (one Detect event per peer).
+    detected: HashSet<usize>,
+    /// Transport-level fault ledger, drained by [`take_events`](Self::take_events).
+    events: Vec<TransportEvent>,
+    /// Sequence counter for internally tagged collectives (`barrier`,
+    /// the flat-allreduce fallback) — advances identically on every rank.
+    ctl_seq: u64,
 }
+
+/// Bits reserved above user collective tags for the communicator epoch.
+/// User tags must stay below `1 << EPOCH_SHIFT`.
+const EPOCH_SHIFT: u32 = 48;
+/// Tag namespace for internally sequenced collectives (barrier, flat
+/// allreduce fallback). Above any user tag in the tree, below epoch bits.
+const CTL_TAG_BASE: u64 = 1 << 46;
+/// Tag namespace for the shrink agreement protocol.
+const SHRINK_TAG_BASE: u64 = 1 << 45;
+/// Tag stride between internally sequenced collectives — larger than any
+/// offset a single collective adds to its base tag.
+const CTL_TAG_STRIDE: u64 = 4096;
 
 impl Comm {
     fn new(
@@ -339,6 +470,15 @@ impl Comm {
             ack_timeout: Duration::from_millis(25),
             recv_deadline: Duration::from_secs(10),
             max_retries: 10,
+            group: (0..nranks).collect(),
+            epoch: 0,
+            op_count: 0,
+            dead_self: false,
+            heartbeat_timeout: None,
+            detect_poll: Duration::from_millis(2),
+            detected: HashSet::new(),
+            events: Vec::new(),
+            ctl_seq: 0,
         }
     }
 
@@ -374,11 +514,232 @@ impl Comm {
         self.max_retries = n;
     }
 
-    /// Synchronize all ranks.
+    /// Arm the heartbeat failure detector: a peer whose last heartbeat is
+    /// older than `d` is treated as failed. Heartbeats are refreshed at
+    /// every communication operation and while polling inside fault-aware
+    /// receives, so choose `d` larger than the longest compute phase
+    /// between communication calls.
+    pub fn set_heartbeat_timeout(&mut self, d: Duration) {
+        self.heartbeat_timeout = Some(d);
+        // Poll at a fraction of the timeout: a blocked receive that wakes
+        // every 2 ms to re-check a 2 s detector burns context switches
+        // (measurable when ranks share cores) without detecting anything
+        // sooner. An explicit `set_detect_poll` afterwards still wins.
+        self.detect_poll = (d / 20).clamp(Duration::from_millis(2), Duration::from_millis(250));
+    }
+
+    /// How often a blocked fault-aware receive re-checks the failure
+    /// detector (the detector's polling backoff).
+    pub fn set_detect_poll(&mut self, d: Duration) {
+        self.detect_poll = d.max(Duration::from_micros(100));
+    }
+
+    /// World ranks of the current communicator group, sorted ascending.
+    /// Identical to `0..size()` until a [`shrink`](Self::shrink).
+    pub fn group(&self) -> &[usize] {
+        &self.group
+    }
+
+    /// Members of the current group (`== size()` until a shrink).
+    pub fn group_size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Current communicator epoch (bumped by each [`shrink`](Self::shrink)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Count of public communication operations performed by this rank —
+    /// the clock [`FaultPlan::kill_rank`] schedules crash faults against.
+    pub fn op_count(&self) -> u64 {
+        self.op_count
+    }
+
+    /// Drain the transport-level fault ledger: every retry, timeout, kill,
+    /// failure detection, and shrink recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<TransportEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn push_event(
+        &mut self,
+        kind: TransportEventKind,
+        peer: Option<usize>,
+        tag: u64,
+        detail: String,
+    ) {
+        self.events.push(TransportEvent {
+            seq: next_event_seq(),
+            kind,
+            rank: self.rank,
+            peer,
+            tag,
+            op: self.op_count,
+            detail,
+        });
+    }
+
+    /// Refresh this rank's heartbeat timestamp.
+    fn beat(&self) {
+        let ns = self.shared.start.elapsed().as_nanos() as u64;
+        self.shared.heartbeats[self.rank].store(ns, Ordering::Relaxed);
+    }
+
+    /// Whether the failure-detector checks are active: any fault plan, an
+    /// armed heartbeat detector, or a shrunk group means ranks can die.
+    fn watching(&self) -> bool {
+        self.faults.is_some()
+            || self.heartbeat_timeout.is_some()
+            || self.group.len() != self.shared.nranks
+    }
+
+    /// Is world rank `p` currently considered failed?
+    fn peer_failed(&self, p: usize) -> bool {
+        if self.shared.dead[p].load(Ordering::SeqCst) {
+            return true;
+        }
+        if let Some(timeout) = self.heartbeat_timeout {
+            let now = self.shared.start.elapsed();
+            let hb = Duration::from_nanos(self.shared.heartbeats[p].load(Ordering::Relaxed));
+            if now > hb + timeout {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Build the error for an observed failure of `failed`, recording a
+    /// Detect event the first time each peer is seen dead.
+    fn rank_failed(&mut self, failed: usize) -> CommError {
+        if failed != self.rank && self.detected.insert(failed) {
+            self.push_event(
+                TransportEventKind::Detect,
+                Some(failed),
+                0,
+                format!("rank {failed} detected as failed"),
+            );
+        }
+        CommError::RankFailed {
+            rank: self.rank,
+            failed,
+        }
+    }
+
+    /// Account one public communication operation: fire a scheduled crash
+    /// fault when its op count is reached, refresh the heartbeat, and
+    /// refuse to operate once this rank is dead.
+    fn note_op(&mut self) -> Result<(), CommError> {
+        if self.dead_self {
+            return Err(CommError::RankFailed {
+                rank: self.rank,
+                failed: self.rank,
+            });
+        }
+        self.op_count += 1;
+        if let Some(plan) = &self.faults {
+            if let Some(at) = plan.kill_at(self.rank) {
+                if self.op_count >= at {
+                    self.push_event(
+                        TransportEventKind::Kill,
+                        None,
+                        0,
+                        format!("crash fault at op {}", self.op_count),
+                    );
+                    self.dead_self = true;
+                    // The flag store is sequenced after the Kill event's
+                    // seq draw, so a merged ledger always orders the kill
+                    // before any survivor's detection of it.
+                    self.shared.dead[self.rank].store(true, Ordering::SeqCst);
+                    return Err(CommError::RankFailed {
+                        rank: self.rank,
+                        failed: self.rank,
+                    });
+                }
+            }
+        }
+        self.beat();
+        Ok(())
+    }
+
+    /// Epoch-qualify a collective tag.
+    fn etag(&self, tag: u64) -> u64 {
+        debug_assert!(
+            tag < 1 << EPOCH_SHIFT,
+            "user tag {tag} overflows epoch bits"
+        );
+        (self.epoch << EPOCH_SHIFT) | tag
+    }
+
+    /// Next tag for an internally sequenced collective.
+    fn next_ctl_tag(&mut self) -> u64 {
+        let tag = self.etag(CTL_TAG_BASE + CTL_TAG_STRIDE * self.ctl_seq);
+        self.ctl_seq += 1;
+        tag
+    }
+
+    /// Synchronize the current group. Fault-free full-group worlds use the
+    /// shared-memory barrier; under a fault plan, an armed heartbeat
+    /// detector, or a shrunk group the message-based
+    /// [`try_barrier`](Self::try_barrier) runs instead, so a dead rank
+    /// yields a panic with a clean error rather than a hang.
+    ///
+    /// # Panics
+    /// Panics on a detected rank failure (only possible with the failure
+    /// detector active); use [`try_barrier`](Self::try_barrier) to handle.
     pub fn barrier(&mut self) {
+        if self.watching() {
+            self.try_barrier()
+                .unwrap_or_else(|e| panic!("minimpi barrier: {e}"));
+            return;
+        }
         let t = Instant::now();
         self.shared.barrier.wait();
         self.comm_time_ns += t.elapsed().as_nanos() as u64;
+    }
+
+    /// Fault-aware barrier over the current group (gather-to-root then
+    /// release, all point-to-point): returns [`CommError::RankFailed`]
+    /// instead of hanging when a group member dies.
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
+        self.note_op()?;
+        let tag = self.next_ctl_tag();
+        let group = self.group.clone();
+        let t = Instant::now();
+        let res = self.barrier_over(&group, tag);
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res
+    }
+
+    fn barrier_over(&mut self, group: &[usize], tag: u64) -> Result<(), CommError> {
+        if group.len() <= 1 {
+            return Ok(());
+        }
+        let r = self.group_index(group);
+        if r == 0 {
+            for &m in &group[1..] {
+                self.recv_watch(m, tag, Some(group))?;
+            }
+            for &m in &group[1..] {
+                self.send_ft(m, tag + 1, &[], Some(group))?;
+            }
+        } else {
+            self.send_ft(group[0], tag, &[], Some(group))?;
+            self.recv_watch(group[0], tag + 1, Some(group))?;
+        }
+        Ok(())
+    }
+
+    /// This rank's index within `group`.
+    ///
+    /// # Panics
+    /// Panics if this rank is not a member — calling a collective after
+    /// being excluded by a shrink is a protocol violation.
+    fn group_index(&self, group: &[usize]) -> usize {
+        group
+            .iter()
+            .position(|&g| g == self.rank)
+            .expect("rank not in communicator group")
     }
 
     // ---------------------------------------------------------------- data
@@ -470,13 +831,53 @@ impl Comm {
     /// # Panics
     /// Panics if `dst` is out of range.
     pub fn try_send(&mut self, dst: usize, tag: u64, data: &[f64]) -> Result<(), CommError> {
+        self.note_op()?;
         let t = Instant::now();
-        let res = self.send_impl(dst, tag, data);
+        let res = self.send_ft(dst, tag, data, None);
         self.comm_time_ns += t.elapsed().as_nanos() as u64;
         res
     }
 
+    /// `send_impl` with failure mapping: a transport failure towards a
+    /// peer the detector considers dead surfaces as
+    /// [`CommError::RankFailed`] rather than a generic transport error.
+    fn send_ft(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: &[f64],
+        watch: Option<&[usize]>,
+    ) -> Result<(), CommError> {
+        match self.send_impl(dst, tag, data) {
+            Err(e @ (CommError::Disconnected { .. } | CommError::RetriesExhausted { .. }))
+                if self.watching() =>
+            {
+                // A peer that stops answering may itself be the casualty,
+                // or may have aborted a collective after detecting some
+                // *other* group member's death — attribute the failure to
+                // whichever watched rank the detector actually flags.
+                let failed = if self.peer_failed(dst) {
+                    Some(dst)
+                } else {
+                    watch.and_then(|g| {
+                        g.iter()
+                            .copied()
+                            .find(|&p| p != self.rank && self.peer_failed(p))
+                    })
+                };
+                match failed {
+                    Some(p) => Err(self.rank_failed(p)),
+                    None => Err(e),
+                }
+            }
+            r => r,
+        }
+    }
+
     fn send_impl(&mut self, dst: usize, tag: u64, data: &[f64]) -> Result<(), CommError> {
+        if self.watching() && self.peer_failed(dst) {
+            return Err(self.rank_failed(dst));
+        }
         let seq = self.next_seq[dst];
         self.next_seq[dst] += 1;
         let sum = fault::checksum(data);
@@ -498,6 +899,11 @@ impl Comm {
         };
 
         for attempt in 0..=self.max_retries {
+            if attempt > 0 && self.peer_failed(dst) {
+                // The peer died while we were retrying: stop burning the
+                // retry budget and report the failure directly.
+                return Err(self.rank_failed(dst));
+            }
             match plan.decide(self.rank, dst, tag, seq, attempt as u64) {
                 Fault::Drop => {} // this attempt is lost in flight
                 outcome => {
@@ -524,6 +930,12 @@ impl Comm {
             if self.await_ack(dst, seq)? {
                 return Ok(());
             }
+            self.push_event(
+                TransportEventKind::Retry,
+                Some(dst),
+                tag,
+                format!("attempt {attempt} unacknowledged, retransmitting"),
+            );
             std::thread::sleep(backoff(attempt));
         }
         Err(CommError::RetriesExhausted {
@@ -549,32 +961,103 @@ impl Comm {
     /// receive deadline ([`Self::set_recv_deadline`]) so a missing sender
     /// yields [`CommError::Timeout`] instead of a hang.
     pub fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        self.note_op()?;
         let t = Instant::now();
-        let res = self.recv_impl(src, tag);
+        let res = self.recv_watch(src, tag, None);
         self.comm_time_ns += t.elapsed().as_nanos() as u64;
         res
     }
 
-    fn recv_impl(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+    /// Pull every frame already sitting in the inbox into the stash/ack
+    /// sets without blocking — run before declaring a peer failed, so a
+    /// message it sent just before dying is still delivered.
+    fn drain_inbox(&mut self) {
+        while let Ok(frame) = self.inbox.try_recv() {
+            match frame {
+                Frame::Data {
+                    src,
+                    tag,
+                    seq,
+                    needs_ack,
+                    checksum,
+                    data,
+                } => self.accept_data(src, tag, seq, needs_ack, checksum, data),
+                Frame::Ack { src, seq } => {
+                    self.acked.insert((src, seq));
+                }
+            }
+        }
+    }
+
+    fn stash_take(&mut self, src: usize, tag: u64) -> Option<Vec<f64>> {
+        let pos = self
+            .stash
+            .iter()
+            .position(|(s, g, _)| *s == src && *g == tag)?;
+        // The position was just found, so the removal succeeds.
+        Some(self.stash.remove(pos).expect("stash entry present").2)
+    }
+
+    /// The blocking-receive core. With the failure detector active it polls
+    /// in `detect_poll` slices, refreshing this rank's heartbeat and
+    /// checking `src` — plus every member of `watch`, for collectives,
+    /// whose completion depends on the whole group — against the detector,
+    /// so a dead rank surfaces as [`CommError::RankFailed`] long before the
+    /// receive deadline. Fault-free full-group runs block on the channel
+    /// directly, paying nothing.
+    fn recv_watch(
+        &mut self,
+        src: usize,
+        tag: u64,
+        watch: Option<&[usize]>,
+    ) -> Result<Vec<f64>, CommError> {
         let deadline = Instant::now() + self.recv_deadline;
+        let watching = self.watching();
         loop {
-            if let Some(pos) = self
-                .stash
-                .iter()
-                .position(|(s, g, _)| *s == src && *g == tag)
-            {
-                // The position was just found, so the removal succeeds.
-                return Ok(self.stash.remove(pos).expect("stash entry present").2);
+            if let Some(data) = self.stash_take(src, tag) {
+                return Ok(data);
+            }
+            if watching {
+                self.beat();
+                let failed = if self.peer_failed(src) {
+                    Some(src)
+                } else {
+                    watch.and_then(|g| {
+                        g.iter()
+                            .copied()
+                            .find(|&p| p != self.rank && self.peer_failed(p))
+                    })
+                };
+                if let Some(p) = failed {
+                    // Deliver anything already in flight before giving up:
+                    // the dead rank may have sent this message first.
+                    self.drain_inbox();
+                    if let Some(data) = self.stash_take(src, tag) {
+                        return Ok(data);
+                    }
+                    return Err(self.rank_failed(p));
+                }
             }
             let now = Instant::now();
             if now >= deadline {
+                self.push_event(
+                    TransportEventKind::Timeout,
+                    Some(src),
+                    tag,
+                    "receive deadline elapsed".into(),
+                );
                 return Err(CommError::Timeout {
                     rank: self.rank,
                     src,
                     tag,
                 });
             }
-            match self.inbox.recv_timeout(deadline - now) {
+            let wait = if watching {
+                self.detect_poll.min(deadline - now)
+            } else {
+                deadline - now
+            };
+            match self.inbox.recv_timeout(wait) {
                 Ok(Frame::Data {
                     src,
                     tag,
@@ -588,7 +1071,7 @@ impl Comm {
                     // on, or will look for it on its next await).
                     self.acked.insert((src, seq));
                 }
-                Err(RecvTimeoutError::Timeout) => {} // loop reports Timeout
+                Err(RecvTimeoutError::Timeout) => {} // loop re-checks
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::Disconnected { rank: self.rank })
                 }
@@ -596,11 +1079,13 @@ impl Comm {
         }
     }
 
-    /// Blocking selective receive from `src` with `tag`.
+    /// Blocking selective receive from `src` with `tag`, bounded by the
+    /// receive deadline ([`Self::set_recv_deadline`]) exactly like
+    /// [`try_recv`](Self::try_recv) — no public receive can block forever.
     ///
     /// # Panics
-    /// Panics if the receive deadline elapses or the world is torn down;
-    /// use [`try_recv`](Self::try_recv) to handle those.
+    /// Panics if the receive deadline elapses, a watched rank fails, or the
+    /// world is torn down; use [`try_recv`](Self::try_recv) to handle those.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
         self.try_recv(src, tag)
             .unwrap_or_else(|e| panic!("minimpi recv from rank {src}: {e}"))
@@ -623,7 +1108,9 @@ impl Comm {
         Ok(())
     }
 
-    /// Like [`recv`](Self::recv) but into an existing buffer.
+    /// Like [`recv`](Self::recv) but into an existing buffer. Bounded by
+    /// the receive deadline ([`Self::set_recv_deadline`]) like every other
+    /// blocking receive.
     ///
     /// # Panics
     /// Panics if lengths differ, the receive deadline elapses, or the world
@@ -644,6 +1131,18 @@ impl Comm {
     /// # Panics
     /// Panics if ranks pass buffers of different lengths.
     pub fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> Result<(), CommError> {
+        self.note_op()?;
+        if self.watching() {
+            // The shared-memory barrier would hang forever if a rank dies
+            // mid-collective; with the failure detector active, route to
+            // the message-based tree, which detects and reports instead.
+            let tag = self.next_ctl_tag();
+            let group = self.group.clone();
+            let t = Instant::now();
+            let res = self.allreduce_tree_over(&group, buf, tag);
+            self.comm_time_ns += t.elapsed().as_nanos() as u64;
+            return res;
+        }
         let t = Instant::now();
         {
             let mut acc = self.shared.acc.lock().expect("rank panicked holding lock");
@@ -699,24 +1198,49 @@ impl Comm {
 
     /// Tree (recursive-doubling) allreduce built on point-to-point messages —
     /// the algorithm real MPI uses, with `⌈log₂ P⌉` rounds. Works for any
-    /// rank count (non-powers of two fold the remainder onto the main tree).
-    /// Under fault injection, each hop recovers via the reliable transport
-    /// or surfaces its [`CommError`].
+    /// rank count (non-powers of two fold the remainder onto the main tree)
+    /// and runs over the current (possibly shrunk) group. Under fault
+    /// injection, each hop recovers via the reliable transport or surfaces
+    /// its [`CommError`]; a dead group member surfaces as
+    /// [`CommError::RankFailed`] instead of a hang.
     pub fn try_allreduce_sum_tree(&mut self, buf: &mut [f64], tag: u64) -> Result<(), CommError> {
+        self.note_op()?;
+        let tag = self.etag(tag);
+        let group = self.group.clone();
         let t = Instant::now();
-        let p = self.size();
+        let res = self.allreduce_tree_over(&group, buf, tag);
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res
+    }
+
+    /// The tree allreduce over an explicit world-rank `group` (this rank
+    /// must be a member); `tag` is already epoch-qualified. Also the
+    /// agreement primitive of [`shrink`](Self::shrink), which runs it over
+    /// tentative survivor groups.
+    fn allreduce_tree_over(
+        &mut self,
+        group: &[usize],
+        buf: &mut [f64],
+        tag: u64,
+    ) -> Result<(), CommError> {
+        let p = group.len();
+        if p <= 1 {
+            return Ok(());
+        }
+        let r = self.group_index(group);
         let pow2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
         // `pow2` = largest power of two ≤ p.
-        let r = self.rank;
         let extra = p - pow2;
 
         // Fold the surplus ranks onto their partners below pow2.
         if r >= pow2 {
-            self.try_send(r - pow2, tag, buf)?;
-            self.try_recv_into(r - pow2, tag + 1, buf)?;
+            self.send_ft(group[r - pow2], tag, buf, Some(group))?;
+            let msg = self.recv_watch(group[r - pow2], tag + 1, Some(group))?;
+            assert_eq!(msg.len(), buf.len(), "allreduce length mismatch");
+            buf.copy_from_slice(&msg);
         } else {
             if r < extra {
-                let msg = self.try_recv(r + pow2, tag)?;
+                let msg = self.recv_watch(group[r + pow2], tag, Some(group))?;
                 for (b, m) in buf.iter_mut().zip(&msg) {
                     *b += m;
                 }
@@ -725,18 +1249,17 @@ impl Comm {
             let mut mask = 1usize;
             while mask < pow2 {
                 let partner = r ^ mask;
-                self.try_send(partner, tag + 2 + mask as u64, buf)?;
-                let msg = self.try_recv(partner, tag + 2 + mask as u64)?;
+                self.send_ft(group[partner], tag + 2 + mask as u64, buf, Some(group))?;
+                let msg = self.recv_watch(group[partner], tag + 2 + mask as u64, Some(group))?;
                 for (b, m) in buf.iter_mut().zip(&msg) {
                     *b += m;
                 }
                 mask <<= 1;
             }
             if r < extra {
-                self.try_send(r + pow2, tag + 1, buf)?;
+                self.send_ft(group[r + pow2], tag + 1, buf, Some(group))?;
             }
         }
-        self.comm_time_ns += t.elapsed().as_nanos() as u64;
         Ok(())
     }
 
@@ -762,15 +1285,21 @@ impl Comm {
         buf: &mut [f64],
         tag: u64,
     ) -> Result<(), CommError> {
-        let p = self.size();
+        self.note_op()?;
+        let tag = self.etag(tag);
+        let group = self.group.clone();
+        let p = group.len();
         if p == 1 {
             return Ok(());
         }
         if !p.is_power_of_two() || buf.len() < p {
-            return self.try_allreduce_sum_tree(buf, tag);
+            let t = Instant::now();
+            let res = self.allreduce_tree_over(&group, buf, tag);
+            self.comm_time_ns += t.elapsed().as_nanos() as u64;
+            return res;
         }
         let t = Instant::now();
-        let r = self.rank;
+        let r = self.group_index(&group);
         let n = buf.len();
         // Block boundaries: block b = [starts[b], starts[b+1]).
         let starts: Vec<usize> = (0..=p).map(|b| b * n / p).collect();
@@ -778,12 +1307,12 @@ impl Comm {
         // Reduce-scatter by recursive halving: after round k, this rank
         // holds the partial sum of a 2^{k+1}-rank group on a 1/2^{k+1}
         // slice of the buffer.
-        let mut group = p; // current group size
+        let mut gsize = p; // current group size
         let mut lo = 0usize; // current block range [lo, hi) owned
         let mut hi = p;
         let mut round = 0u64;
-        while group > 1 {
-            let half = group / 2;
+        while gsize > 1 {
+            let half = gsize / 2;
             let partner = r ^ half;
             let mid = lo + (hi - lo) / 2;
             // Lower half of the group keeps [lo, mid), sends [mid, hi).
@@ -793,8 +1322,8 @@ impl Comm {
                 (mid, hi, lo, mid)
             };
             let send_slice = buf[starts[send_lo]..starts[send_hi]].to_vec();
-            self.try_send(partner, tag + 2 * round, &send_slice)?;
-            let recv = self.try_recv(partner, tag + 2 * round)?;
+            self.send_ft(group[partner], tag + 2 * round, &send_slice, Some(&group))?;
+            let recv = self.recv_watch(group[partner], tag + 2 * round, Some(&group))?;
             let dst = &mut buf[starts[keep_lo]..starts[keep_hi]];
             assert_eq!(recv.len(), dst.len());
             for (d, s) in dst.iter_mut().zip(&recv) {
@@ -802,14 +1331,14 @@ impl Comm {
             }
             lo = keep_lo;
             hi = keep_hi;
-            group = half;
+            gsize = half;
             round += 1;
         }
 
         // Allgather by recursive doubling: mirror the halving.
-        let mut group = 2usize;
-        while group <= p {
-            let half = group / 2;
+        let mut gsize = 2usize;
+        while gsize <= p {
+            let half = gsize / 2;
             let partner = r ^ half;
             // This rank owns [lo, hi); the partner owns the sibling range.
             let width = hi - lo;
@@ -819,14 +1348,14 @@ impl Comm {
                 (lo - width, hi - width)
             };
             let own = buf[starts[lo]..starts[hi]].to_vec();
-            self.try_send(partner, tag + 1000 + 2 * round, &own)?;
-            let recv = self.try_recv(partner, tag + 1000 + 2 * round)?;
+            self.send_ft(group[partner], tag + 1000 + 2 * round, &own, Some(&group))?;
+            let recv = self.recv_watch(group[partner], tag + 1000 + 2 * round, Some(&group))?;
             let dst = &mut buf[starts[plo]..starts[phi]];
             assert_eq!(recv.len(), dst.len());
             dst.copy_from_slice(&recv);
             lo = lo.min(plo);
             hi = hi.max(phi);
-            group *= 2;
+            gsize *= 2;
             round += 1;
         }
         debug_assert_eq!((lo, hi), (0, p));
@@ -845,31 +1374,177 @@ impl Comm {
             .unwrap_or_else(|e| panic!("minimpi allreduce_sum_rabenseifner: {e}"));
     }
 
-    /// Gather each rank's `data` on rank 0 (others get `None`).
-    pub fn gather(&mut self, data: &[f64], tag: u64) -> Option<Vec<Vec<f64>>> {
-        if self.rank == 0 {
-            let mut all = vec![Vec::new(); self.size()];
-            all[0] = data.to_vec();
-            for (src, slot) in all.iter_mut().enumerate().skip(1) {
-                *slot = self.recv(src, tag);
+    /// Fault-aware gather over the current group: every member's `data`
+    /// arrives at the group root (`group()[0]`), which gets `Some(vec)`
+    /// indexed in group order; other members get `Ok(None)`. A dead group
+    /// member surfaces as [`CommError::RankFailed`] instead of a hang.
+    pub fn try_gather(
+        &mut self,
+        data: &[f64],
+        tag: u64,
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
+        self.note_op()?;
+        let tag = self.etag(tag);
+        let group = self.group.clone();
+        let t = Instant::now();
+        let res = self.gather_over(&group, data, tag);
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res
+    }
+
+    fn gather_over(
+        &mut self,
+        group: &[usize],
+        data: &[f64],
+        tag: u64,
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
+        if self.group_index(group) == 0 {
+            let mut all = Vec::with_capacity(group.len());
+            all.push(data.to_vec());
+            for &m in &group[1..] {
+                all.push(self.recv_watch(m, tag, Some(group))?);
             }
-            Some(all)
+            Ok(Some(all))
         } else {
-            self.send(0, tag, data);
-            None
+            self.send_ft(group[0], tag, data, Some(group))?;
+            Ok(None)
         }
     }
 
-    /// Broadcast rank 0's `buf` to everyone.
-    pub fn broadcast(&mut self, buf: &mut [f64], tag: u64) {
-        if self.rank == 0 {
-            for dst in 1..self.size() {
+    /// Gather each rank's `data` on the group root (others get `None`).
+    ///
+    /// # Panics
+    /// Panics on a detected rank failure or transport error; use
+    /// [`try_gather`](Self::try_gather) to handle those.
+    pub fn gather(&mut self, data: &[f64], tag: u64) -> Option<Vec<Vec<f64>>> {
+        self.try_gather(data, tag)
+            .unwrap_or_else(|e| panic!("minimpi gather: {e}"))
+    }
+
+    /// Fault-aware broadcast of the group root's (`group()[0]`) `buf` to
+    /// every group member. A dead group member surfaces as
+    /// [`CommError::RankFailed`] instead of a hang.
+    pub fn try_broadcast(&mut self, buf: &mut [f64], tag: u64) -> Result<(), CommError> {
+        self.note_op()?;
+        let tag = self.etag(tag);
+        let group = self.group.clone();
+        let t = Instant::now();
+        let res = self.broadcast_over(&group, buf, tag);
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res
+    }
+
+    fn broadcast_over(
+        &mut self,
+        group: &[usize],
+        buf: &mut [f64],
+        tag: u64,
+    ) -> Result<(), CommError> {
+        if self.group_index(group) == 0 {
+            for &m in &group[1..] {
                 let data: Vec<f64> = buf.to_vec();
-                self.send(dst, tag, &data);
+                self.send_ft(m, tag, &data, Some(group))?;
             }
         } else {
-            self.recv_into(0, tag, buf);
+            let msg = self.recv_watch(group[0], tag, Some(group))?;
+            assert_eq!(msg.len(), buf.len(), "broadcast length mismatch");
+            buf.copy_from_slice(&msg);
         }
+        Ok(())
+    }
+
+    /// Broadcast the group root's `buf` to everyone.
+    ///
+    /// # Panics
+    /// Panics on a detected rank failure or transport error; use
+    /// [`try_broadcast`](Self::try_broadcast) to handle those.
+    pub fn broadcast(&mut self, buf: &mut [f64], tag: u64) {
+        self.try_broadcast(buf, tag)
+            .unwrap_or_else(|e| panic!("minimpi broadcast: {e}"));
+    }
+
+    // ------------------------------------------------------------- recovery
+
+    /// ULFM-style shrink: agree with the surviving group members on the
+    /// set of failed ranks, rebuild the communicator group without them,
+    /// and bump the epoch. Returns the new group (sorted world ranks).
+    ///
+    /// Every surviving member of the current group must call `shrink`
+    /// (typically after a collective returned
+    /// [`CommError::RankFailed`]). The agreement is an allreduce of each
+    /// member's suspect bitmask over the tentative survivor group; if the
+    /// union reveals suspects a member had not yet observed (or another
+    /// rank dies mid-agreement), the round retries with the enlarged set.
+    /// Convergence needs the survivors' suspect sets to stabilize, which
+    /// dead-flag (crash-fault) detection gives immediately; a round that
+    /// cannot complete surfaces its [`CommError`] rather than hanging.
+    pub fn shrink(&mut self) -> Result<Vec<usize>, CommError> {
+        if self.dead_self {
+            return Err(CommError::RankFailed {
+                rank: self.rank,
+                failed: self.rank,
+            });
+        }
+        self.beat();
+        let nranks = self.shared.nranks;
+        let old_group = self.group.clone();
+        let mut suspect = vec![false; nranks];
+        let mut last_err = None;
+        for attempt in 0..nranks.max(2) as u64 {
+            // Re-scan the detector each round: ranks that died since the
+            // last attempt join the suspect set.
+            for &m in &old_group {
+                if m != self.rank && self.peer_failed(m) {
+                    suspect[m] = true;
+                }
+            }
+            let tentative: Vec<usize> =
+                old_group.iter().copied().filter(|&m| !suspect[m]).collect();
+            let mut votes: Vec<f64> = suspect.iter().map(|&s| if s { 1.0 } else { 0.0 }).collect();
+            let tag = self.etag(SHRINK_TAG_BASE + CTL_TAG_STRIDE * attempt);
+            match self.allreduce_tree_over(&tentative, &mut votes, tag) {
+                Ok(()) => {
+                    let agreed: Vec<usize> = (0..nranks).filter(|&m| votes[m] > 0.0).collect();
+                    if agreed.iter().all(|&m| suspect[m]) {
+                        self.group = tentative;
+                        self.epoch += 1;
+                        self.push_event(
+                            TransportEventKind::Shrink,
+                            None,
+                            0,
+                            format!(
+                                "group {:?} -> {:?}, epoch {}",
+                                old_group, self.group, self.epoch
+                            ),
+                        );
+                        return Ok(self.group.clone());
+                    }
+                    // Another member suspects ranks we had not observed:
+                    // adopt the union and retry.
+                    for &m in &agreed {
+                        suspect[m] = true;
+                    }
+                }
+                Err(CommError::RankFailed { failed, .. }) if failed != self.rank => {
+                    suspect[failed] = true;
+                    last_err = Some(CommError::RankFailed {
+                        rank: self.rank,
+                        failed,
+                    });
+                }
+                Err(CommError::Timeout { .. }) => {
+                    // A member aborted this round (it saw a suspect we have
+                    // not); re-scan and retry.
+                    last_err = Some(CommError::Timeout {
+                        rank: self.rank,
+                        src: self.rank,
+                        tag,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(CommError::Disconnected { rank: self.rank }))
     }
 }
 
@@ -1285,5 +1960,172 @@ mod tests {
         });
         assert_eq!(results[0], vec![8.0]);
         assert_eq!(results[1], vec![4.0]);
+    }
+
+    #[test]
+    fn crash_fault_kills_rank_and_survivor_detects() {
+        let plan = FaultPlan::new(5).kill_rank(1, 1);
+        let out = World::run_with_faults(2, plan, |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(Duration::from_millis(2000));
+            if comm.rank() == 0 {
+                match comm.try_recv(1, 7) {
+                    Err(CommError::RankFailed { rank: 0, failed }) => format!("detected {failed}"),
+                    other => format!("unexpected {other:?}"),
+                }
+            } else {
+                match comm.try_send(0, 7, &[1.0]) {
+                    Err(CommError::RankFailed { rank: 1, failed: 1 }) => "killed".to_string(),
+                    other => format!("unexpected {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out[0], "detected 1");
+        assert_eq!(out[1], "killed");
+    }
+
+    #[test]
+    fn ledger_orders_kill_before_detect() {
+        let plan = FaultPlan::new(6).kill_rank(1, 1);
+        let events = World::run_with_faults(2, plan, |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(Duration::from_millis(2000));
+            if comm.rank() == 0 {
+                let _ = comm.try_recv(1, 3);
+            } else {
+                let _ = comm.try_send(0, 3, &[1.0]);
+            }
+            comm.take_events()
+        });
+        let kill = events[1]
+            .iter()
+            .find(|e| e.kind == TransportEventKind::Kill)
+            .expect("killed rank records a Kill event");
+        let detect = events[0]
+            .iter()
+            .find(|e| e.kind == TransportEventKind::Detect)
+            .expect("survivor records a Detect event");
+        assert!(
+            kill.seq < detect.seq,
+            "kill seq {} must precede detect seq {}",
+            kill.seq,
+            detect.seq
+        );
+        assert_eq!(detect.peer, Some(1));
+    }
+
+    #[test]
+    fn stale_heartbeat_is_detected_as_failure() {
+        // Rank 1 never beats (no comm ops) for longer than the timeout, so
+        // rank 0's receive reports it failed instead of waiting out the
+        // full deadline.
+        let out = World::run(2, |comm| {
+            fast_timeouts(comm);
+            if comm.rank() == 0 {
+                comm.set_heartbeat_timeout(Duration::from_millis(40));
+                comm.set_recv_deadline(Duration::from_secs(5));
+                matches!(
+                    comm.try_recv(1, 1),
+                    Err(CommError::RankFailed { failed: 1, .. })
+                )
+            } else {
+                std::thread::sleep(Duration::from_millis(400));
+                true
+            }
+        });
+        assert!(out[0], "stale heartbeat must surface as RankFailed");
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn collectives_fail_cleanly_when_a_rank_dies() {
+        // Rank 2 dies at its first op; the other three ranks' allreduce
+        // must detect it instead of hanging, on every algorithm.
+        let plan = FaultPlan::new(8).kill_rank(2, 1);
+        let out = World::run_with_faults(4, plan, |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(Duration::from_millis(2000));
+            let mut buf = vec![1.0; 8];
+            let res = comm.try_allreduce_sum_tree(&mut buf, 100);
+            matches!(res, Err(CommError::RankFailed { .. }))
+        });
+        assert!(out.iter().all(|&ok| ok), "{out:?}");
+    }
+
+    #[test]
+    fn shrink_rebuilds_live_group_and_collectives_recover() {
+        let plan = FaultPlan::new(9).kill_rank(2, 2);
+        let out = World::run_with_faults(4, plan, |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(Duration::from_millis(2000));
+            let mut buf = vec![1.0; 4];
+            // First collective succeeds (rank 2 dies on its second op).
+            if comm.try_allreduce_sum_tree(&mut buf, 50).is_err() {
+                return (comm.group().to_vec(), f64::NAN);
+            }
+            assert_eq!(buf, vec![4.0; 4]);
+            // Second collective kills rank 2 / fails on survivors.
+            let mut buf = vec![1.0; 4];
+            match comm.try_allreduce_sum_tree(&mut buf, 60) {
+                Err(CommError::RankFailed { rank, failed }) if rank == failed => {
+                    return (vec![], f64::NAN); // the dead rank exits
+                }
+                Err(CommError::RankFailed { .. }) => {}
+                other => panic!("expected RankFailed, got {other:?}"),
+            }
+            let group = comm.shrink().expect("survivors agree on shrink");
+            let mut buf = vec![1.0; 4];
+            comm.try_allreduce_sum_tree(&mut buf, 70)
+                .expect("post-shrink collective succeeds");
+            (group, buf[0])
+        });
+        for r in [0, 1, 3] {
+            assert_eq!(out[r].0, vec![0, 1, 3], "rank {r} group");
+            assert_eq!(out[r].1, 3.0, "rank {r} post-shrink sum");
+        }
+        assert!(out[2].1.is_nan());
+    }
+
+    #[test]
+    fn gather_broadcast_survive_with_group_semantics() {
+        let plan = FaultPlan::new(10).kill_rank(3, 1);
+        let out = World::run_with_faults(4, plan, |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(Duration::from_millis(2000));
+            let r = comm.rank() as f64;
+            if comm.try_gather(&[r], 5).is_err() && comm.rank() == 3 {
+                return -1.0;
+            }
+            // Survivors: the gather may have succeeded (rank 3's frame can
+            // land before its death is material) or failed; either way,
+            // shrink and redo it over the live group.
+            if comm.group().len() == comm.size() && comm.shrink().is_err() {
+                return -2.0;
+            }
+            let gathered = comm.try_gather(&[r], 6).expect("post-shrink gather");
+            let mut sum = vec![0.0];
+            if let Some(parts) = gathered {
+                sum[0] = parts.iter().map(|p| p[0]).sum();
+            }
+            comm.try_broadcast(&mut sum, 7).expect("post-shrink bcast");
+            sum[0]
+        });
+        for r in [0, 1, 2] {
+            assert_eq!(out[r], 3.0, "rank {r}"); // sum of surviving rank ids
+        }
+        assert_eq!(out[3], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn blocking_recv_honors_deadline() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.set_recv_deadline(Duration::from_millis(50));
+                let _ = comm.recv(1, 9); // nobody ever sends: must panic
+            } else {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        });
     }
 }
