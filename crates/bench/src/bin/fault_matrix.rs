@@ -1,7 +1,7 @@
 //! Fault-matrix gate for `scripts/check.sh`: fixed-seed fault scenarios
 //! that must all recover AND reproduce the fault-free trajectory bitwise.
 //!
-//! Three scenarios, all on a small Landau workload so the release-mode run
+//! Five scenarios, all on a small Landau workload so the release-mode run
 //! stays under a couple of seconds:
 //!
 //! * **drop+corrupt** — 4 ranks over a link dropping 25% and corrupting
@@ -9,14 +9,24 @@
 //! * **kill@2** / **kill@4** — the last rank is killed mid-step on 2- and
 //!   4-rank runs; survivors must detect, shrink, roll back to the buddy
 //!   checkpoint, and finish with ρ bit-identical per logical rank.
+//! * **p2p drop+corrupt** — the same lossy link under the *decomposed*
+//!   runtime, whose halo/gather/scatter/migration traffic is all
+//!   point-to-point; retries must hide the faults bit-exactly and land in
+//!   the `FaultLog` ledger.
+//! * **p2p kill** — a rank dies mid-step under the decomposed runtime;
+//!   every rank must surface a `CommError` (never deadlock) and the
+//!   ledgers must record the kill and the survivor-side timeouts/retries.
 //!
 //! Any mismatch or failed recovery exits nonzero, so check.sh can gate on
 //! it. Seeds are fixed: the scenarios are deterministic, not sampled.
 
+use decomp::{DecompConfig, DecomposedSimulation};
 use minimpi::{Comm, FaultPlan, World};
+use pic_core::faultlog::FaultKind;
 use pic_core::resilience::{run_resilient_distributed, DistConfig};
 use pic_core::sim::{PicConfig, Simulation};
 use pic_core::PicError;
+use sfc::Ordering;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -144,6 +154,96 @@ fn check_drop_corrupt() -> Result<(), PicError> {
     Ok(())
 }
 
+fn decomp_cfg() -> PicConfig {
+    let mut cfg = PicConfig::landau_table1(N);
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    cfg.ordering = Ordering::Morton;
+    cfg.sort_period = 2;
+    cfg
+}
+
+fn decomp_body() -> impl Fn(&mut Comm) -> (Vec<f64>, usize) + Send + Sync {
+    |comm| {
+        let mut dsim =
+            DecomposedSimulation::new(decomp_cfg(), DecompConfig::default(), comm).unwrap();
+        dsim.run(STEPS as usize, comm).unwrap();
+        let rho = dsim.sim().rho();
+        let owned = dsim.plan().owned_points.iter().map(|&p| rho[p]).collect();
+        (owned, dsim.fault_log().count(FaultKind::Retry))
+    }
+}
+
+fn check_p2p_drop_corrupt() -> Result<(), PicError> {
+    let ranks = 4;
+    let clean = World::run(ranks, decomp_body());
+    let plan = FaultPlan::new(0x9EE7)
+        .drop_messages(0.25)
+        .corrupt_messages(0.15);
+    let faulty = World::run_with_faults(ranks, plan, decomp_body());
+    for rank in 0..ranks {
+        if faulty[rank].0 != clean[rank].0 {
+            return Err(PicError::Diverged(format!(
+                "p2p drop+corrupt: rank {rank} owned-rho diverged from the fault-free run"
+            )));
+        }
+    }
+    let retries: usize = faulty.iter().map(|(_, r)| r).sum();
+    if retries == 0 {
+        return Err(PicError::Diverged(
+            "p2p drop+corrupt: no Retry event reached the fault ledger".into(),
+        ));
+    }
+    println!(
+        "  p2p drop+corrupt: {ranks} decomposed ranks bit-exact, {retries} retries in the ledger"
+    );
+    Ok(())
+}
+
+fn check_p2p_kill() -> Result<(), PicError> {
+    let ranks = 2;
+    // Past the init allreduce (< 5 ops), inside step 1 or 2 of the
+    // 6-ops-per-step decomposed loop.
+    let plan = FaultPlan::new(0xDEAD).kill_rank(1, 12);
+    let outcomes = World::run_with_faults(ranks, plan, |comm| {
+        // Deadline + heartbeat so the survivor can never block forever on
+        // the dead peer, whichever op it is in when the kill lands.
+        comm.set_recv_deadline(Duration::from_secs(1));
+        comm.set_heartbeat_timeout(Duration::from_millis(200));
+        let mut dsim =
+            DecomposedSimulation::new(decomp_cfg(), DecompConfig::default(), comm).unwrap();
+        let err = dsim.run(STEPS as usize, comm).err().map(|e| e.to_string());
+        let log = dsim.fault_log();
+        let kills = log.count(FaultKind::Kill);
+        let survivor_side = log.count(FaultKind::Timeout)
+            + log.count(FaultKind::Retry)
+            + log.count(FaultKind::Detect);
+        (err, kills, survivor_side)
+    });
+    let (dead_err, dead_kills, _) = &outcomes[1];
+    if dead_err.is_none() || *dead_kills == 0 {
+        return Err(PicError::Diverged(format!(
+            "p2p kill: killed rank finished cleanly or logged no Kill event ({dead_err:?})"
+        )));
+    }
+    let (surv_err, _, surv_events) = &outcomes[0];
+    if surv_err.is_none() {
+        return Err(PicError::Diverged(
+            "p2p kill: survivor finished cleanly instead of surfacing a CommError".into(),
+        ));
+    }
+    if *surv_events == 0 {
+        return Err(PicError::Diverged(
+            "p2p kill: survivor's fault ledger recorded no timeout/retry/detect".into(),
+        ));
+    }
+    println!(
+        "  p2p kill: both ranks surfaced errors without deadlock ({})",
+        surv_err.as_deref().unwrap_or("")
+    );
+    Ok(())
+}
+
 fn main() -> std::process::ExitCode {
     pic_bench::exit_on_error(run)
 }
@@ -153,6 +253,8 @@ fn run() -> Result<(), PicError> {
     check_drop_corrupt()?;
     check_kill(2)?;
     check_kill(4)?;
+    check_p2p_drop_corrupt()?;
+    check_p2p_kill()?;
     println!("fault matrix: all scenarios recovered bit-exact");
     Ok(())
 }

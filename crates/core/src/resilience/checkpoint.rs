@@ -395,7 +395,7 @@ pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
          distribution={:?};ordering={:?};particle_layout={:?};\
          field_layout={:?};loop_structure={:?};position_update={:?};\
          kernel_path={:?};hoisted={:?};sort_period={};\
-         sort_out_of_place={:?};seed={};keep_range={:?}",
+         sort_out_of_place={:?};seed={};keep_range={:?};keep_cells={:?}",
         cfg.grid_nx,
         cfg.grid_ny,
         cfg.lx,
@@ -414,6 +414,7 @@ pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
         cfg.sort_out_of_place,
         cfg.seed,
         cfg.keep_range,
+        cfg.keep_cells,
     );
     fnv1a(canon.as_bytes())
 }

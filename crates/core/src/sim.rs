@@ -333,6 +333,12 @@ pub struct PicConfig {
     /// [`Simulation::step_with_reduce`]) restores the global density.
     /// `None` keeps everything.
     pub keep_range: Option<(usize, usize)>,
+    /// Spatial slice: sample all `n_particles` (deterministically in `seed`)
+    /// but keep only those whose initial cell index falls in `[lo, hi)` —
+    /// the domain-decomposed counterpart of `keep_range`, where a rank owns
+    /// a contiguous range of the SFC cell ordering instead of a fixed index
+    /// slice of the particle population. `None` keeps everything.
+    pub keep_cells: Option<(u32, u32)>,
 }
 
 impl PicConfig {
@@ -362,6 +368,7 @@ impl PicConfig {
             threads: 1,
             seed: 0xB1C0DE,
             keep_range: None,
+            keep_cells: None,
         }
     }
 
@@ -521,6 +528,35 @@ impl Simulation {
             takef(&mut particles.vx);
             takef(&mut particles.vy);
         }
+        if let Some((lo, hi)) = cfg.keep_cells {
+            let ncells = layout.as_dyn().ncells();
+            if lo >= hi || hi as usize > ncells {
+                return Err(PicError::Config(format!(
+                    "keep_cells {lo}..{hi} out of bounds for {ncells} cells"
+                )));
+            }
+            let mask: Vec<bool> = particles.icell.iter().map(|&c| lo <= c && c < hi).collect();
+            fn retain_mask<T: Copy>(v: &mut Vec<T>, mask: &[bool]) {
+                let mut i = 0;
+                v.retain(|_| {
+                    let keep = mask[i];
+                    i += 1;
+                    keep
+                });
+            }
+            retain_mask(&mut particles.icell, &mask);
+            retain_mask(&mut particles.ix, &mask);
+            retain_mask(&mut particles.iy, &mask);
+            retain_mask(&mut particles.dx, &mask);
+            retain_mask(&mut particles.dy, &mask);
+            retain_mask(&mut particles.vx, &mask);
+            retain_mask(&mut particles.vy, &mask);
+            if particles.is_empty() {
+                return Err(PicError::Config(format!(
+                    "keep_cells {lo}..{hi} holds no particles — subdomain too small"
+                )));
+            }
+        }
 
         let field = Field2D::new(&grid);
         let e8 = RedundantE::new(layout.as_dyn());
@@ -642,6 +678,21 @@ impl Simulation {
     /// Electric field on grid points (row-major).
     pub fn e_field(&self) -> (&[f64], &[f64]) {
         (&self.field.ex, &self.field.ey)
+    }
+
+    /// Mutable electric field on grid points (row-major) — for drivers that
+    /// obtain E externally (a decomposed run receives its subdomain's field
+    /// from the solving rank) and then finish the step with
+    /// [`step_post_external_solve`](Self::step_post_external_solve).
+    pub fn e_field_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.field.ex, &mut self.field.ey)
+    }
+
+    /// Mutable particle store (SoA). Drivers that migrate particles between
+    /// ranks edit the arrays directly; only meaningful for SoA-layout runs
+    /// (AoS runs keep a separate canonical mirror between sorts).
+    pub fn particles_mut(&mut self) -> &mut ParticlesSoA {
+        &mut self.particles
     }
 
     /// The active cell layout (dynamic view).
@@ -898,6 +949,21 @@ impl Simulation {
     /// [`step_post_reduce`](Self::step_post_reduce).
     pub fn rho_mut(&mut self) -> &mut [f64] {
         &mut self.field.rho
+    }
+
+    /// Finish a step whose Poisson solve happened *outside* this simulation:
+    /// rebuild the redundant field view from the externally written
+    /// [`e_field_mut`](Self::e_field_mut) arrays and record diagnostics.
+    /// The decomposed driver uses this — one rank solves the global field
+    /// and scatters each subdomain's E values, so the local solver never
+    /// runs. Must follow a [`step_pre_reduce`](Self::step_pre_reduce).
+    ///
+    /// Diagnostics recorded here are *local* (this rank's particles, and
+    /// field values only valid on the subdomain's points) — meaningful
+    /// after a cross-rank reduction, not per rank.
+    pub fn step_post_external_solve(&mut self) {
+        self.refresh_field_views();
+        self.record_diag();
     }
 
     /// Run `n` steps.

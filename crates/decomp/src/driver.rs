@@ -1,0 +1,450 @@
+//! The decomposed step loop: deposit → halo → gather-solve-scatter → migrate.
+
+use crate::{exchange_rho, halo::HaloPlan, DecompError, Partition};
+use minimpi::Comm;
+use pic_core::faultlog::FaultLog;
+use pic_core::grid::Grid2D;
+use pic_core::particles::{self, ParticlesSoA};
+use pic_core::rng::Rng;
+use pic_core::sim::{ParticleLayout, PicConfig, Simulation};
+use pic_core::PicError;
+use spectral::poisson::{PoissonSolver2D, SolveScratch};
+
+/// Tag namespace for decomposition traffic: far above the step-indexed user
+/// tags of the replication path (≤ ~2⁴⁰ + small), far below minimpi's
+/// control namespaces (2⁴⁵⁺). Each step burns [`TAGS_PER_STEP`] tags.
+const TAG_BASE: u64 = 1 << 42;
+/// Tags consumed per step (halo, gather, scatter, migrate).
+const TAGS_PER_STEP: u64 = 4;
+/// Tag of the one-time initialization allreduce.
+const INIT_TAG: u64 = TAG_BASE - 16;
+
+/// Knobs of the decomposition itself (the physics lives in [`PicConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DecompConfig {
+    /// Halo width in cells: the Chebyshev distance a particle may travel
+    /// in one step. 2 covers |v| < 2 cells/step; raise it for hot tails
+    /// (e.g. 128-grid Landau at σ = 1 thermal units ≈ 0.64 cells/step
+    /// keeps 3σ under 2, but two-stream beams at v₀ = 3 need 3).
+    pub halo_width: usize,
+    /// Cut the curve by initial per-cell particle counts instead of cell
+    /// counts, so ranks start with near-equal particle loads.
+    pub weighted: bool,
+}
+
+impl Default for DecompConfig {
+    fn default() -> Self {
+        Self {
+            halo_width: 2,
+            weighted: false,
+        }
+    }
+}
+
+/// Cumulative per-rank communication accounting, by phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommStats {
+    /// Bytes moved (sent + received) by ρ halo exchanges.
+    pub halo_bytes: u64,
+    /// Bytes moved by the owned-ρ gather to the solving rank.
+    pub gather_bytes: u64,
+    /// Bytes moved by the E scatter from the solving rank.
+    pub scatter_bytes: u64,
+    /// Bytes moved by particle migration.
+    pub migrate_bytes: u64,
+    /// Particles sent to other ranks.
+    pub migrated_out: u64,
+    /// Particles received from other ranks.
+    pub migrated_in: u64,
+}
+
+impl CommStats {
+    /// Total bytes moved across all phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.halo_bytes + self.gather_bytes + self.scatter_bytes + self.migrate_bytes
+    }
+}
+
+/// A spatially decomposed PIC run: this rank advances only the particles
+/// inside its subdomain and stores valid field values only on its points
+/// (plus halos), while one rank performs the global spectral Poisson solve
+/// per step on the gathered density.
+///
+/// Collective in construction and in [`step`](Self::step): every rank of
+/// the communicator must call them in lockstep with identical
+/// configurations.
+pub struct DecomposedSimulation {
+    sim: Simulation,
+    partition: Partition,
+    plan: HaloPlan,
+    rank: usize,
+    root: usize,
+    step: u64,
+    stats: CommStats,
+    faults: FaultLog,
+    /// Solver state on the root rank only.
+    solver: Option<RootSolver>,
+    /// `owned_points` of every rank (root needs them to assemble and
+    /// scatter; cheap enough to keep everywhere).
+    all_owned_points: Vec<Vec<usize>>,
+    /// `e_points` of every rank.
+    all_e_points: Vec<Vec<usize>>,
+}
+
+struct RootSolver {
+    solver: PoissonSolver2D,
+    scratch: SolveScratch,
+    rho: Vec<f64>,
+    ex: Vec<f64>,
+    ey: Vec<f64>,
+}
+
+impl DecomposedSimulation {
+    /// Build the partition, slice the sampled particle population by owned
+    /// cells, and initialize the local simulation (the initial ρ is summed
+    /// across ranks with one allreduce, so every rank starts from the
+    /// correct global field — the only full-grid collective of the run).
+    pub fn new(
+        mut cfg: PicConfig,
+        dcfg: DecompConfig,
+        comm: &mut Comm,
+    ) -> Result<Self, DecompError> {
+        if cfg.particle_layout != ParticleLayout::Soa {
+            return Err(DecompError::Config(
+                "decomposed runs require the SoA particle layout".into(),
+            ));
+        }
+        if cfg.keep_range.is_some() || cfg.keep_cells.is_some() {
+            return Err(DecompError::Config(
+                "keep_range/keep_cells are owned by the decomposition driver".into(),
+            ));
+        }
+        if dcfg.halo_width == 0 {
+            return Err(DecompError::Config("halo_width must be at least 1".into()));
+        }
+        let (rank, nranks) = (comm.rank(), comm.size());
+        let root = comm.group()[0];
+
+        let partition = if dcfg.weighted {
+            // Re-sample the (deterministic) initial population once to
+            // histogram per-cell loads; every rank computes the same cut.
+            let grid = Grid2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)?;
+            let layout = cfg
+                .ordering
+                .build(cfg.grid_nx, cfg.grid_ny)
+                .map_err(PicError::from)?;
+            let mut rng = Rng::seed_from_u64(cfg.seed);
+            let sample = particles::initialize_with_rng(
+                &grid,
+                layout.as_ref(),
+                cfg.distribution,
+                cfg.n_particles,
+                &mut rng,
+            );
+            let w = crate::particle_cell_weights(&sample.icell, layout.ncells());
+            Partition::new_weighted(cfg.ordering, cfg.grid_nx, cfg.grid_ny, nranks, &w)?
+        } else {
+            Partition::new(cfg.ordering, cfg.grid_nx, cfg.grid_ny, nranks)?
+        };
+
+        let range = partition.range(rank);
+        cfg.keep_cells = Some((range.start as u32, range.end as u32));
+
+        let plan = HaloPlan::build(&partition, rank, dcfg.halo_width);
+        let all_owned_points: Vec<Vec<usize>> = (0..nranks)
+            .map(|r| HaloPlan::build(&partition, r, dcfg.halo_width).owned_points)
+            .collect();
+        let all_e_points: Vec<Vec<usize>> = (0..nranks)
+            .map(|r| HaloPlan::build(&partition, r, dcfg.halo_width).e_points)
+            .collect();
+
+        let mut comm_err = None;
+        let sim = Simulation::new_with_reduce(cfg.clone(), |rho| {
+            if let Err(e) = comm.try_allreduce_sum_tree(rho, INIT_TAG) {
+                comm_err = Some(e);
+            }
+        })?;
+        if let Some(e) = comm_err {
+            return Err(e.into());
+        }
+
+        let solver = if rank == root {
+            let n = cfg.grid_nx * cfg.grid_ny;
+            Some(RootSolver {
+                solver: PoissonSolver2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)
+                    .map_err(PicError::from)?,
+                scratch: SolveScratch::new(),
+                rho: vec![0.0; n],
+                ex: vec![0.0; n],
+                ey: vec![0.0; n],
+            })
+        } else {
+            None
+        };
+
+        Ok(Self {
+            sim,
+            partition,
+            plan,
+            rank,
+            root,
+            step: 0,
+            stats: CommStats::default(),
+            faults: FaultLog::new(),
+            solver,
+            all_owned_points,
+            all_e_points,
+        })
+    }
+
+    /// Advance one step on every rank (collective).
+    ///
+    /// 1. local sort/kick/push/deposit ([`Simulation::step_pre_reduce`]);
+    /// 2. leakage check — every particle must still sit in the write
+    ///    region, else its deposit escaped the halo;
+    /// 3. halo-exchange partial ρ so owned points hold global values;
+    /// 4. gather owned ρ to the root, which assembles the full grid, runs
+    ///    the spectral solve, and scatters each rank's `e_points` values;
+    /// 5. rebuild the local redundant field view and diagnostics;
+    /// 6. migrate particles whose cell changed owner.
+    ///
+    /// Any injected transport fault surfaces as `Err` (never a deadlock:
+    /// sends are non-blocking and receives are deadline-bounded); transport
+    /// retry/kill events are folded into [`fault_log`](Self::fault_log).
+    pub fn step(&mut self, comm: &mut Comm) -> Result<(), DecompError> {
+        self.step += 1;
+        let t0 = TAG_BASE + TAGS_PER_STEP * self.step;
+        let res = self.step_inner(comm, t0);
+        self.faults.ingest_transport(self.step, comm.take_events());
+        res
+    }
+
+    fn step_inner(&mut self, comm: &mut Comm, t0: u64) -> Result<(), DecompError> {
+        self.sim.step_pre_reduce();
+
+        for &c in &self.sim.particles().icell {
+            if !self.plan.write_cells[c as usize] {
+                return Err(DecompError::Leakage {
+                    rank: self.rank,
+                    icell: c as usize,
+                    step: self.step,
+                });
+            }
+        }
+
+        let mut moved = comm.bytes_sent() + comm.bytes_received();
+        let mut phase = |comm: &Comm, bucket: &mut u64| {
+            let now = comm.bytes_sent() + comm.bytes_received();
+            *bucket += now - moved;
+            moved = now;
+        };
+
+        exchange_rho(comm, &self.plan, self.sim.rho_mut(), t0)?;
+        phase(comm, &mut self.stats.halo_bytes);
+
+        let rho = self.sim.rho_mut();
+        let owned: Vec<f64> = self.plan.owned_points.iter().map(|&p| rho[p]).collect();
+        let gathered = comm.try_gather(&owned, t0 + 1)?;
+        phase(comm, &mut self.stats.gather_bytes);
+
+        match gathered {
+            Some(parts) => {
+                let rs = self.solver.as_mut().expect("gather root solves");
+                for (vals, pts) in parts.iter().zip(&self.all_owned_points) {
+                    for (&v, &p) in vals.iter().zip(pts) {
+                        rs.rho[p] = v;
+                    }
+                }
+                rs.solver
+                    .solve_e_with(&rs.rho, &mut rs.ex, &mut rs.ey, &mut rs.scratch);
+                for (r, pts) in self.all_e_points.iter().enumerate() {
+                    if r == self.rank {
+                        continue;
+                    }
+                    let payload: Vec<f64> = pts
+                        .iter()
+                        .map(|&p| rs.ex[p])
+                        .chain(pts.iter().map(|&p| rs.ey[p]))
+                        .collect();
+                    comm.try_send(r, t0 + 2, &payload)?;
+                }
+                let (ex, ey) = self.sim.e_field_mut();
+                for &p in &self.plan.e_points {
+                    ex[p] = rs.ex[p];
+                    ey[p] = rs.ey[p];
+                }
+            }
+            None => {
+                let data = comm.try_recv(self.root, t0 + 2)?;
+                let n = self.plan.e_points.len();
+                if data.len() != 2 * n {
+                    return Err(DecompError::Config(format!(
+                        "E scatter payload: {} values for {n} points",
+                        data.len()
+                    )));
+                }
+                let (ex, ey) = self.sim.e_field_mut();
+                for (i, &p) in self.plan.e_points.iter().enumerate() {
+                    ex[p] = data[i];
+                    ey[p] = data[n + i];
+                }
+            }
+        }
+        phase(comm, &mut self.stats.scatter_bytes);
+
+        self.sim.step_post_external_solve();
+
+        self.migrate(comm, t0 + 3)?;
+        phase(comm, &mut self.stats.migrate_bytes);
+        Ok(())
+    }
+
+    /// Route particles whose cell left the subdomain to the owning rank.
+    /// Exchanges with every halo neighbor each step (possibly empty
+    /// payloads, so no receive can dangle); stayers keep their relative
+    /// order and arrivals append in ascending sender order — deterministic,
+    /// and the next counting sort restores cell order.
+    fn migrate(&mut self, comm: &mut Comm, tag: u64) -> Result<(), DecompError> {
+        const F_PER_P: usize = 7; // icell, ix, iy, dx, dy, vx, vy
+
+        let p = self.sim.particles_mut();
+        let n = p.len();
+        let mut stay = vec![true; n];
+        let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); self.plan.neighbors.len()];
+        for (i, keep) in stay.iter_mut().enumerate() {
+            let owner = self.partition.owner(p.icell[i] as usize);
+            if owner != self.rank {
+                // The leakage check bounds strays to the write region, so
+                // the owner is always a halo neighbor.
+                let j = self
+                    .plan
+                    .neighbors
+                    .binary_search(&owner)
+                    .expect("stray owner within halo neighborhood");
+                outgoing[j].push(i);
+                *keep = false;
+            }
+        }
+
+        for (j, &peer) in self.plan.neighbors.iter().enumerate() {
+            let mut payload = Vec::with_capacity(outgoing[j].len() * F_PER_P);
+            for &i in &outgoing[j] {
+                payload.extend_from_slice(&[
+                    f64::from(p.icell[i]),
+                    f64::from(p.ix[i]),
+                    f64::from(p.iy[i]),
+                    p.dx[i],
+                    p.dy[i],
+                    p.vx[i],
+                    p.vy[i],
+                ]);
+            }
+            comm.try_send(peer, tag, &payload)?;
+            self.stats.migrated_out += outgoing[j].len() as u64;
+        }
+
+        if outgoing.iter().any(|o| !o.is_empty()) {
+            compact(p, &stay);
+        }
+
+        for &peer in &self.plan.neighbors {
+            let data = comm.try_recv(peer, tag)?;
+            if data.len() % F_PER_P != 0 {
+                return Err(DecompError::Config(format!(
+                    "migration payload from rank {peer}: {} values not a \
+                     multiple of {F_PER_P}",
+                    data.len()
+                )));
+            }
+            let p = self.sim.particles_mut();
+            for q in data.chunks_exact(F_PER_P) {
+                p.icell.push(q[0] as u32);
+                p.ix.push(q[1] as u32);
+                p.iy.push(q[2] as u32);
+                p.dx.push(q[3]);
+                p.dy.push(q[4]);
+                p.vx.push(q[5]);
+                p.vy.push(q[6]);
+            }
+            self.stats.migrated_in += (data.len() / F_PER_P) as u64;
+        }
+        Ok(())
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize, comm: &mut Comm) -> Result<(), DecompError> {
+        for _ in 0..n {
+            self.step(comm)?;
+        }
+        Ok(())
+    }
+
+    /// The underlying local simulation. Its ρ/E arrays hold *global*
+    /// values only on this rank's [`HaloPlan::owned_points`] /
+    /// [`HaloPlan::e_points`]; elsewhere they are stale partials.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// The partition shared by all ranks.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// This rank's halo plan.
+    pub fn plan(&self) -> &HaloPlan {
+        &self.plan
+    }
+
+    /// Cumulative per-phase communication statistics for this rank.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Transport fault events (retries, kills, detections) observed by this
+    /// rank's communicator during decomposed stepping.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.faults
+    }
+
+    /// Particles currently hosted by this rank.
+    pub fn local_particles(&self) -> usize {
+        self.sim.particles().len()
+    }
+
+    /// Cells owned by this rank.
+    pub fn local_cells(&self) -> usize {
+        self.partition.range(self.rank).len()
+    }
+
+    /// The assembled global ρ of the last step — root rank only.
+    pub fn global_rho(&self) -> Option<&[f64]> {
+        self.solver.as_ref().map(|s| s.rho.as_slice())
+    }
+
+    /// The solved global E of the last step — root rank only.
+    pub fn global_e(&self) -> Option<(&[f64], &[f64])> {
+        self.solver
+            .as_ref()
+            .map(|s| (s.ex.as_slice(), s.ey.as_slice()))
+    }
+}
+
+/// Order-preserving compaction of all seven SoA columns by a keep mask.
+fn compact(p: &mut ParticlesSoA, keep: &[bool]) {
+    fn retain<T: Copy>(v: &mut Vec<T>, keep: &[bool]) {
+        let mut i = 0;
+        v.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+    retain(&mut p.icell, keep);
+    retain(&mut p.ix, keep);
+    retain(&mut p.iy, keep);
+    retain(&mut p.dx, keep);
+    retain(&mut p.dy, keep);
+    retain(&mut p.vx, keep);
+    retain(&mut p.vy, keep);
+}

@@ -1,0 +1,211 @@
+//! The rank partition: contiguous SFC-index ranges over the cell grid.
+
+use crate::DecompError;
+use sfc::partition::{cut_uniform, cut_weighted, owner_of};
+use sfc::{CellLayout, Ordering};
+use std::ops::Range;
+
+/// A spatial partition of the cell grid across ranks.
+///
+/// Cells are identified by their SFC index (`icell`, the same index the
+/// particle arrays and the redundant field structures use), and each rank
+/// owns one contiguous range of that ordering. Contiguity in a
+/// locality-preserving curve (Morton, Hilbert) makes the subdomains
+/// spatially compact; row-major gives horizontal slabs. Layouts that pad
+/// the index space ([`sfc::L4D`]) or that the simulation silently remaps
+/// (`ColMajor`) are rejected — a contiguous range of a padded ordering is
+/// not a well-defined cell set.
+pub struct Partition {
+    ordering: Ordering,
+    layout: Box<dyn CellLayout>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl Partition {
+    /// Equal-size partition: `nranks` contiguous ranges differing by at
+    /// most one cell.
+    pub fn new(
+        ordering: Ordering,
+        ncx: usize,
+        ncy: usize,
+        nranks: usize,
+    ) -> Result<Self, DecompError> {
+        let layout = Self::checked_layout(ordering, ncx, ncy)?;
+        let ranges = cut_uniform(layout.ncells(), nranks);
+        Ok(Self {
+            ordering,
+            layout,
+            ranges,
+        })
+    }
+
+    /// Weighted partition: cut so each range carries a near-equal share of
+    /// `weights` (typically per-cell particle counts, see
+    /// [`particle_cell_weights`]). `weights.len()` must equal the cell
+    /// count.
+    pub fn new_weighted(
+        ordering: Ordering,
+        ncx: usize,
+        ncy: usize,
+        nranks: usize,
+        weights: &[f64],
+    ) -> Result<Self, DecompError> {
+        let layout = Self::checked_layout(ordering, ncx, ncy)?;
+        if weights.len() != layout.ncells() {
+            return Err(DecompError::Config(format!(
+                "{} weights for {} cells",
+                weights.len(),
+                layout.ncells()
+            )));
+        }
+        if nranks == 0 || nranks > layout.ncells() {
+            return Err(DecompError::Config(format!(
+                "cannot cut {} cells into {nranks} non-empty subdomains",
+                layout.ncells()
+            )));
+        }
+        let ranges = cut_weighted(weights, nranks);
+        Ok(Self {
+            ordering,
+            layout,
+            ranges,
+        })
+    }
+
+    fn checked_layout(
+        ordering: Ordering,
+        ncx: usize,
+        ncy: usize,
+    ) -> Result<Box<dyn CellLayout>, DecompError> {
+        match ordering {
+            Ordering::RowMajor | Ordering::Morton | Ordering::Hilbert => {}
+            Ordering::L4D(_) => {
+                return Err(DecompError::Config(
+                    "L4D pads the cell index space; its index ranges are not \
+                     contiguous cell sets — use RowMajor, Morton, or Hilbert"
+                        .into(),
+                ))
+            }
+            Ordering::ColMajor => {
+                return Err(DecompError::Config(
+                    "the simulation remaps ColMajor to RowMajor; partition on \
+                     RowMajor, Morton, or Hilbert"
+                        .into(),
+                ))
+            }
+        }
+        let layout = ordering
+            .build(ncx, ncy)
+            .map_err(|e| DecompError::Config(e.to_string()))?;
+        debug_assert_eq!(layout.ncells(), ncx * ncy);
+        Ok(layout)
+    }
+
+    /// The ordering the partition cuts.
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// The cell layout (icell ↔ (ix, iy) bijection).
+    pub fn layout(&self) -> &dyn CellLayout {
+        self.layout.as_ref()
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total cells in the grid.
+    pub fn ncells(&self) -> usize {
+        self.layout.ncells()
+    }
+
+    /// The cell-index range rank `r` owns.
+    pub fn range(&self, r: usize) -> Range<usize> {
+        self.ranges[r].clone()
+    }
+
+    /// All ranges, in rank order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// The rank owning cell `icell`.
+    pub fn owner(&self, icell: usize) -> usize {
+        owner_of(&self.ranges, icell)
+    }
+}
+
+/// Per-cell particle counts as partition weights: histogram `icell` over
+/// `ncells` bins. Feed the result to [`Partition::new_weighted`] so cell
+/// ranges carry near-equal particle populations instead of equal areas.
+pub fn particle_cell_weights(icell: &[u32], ncells: usize) -> Vec<f64> {
+    let mut w = vec![0.0; ncells];
+    for &c in icell {
+        w[c as usize] += 1.0;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_owned_exactly_once() {
+        for ord in [Ordering::RowMajor, Ordering::Morton, Ordering::Hilbert] {
+            let p = Partition::new(ord, 16, 16, 5).unwrap();
+            let mut counts = vec![0usize; p.ncells()];
+            for r in 0..p.nranks() {
+                for c in p.range(r) {
+                    counts[c] += 1;
+                }
+            }
+            assert!(counts.iter().all(|&c| c == 1), "{ord}: coverage hole");
+            for c in 0..p.ncells() {
+                let owner = p.owner(c);
+                assert!(p.range(owner).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn padded_and_remapped_orderings_rejected() {
+        assert!(matches!(
+            Partition::new(Ordering::L4D(8), 16, 16, 4),
+            Err(DecompError::Config(_))
+        ));
+        assert!(matches!(
+            Partition::new(Ordering::ColMajor, 16, 16, 4),
+            Err(DecompError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_partition_balances_particles() {
+        // Particles concentrated in the low-index half of the curve: the
+        // weighted cut must give the low ranks fewer cells each.
+        let ncells = 16 * 16;
+        let icell: Vec<u32> = (0..4000u32).map(|i| i % (ncells as u32 / 2)).collect();
+        let w = particle_cell_weights(&icell, ncells);
+        assert_eq!(w.iter().sum::<f64>(), 4000.0);
+        let p = Partition::new_weighted(Ordering::Morton, 16, 16, 4, &w).unwrap();
+        let loads: Vec<f64> = (0..4)
+            .map(|r| p.range(r).map(|c| w[c]).sum::<f64>())
+            .collect();
+        for &l in &loads {
+            assert!((l - 1000.0).abs() < 150.0, "unbalanced loads {loads:?}");
+        }
+        assert!(p.range(0).len() < p.range(3).len());
+    }
+
+    #[test]
+    fn weight_length_mismatch_rejected() {
+        let w = vec![1.0; 10];
+        assert!(matches!(
+            Partition::new_weighted(Ordering::Morton, 16, 16, 4, &w),
+            Err(DecompError::Config(_))
+        ));
+    }
+}

@@ -435,6 +435,12 @@ pub struct Comm {
     /// Sequence counter for internally tagged collectives (`barrier`,
     /// the flat-allreduce fallback) — advances identically on every rank.
     ctl_seq: u64,
+    /// Payload `f64` values successfully sent over the message path (the
+    /// per-rank communication *volume*, as distinct from the *time* in
+    /// `comm_time_ns`). Retransmissions of the same frame count once.
+    sent_f64s: u64,
+    /// Payload `f64` values claimed by receives on this rank.
+    recvd_f64s: u64,
 }
 
 /// Bits reserved above user collective tags for the communicator epoch.
@@ -479,6 +485,8 @@ impl Comm {
             detected: HashSet::new(),
             events: Vec::new(),
             ctl_seq: 0,
+            sent_f64s: 0,
+            recvd_f64s: 0,
         }
     }
 
@@ -495,6 +503,29 @@ impl Comm {
     /// Seconds this rank has spent inside communication calls.
     pub fn comm_time(&self) -> f64 {
         self.comm_time_ns as f64 / 1e9
+    }
+
+    /// Bytes of payload this rank has sent over the message path (8 bytes
+    /// per `f64`; each logical frame counts once, however many times the
+    /// reliable transport retransmitted it). The flat shared-memory
+    /// allreduce moves no messages and therefore counts nothing — benches
+    /// comparing communication volume should use the message-based
+    /// collectives, as real MPI would.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent_f64s * 8
+    }
+
+    /// Bytes of payload claimed by receives on this rank.
+    pub fn bytes_received(&self) -> u64 {
+        self.recvd_f64s * 8
+    }
+
+    /// Zero the [`bytes_sent`](Self::bytes_sent) /
+    /// [`bytes_received`](Self::bytes_received) counters (e.g. after a
+    /// warmup phase).
+    pub fn reset_data_volume(&mut self) {
+        self.sent_f64s = 0;
+        self.recvd_f64s = 0;
     }
 
     /// How long a reliable send waits for an ack before retransmitting.
@@ -848,7 +879,11 @@ impl Comm {
         data: &[f64],
         watch: Option<&[usize]>,
     ) -> Result<(), CommError> {
-        match self.send_impl(dst, tag, data) {
+        let res = self.send_impl(dst, tag, data);
+        if res.is_ok() {
+            self.sent_f64s += data.len() as u64;
+        }
+        match res {
             Err(e @ (CommError::Disconnected { .. } | CommError::RetriesExhausted { .. }))
                 if self.watching() =>
             {
@@ -968,6 +1003,28 @@ impl Comm {
         res
     }
 
+    /// Combined send-then-receive, the halo-exchange workhorse: push `data`
+    /// to `dst` under `tag`, then block for the matching message from
+    /// `src` with the same tag. Safe against head-of-line deadlock because
+    /// sends complete without waiting for the receiver to post (frames park
+    /// in the receiver's stash), and under a fault plan the ack wait itself
+    /// services incoming data frames.
+    pub fn try_sendrecv(
+        &mut self,
+        dst: usize,
+        data: &[f64],
+        src: usize,
+        tag: u64,
+    ) -> Result<Vec<f64>, CommError> {
+        self.note_op()?;
+        let t = Instant::now();
+        let res = self
+            .send_ft(dst, tag, data, None)
+            .and_then(|()| self.recv_watch(src, tag, None));
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res
+    }
+
     /// Pull every frame already sitting in the inbox into the stash/ack
     /// sets without blocking — run before declaring a peer failed, so a
     /// message it sent just before dying is still delivered.
@@ -995,7 +1052,9 @@ impl Comm {
             .iter()
             .position(|(s, g, _)| *s == src && *g == tag)?;
         // The position was just found, so the removal succeeds.
-        Some(self.stash.remove(pos).expect("stash entry present").2)
+        let data = self.stash.remove(pos).expect("stash entry present").2;
+        self.recvd_f64s += data.len() as u64;
+        Some(data)
     }
 
     /// The blocking-receive core. With the failure detector active it polls

@@ -48,6 +48,7 @@ mod l4d;
 mod linear;
 pub mod locality;
 mod morton;
+pub mod partition;
 pub mod three_d;
 
 pub use dilate::{contract_bits, contract_bits_lut, dilate_bits, dilate_bits_lut};

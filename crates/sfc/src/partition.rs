@@ -1,0 +1,180 @@
+//! Range-cut helpers for SFC-based domain decomposition.
+//!
+//! A space-filling curve turns the 2-D cell grid into a 1-D sequence in
+//! which spatially close cells sit at nearby indices. Cutting that sequence
+//! into contiguous index ranges therefore yields rank subdomains that are
+//! (a) trivially load-balanced — every rank gets the same number of cells,
+//! or the same total weight under [`cut_weighted`] — and (b) spatially
+//! compact, because the curve's locality keeps each range's cells clustered
+//! (the spacetree-partitioning argument of Weinzierl et al.). The helpers
+//! here are pure index arithmetic: they know nothing about grids or ranks,
+//! only how to split `[0, n)` (optionally weighted) into `k` contiguous,
+//! non-overlapping, exhaustive pieces.
+
+use std::ops::Range;
+
+/// Split `[0, ncells)` into `nparts` contiguous ranges of near-equal size.
+///
+/// The first `ncells % nparts` ranges get one extra cell, so sizes differ by
+/// at most one. Every cell lands in exactly one range and ranges are emitted
+/// in ascending index order.
+///
+/// # Panics
+/// Panics if `nparts == 0` or `nparts > ncells` (an empty subdomain cannot
+/// own a halo and signals a misconfigured run).
+pub fn cut_uniform(ncells: usize, nparts: usize) -> Vec<Range<usize>> {
+    assert!(nparts > 0, "need at least one part");
+    assert!(
+        nparts <= ncells,
+        "cannot cut {ncells} cells into {nparts} non-empty parts"
+    );
+    let base = ncells / nparts;
+    let extra = ncells % nparts;
+    let mut out = Vec::with_capacity(nparts);
+    let mut start = 0;
+    for k in 0..nparts {
+        let len = base + usize::from(k < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, ncells);
+    out
+}
+
+/// Split `[0, weights.len())` into `nparts` contiguous ranges whose total
+/// weights are as equal as a single greedy sweep can make them.
+///
+/// Cut `k` is placed at the first index whose running prefix sum reaches
+/// `total · k / nparts`, while always leaving at least one cell for each of
+/// the remaining parts (so every range is non-empty even when the weight
+/// mass is concentrated in a few cells). Zero or uniform weights reduce to
+/// [`cut_uniform`]'s balance up to rounding. Negative weights are clamped to
+/// zero — a cell cannot carry negative load.
+///
+/// # Panics
+/// Panics if `nparts == 0` or `nparts > weights.len()`.
+pub fn cut_weighted(weights: &[f64], nparts: usize) -> Vec<Range<usize>> {
+    let ncells = weights.len();
+    assert!(nparts > 0, "need at least one part");
+    assert!(
+        nparts <= ncells,
+        "cannot cut {ncells} cells into {nparts} non-empty parts"
+    );
+    let total: f64 = weights.iter().map(|&w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return cut_uniform(ncells, nparts);
+    }
+    let mut out = Vec::with_capacity(nparts);
+    let mut start = 0usize;
+    let mut prefix = 0.0f64;
+    for k in 1..nparts {
+        let target = total * k as f64 / nparts as f64;
+        let mut end = start;
+        // Leave room: parts k..nparts still need one cell each.
+        let max_end = ncells - (nparts - k);
+        while end < max_end && prefix < target {
+            prefix += weights[end].max(0.0);
+            end += 1;
+        }
+        // Non-empty: advance at least one cell past `start`.
+        if end == start {
+            prefix += weights[end].max(0.0);
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out.push(start..ncells);
+    out
+}
+
+/// The part owning `index` under `ranges` (as produced by the cut helpers:
+/// sorted, contiguous, exhaustive), by binary search on range starts.
+///
+/// # Panics
+/// Panics if `index` is outside the union of `ranges`.
+pub fn owner_of(ranges: &[Range<usize>], index: usize) -> usize {
+    debug_assert!(!ranges.is_empty());
+    let last = ranges.len() - 1;
+    assert!(
+        index >= ranges[0].start && index < ranges[last].end,
+        "index {index} outside partitioned domain"
+    );
+    ranges.partition_point(|r| r.end <= index).min(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(ranges: &[Range<usize>], ncells: usize) {
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, ncells);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must tile contiguously");
+        }
+        for r in ranges {
+            assert!(!r.is_empty(), "empty range {r:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_tiles_and_balances() {
+        for &(n, k) in &[(16usize, 4usize), (17, 4), (1024, 8), (5, 5), (7, 3)] {
+            let ranges = cut_uniform(n, k);
+            assert_eq!(ranges.len(), k);
+            assert_partition(&ranges, n);
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_balances_weight() {
+        // A linear ramp: the first parts must take more cells than the last.
+        let w: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let total: f64 = w.iter().sum();
+        let ranges = cut_weighted(&w, 4);
+        assert_partition(&ranges, 256);
+        for r in &ranges {
+            let part: f64 = w[r.clone()].iter().sum();
+            assert!(
+                (part - total / 4.0).abs() < total * 0.05,
+                "part {r:?} weight {part} vs target {}",
+                total / 4.0
+            );
+        }
+        assert!(ranges[0].len() > ranges[3].len());
+    }
+
+    #[test]
+    fn weighted_survives_concentrated_mass() {
+        // All weight in one cell: every part must still be non-empty.
+        let mut w = vec![0.0; 32];
+        w[0] = 100.0;
+        let ranges = cut_weighted(&w, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_partition(&ranges, 32);
+    }
+
+    #[test]
+    fn weighted_zero_total_falls_back_to_uniform() {
+        assert_eq!(cut_weighted(&[0.0; 12], 3), cut_uniform(12, 3));
+    }
+
+    #[test]
+    fn owner_of_agrees_with_scan() {
+        let ranges = cut_uniform(100, 7);
+        for i in 0..100 {
+            let scan = ranges.iter().position(|r| r.contains(&i)).unwrap();
+            assert_eq!(owner_of(&ranges, i), scan, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty parts")]
+    fn more_parts_than_cells_rejected() {
+        let _ = cut_uniform(3, 4);
+    }
+}

@@ -31,4 +31,7 @@ cargo run --release -q -p pic-bench --bin perf_smoke || {
     cargo run --release -q -p pic-bench --bin perf_smoke
 }
 
+echo "==> scaling gate (replication vs decomposition comm volume)"
+cargo run --release -q -p pic-bench --bin bench_scaling
+
 echo "All checks passed."

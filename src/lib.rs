@@ -11,6 +11,8 @@
 //! * [`cachesim`] — trace-driven set-associative cache-hierarchy simulator
 //! * [`minimpi`] — in-process message-passing substrate with a LogGP cost model
 //! * [`pic_core`] — the PIC library itself (particles, fields, kernels, sort, sim)
+//! * [`decomp`] — spatial domain decomposition (SFC partitions, halo exchange,
+//!   particle migration) layered on `minimpi` point-to-point messaging
 //!
 //! ## Quickstart
 //!
@@ -24,6 +26,7 @@
 //! ```
 
 pub use cachesim;
+pub use decomp;
 pub use minimpi;
 pub use pic_core;
 pub use sfc;

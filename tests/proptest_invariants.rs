@@ -90,6 +90,84 @@ fn layouts_agree_on_totals() {
     }
 }
 
+// ---------------- partitioner ----------------
+
+#[test]
+fn partition_owns_every_cell_exactly_once() {
+    use pic2d::sfc::partition::{cut_uniform, owner_of};
+    let mut rng = Rng::seed_from_u64(0x9a57);
+    for _ in 0..CASES {
+        let ncells = rng.below(4096) as usize + 1;
+        let nparts = rng.below(ncells as u64) as usize + 1;
+        let ranges = cut_uniform(ncells, nparts);
+        assert_eq!(ranges.len(), nparts);
+        // Contiguous in SFC order: each range starts where the last ended.
+        assert_eq!(ranges[0].start, 0);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap or overlap at {w:?}");
+        }
+        assert_eq!(ranges[nparts - 1].end, ncells);
+        // Sizes near-equal and every range non-empty.
+        let (lo, hi) = ranges
+            .iter()
+            .map(|r| r.len())
+            .fold((usize::MAX, 0), |(l, h), s| (l.min(s), h.max(s)));
+        assert!(lo >= 1 && hi - lo <= 1, "sizes range {lo}..{hi}");
+        // owner_of agrees with direct membership on sampled cells.
+        for _ in 0..8 {
+            let c = rng.below(ncells as u64) as usize;
+            assert!(ranges[owner_of(&ranges, c)].contains(&c));
+        }
+    }
+}
+
+#[test]
+fn weighted_partition_conserves_weight_and_balances() {
+    use pic2d::sfc::partition::cut_weighted;
+    let mut rng = Rng::seed_from_u64(0x9a58);
+    for case in 0..CASES {
+        let ncells = rng.below(2000) as usize + 8;
+        let nparts = (rng.below(8) as usize + 2).min(ncells);
+        let weights: Vec<f64> = (0..ncells)
+            .map(|_| {
+                // Mix of empty, light, and heavy cells.
+                match rng.below(4) {
+                    0 => 0.0,
+                    1 => rng.uniform(),
+                    _ => rng.range(1.0, 50.0),
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let ranges = cut_weighted(&weights, nparts);
+        assert_eq!(ranges.len(), nparts, "case={case}");
+        assert_eq!(ranges[0].start, 0);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(ranges[nparts - 1].end, ncells);
+        // Conservation: the per-part loads sum back to the total weight.
+        let parts: Vec<f64> = ranges
+            .iter()
+            .map(|r| weights[r.clone()].iter().sum())
+            .collect();
+        let sum: f64 = parts.iter().sum();
+        assert!(
+            (sum - total).abs() <= 1e-9 * total.max(1.0),
+            "case={case}: {sum} vs {total}"
+        );
+        // The greedy cut never overshoots a target by more than one cell,
+        // so no part exceeds the ideal share by more than the heaviest cell.
+        let wmax = weights.iter().cloned().fold(0.0, f64::max);
+        for (k, &p) in parts.iter().enumerate() {
+            assert!(
+                p <= total / nparts as f64 + wmax + 1e-9,
+                "case={case}: part {k} overloaded ({p} of {total})"
+            );
+        }
+    }
+}
+
 // ---------------- grid arithmetic ----------------
 
 #[test]
