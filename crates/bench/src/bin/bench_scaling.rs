@@ -17,7 +17,7 @@
 //! double-counted); wall times are whole-`World` and include thread spawn,
 //! so treat them as a scaling snapshot, not a microbenchmark.
 
-use decomp::{DecompConfig, DecomposedSimulation};
+use decomp::{DecompConfig, DecomposedSimulation, SolverMode};
 use minimpi::World;
 use pic_bench::report::{results_path, write_json_file, Json};
 use pic_bench::table::Table;
@@ -99,8 +99,15 @@ fn run_replicated(ranks: usize, n_total: usize) -> Sample {
 fn run_decomposed(ranks: usize, n_total: usize) -> Sample {
     let t = Instant::now();
     let out = World::run(ranks, move |comm| {
-        let mut dsim =
-            DecomposedSimulation::new(base_cfg(n_total), DecompConfig::default(), comm).unwrap();
+        // Pin the root-gather solver: this gate is about the halo model's
+        // boundary-sized traffic beating replication's allreduce. The slab
+        // solver deliberately spends grid-sized all-to-all volume to shrink
+        // per-rank memory and compute — that trade is gated in bench_solver.
+        let dcfg = DecompConfig {
+            solver: SolverMode::RootGather,
+            ..DecompConfig::default()
+        };
+        let mut dsim = DecomposedSimulation::new(base_cfg(n_total), dcfg, comm).unwrap();
         dsim.run(STEPS, comm).unwrap();
         let s = dsim.stats();
         (

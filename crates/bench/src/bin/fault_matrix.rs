@@ -16,13 +16,20 @@
 //! * **p2p kill** — a rank dies mid-step under the decomposed runtime;
 //!   every rank must surface a `CommError` (never deadlock) and the
 //!   ledgers must record the kill and the survivor-side timeouts/retries.
+//! * **a2a drop+corrupt** — the slab solver's four all-to-all exchanges
+//!   per solve under the lossy link; the distributed transpose must come
+//!   out bit-exact and the retransmissions must show up as `Retry`
+//!   transport events.
+//! * **a2a kill** — a rank dies between all-to-all rounds mid-solve;
+//!   every rank's `SlabSolver::solve` must surface an error, never hang.
 //!
 //! Any mismatch or failed recovery exits nonzero, so check.sh can gate on
 //! it. Seeds are fixed: the scenarios are deterministic, not sampled.
 
-use decomp::{DecompConfig, DecomposedSimulation};
-use minimpi::{Comm, FaultPlan, World};
+use decomp::{DecompConfig, DecomposedSimulation, SlabSolver};
+use minimpi::{Comm, FaultPlan, TransportEventKind, World};
 use pic_core::faultlog::FaultKind;
+use pic_core::pool::chunk_range;
 use pic_core::resilience::{run_resilient_distributed, DistConfig};
 use pic_core::sim::{PicConfig, Simulation};
 use pic_core::PicError;
@@ -244,6 +251,106 @@ fn check_p2p_kill() -> Result<(), PicError> {
     Ok(())
 }
 
+const A2A_GRID: usize = 32;
+const A2A_TAG: u64 = 1 << 39;
+
+/// Row-slab point ownership for a standalone `SlabSolver`: rank r owns
+/// (and wants E on) exactly the grid points of its row slab.
+fn slab_points(ranks: usize) -> Vec<Vec<usize>> {
+    (0..ranks)
+        .map(|r| {
+            let (r0, r1) = chunk_range(A2A_GRID, ranks, r);
+            (r0 * A2A_GRID..r1 * A2A_GRID).collect()
+        })
+        .collect()
+}
+
+fn a2a_rho() -> Vec<f64> {
+    (0..A2A_GRID * A2A_GRID)
+        .map(|i| ((i * 37) % 97) as f64 * 0.01 - 0.4)
+        .collect()
+}
+
+fn a2a_body(ranks: usize) -> impl Fn(&mut Comm) -> (Vec<u64>, Vec<u64>, usize) + Send + Sync {
+    move |comm| {
+        comm.set_recv_deadline(Duration::from_secs(10));
+        let pts = slab_points(ranks);
+        let mut slab =
+            SlabSolver::new(A2A_GRID, A2A_GRID, 1.0, 1.0, comm.rank(), ranks, &pts, &pts).unwrap();
+        let rho = a2a_rho();
+        let n = A2A_GRID * A2A_GRID;
+        let (mut ex, mut ey) = (vec![0.0; n], vec![0.0; n]);
+        for step in 0..3u64 {
+            slab.solve(comm, &rho, &mut ex, &mut ey, A2A_TAG + step * 8)
+                .expect("recoverable fault rates must not surface errors");
+        }
+        let mine = &pts[comm.rank()];
+        let exb = mine.iter().map(|&p| ex[p].to_bits()).collect();
+        let eyb = mine.iter().map(|&p| ey[p].to_bits()).collect();
+        let retries = comm
+            .take_events()
+            .iter()
+            .filter(|e| e.kind == TransportEventKind::Retry)
+            .count();
+        (exb, eyb, retries)
+    }
+}
+
+fn check_a2a_drop_corrupt() -> Result<(), PicError> {
+    let ranks = 4;
+    let clean = World::run(ranks, a2a_body(ranks));
+    let plan = FaultPlan::new(0xA2A0)
+        .drop_messages(0.25)
+        .corrupt_messages(0.15);
+    let faulty = World::run_with_faults(ranks, plan, a2a_body(ranks));
+    for rank in 0..ranks {
+        if faulty[rank].0 != clean[rank].0 || faulty[rank].1 != clean[rank].1 {
+            return Err(PicError::Diverged(format!(
+                "a2a drop+corrupt: rank {rank} slab E diverged from the fault-free run"
+            )));
+        }
+    }
+    let retries: usize = faulty.iter().map(|(_, _, r)| r).sum();
+    if retries == 0 {
+        return Err(PicError::Diverged(
+            "a2a drop+corrupt: lossy all-to-all produced no Retry events".into(),
+        ));
+    }
+    println!("  a2a drop+corrupt: {ranks}-rank slab solve bit-exact, {retries} retries recorded");
+    Ok(())
+}
+
+fn check_a2a_kill() -> Result<(), PicError> {
+    let ranks = 4;
+    // Op 2 is the second all-to-all round: the kill lands between the
+    // ρ-in exchange and the forward distributed transpose.
+    let plan = FaultPlan::new(0xA2AD).kill_rank(1, 2);
+    let outcomes = World::run_with_faults(ranks, plan, move |comm| {
+        comm.set_recv_deadline(Duration::from_secs(1));
+        let pts = slab_points(ranks);
+        let mut slab =
+            SlabSolver::new(A2A_GRID, A2A_GRID, 1.0, 1.0, comm.rank(), ranks, &pts, &pts).unwrap();
+        let rho = a2a_rho();
+        let n = A2A_GRID * A2A_GRID;
+        let (mut ex, mut ey) = (vec![0.0; n], vec![0.0; n]);
+        slab.solve(comm, &rho, &mut ex, &mut ey, A2A_TAG)
+            .err()
+            .map(|e| e.to_string())
+    });
+    for (rank, err) in outcomes.iter().enumerate() {
+        if err.is_none() {
+            return Err(PicError::Diverged(format!(
+                "a2a kill: rank {rank} finished the solve cleanly instead of erroring"
+            )));
+        }
+    }
+    println!(
+        "  a2a kill: all {ranks} ranks surfaced errors without deadlock ({})",
+        outcomes[0].as_deref().unwrap_or("")
+    );
+    Ok(())
+}
+
 fn main() -> std::process::ExitCode {
     pic_bench::exit_on_error(run)
 }
@@ -255,6 +362,8 @@ fn run() -> Result<(), PicError> {
     check_kill(4)?;
     check_p2p_drop_corrupt()?;
     check_p2p_kill()?;
+    check_a2a_drop_corrupt()?;
+    check_a2a_kill()?;
     println!("fault matrix: all scenarios recovered bit-exact");
     Ok(())
 }

@@ -344,6 +344,47 @@ fn worker_loop(shared: &Shared, worker: usize) {
     }
 }
 
+/// The pool as a [`spectral::fft::RowExecutor`]: the seam through which the
+/// per-step Poisson solve stripes its FFT row batches and transpose blocks
+/// over the same persistent workers as the particle loops. The batch is
+/// split into at most `nthreads` contiguous whole-row blocks held in a
+/// stack array ([`MAX_THREADS`] slots), so the hot path stays allocation-
+/// free; block `c` runs on worker `c` (deterministic striping), though the
+/// result is schedule-independent because rows are transformed in place and
+/// independently.
+impl spectral::fft::RowExecutor for ThreadPool {
+    fn width(&self) -> usize {
+        self.nthreads
+    }
+
+    fn run_rows(
+        &self,
+        data: &mut [spectral::Complex64],
+        row_len: usize,
+        f: &(dyn Fn(usize, &mut [spectral::Complex64]) + Sync),
+    ) {
+        assert_eq!(data.len() % row_len.max(1), 0, "partial row in batch");
+        let nrows = data.len() / row_len.max(1);
+        let k = self.nthreads.min(nrows);
+        if k <= 1 {
+            if !data.is_empty() {
+                f(0, data);
+            }
+            return;
+        }
+        let mut blocks: [(usize, &mut [spectral::Complex64]); MAX_THREADS] =
+            std::array::from_fn(|_| (0, Default::default()));
+        let mut rest = data;
+        for (c, slot) in blocks.iter_mut().enumerate().take(k) {
+            let (start, end) = chunk_range(nrows, k, c);
+            let (head, tail) = rest.split_at_mut((end - start) * row_len);
+            *slot = (start, head);
+            rest = tail;
+        }
+        self.run_items(&mut blocks[..k], |_, (first, block)| f(*first, block));
+    }
+}
+
 /// Split `n` items into `nchunks` near-equal contiguous ranges; returns the
 /// half-open range of chunk `c`. Chunk sizes differ by at most one, with the
 /// larger chunks first (matching [`crate::kernels::split_soa_mut`]).
@@ -481,6 +522,33 @@ mod tests {
         pool.set_stall_deadline(None);
         pool.run(8, |_| {});
         assert!(pool.take_stall_events().is_empty());
+    }
+
+    #[test]
+    fn row_executor_blocks_cover_rows_exactly_once() {
+        use spectral::fft::RowExecutor;
+        use spectral::Complex64;
+        let pool = ThreadPool::new(3);
+        for (nrows, row_len) in [(0usize, 4usize), (1, 4), (2, 4), (7, 3), (64, 1), (5, 16)] {
+            let mut data = vec![Complex64::ZERO; nrows * row_len];
+            pool.run_rows(&mut data, row_len, &|first, block| {
+                assert_eq!(block.len() % row_len, 0, "partial row handed out");
+                for (r, row) in block.chunks_exact_mut(row_len).enumerate() {
+                    for z in row.iter_mut() {
+                        // Stamp each element with its global row index + 1.
+                        *z += Complex64::from_re((first + r + 1) as f64);
+                    }
+                }
+            });
+            for (i, z) in data.iter().enumerate() {
+                let row = i / row_len;
+                assert_eq!(
+                    z.re,
+                    (row + 1) as f64,
+                    "nrows={nrows} row_len={row_len} i={i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -695,6 +695,14 @@ impl Simulation {
         &mut self.particles
     }
 
+    /// `(ρ, Ex, Ey)` in one borrow — for external-solver drivers that read
+    /// the reduced density and write field values in a single pass (the
+    /// slab-distributed solve consumes owned-point ρ while depositing
+    /// solved E at this rank's interpolation points).
+    pub fn field_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64]) {
+        (&mut self.field.rho, &mut self.field.ex, &mut self.field.ey)
+    }
+
     /// The active cell layout (dynamic view).
     pub fn cell_layout(&self) -> &dyn CellLayout {
         self.layout.as_dyn()
@@ -818,15 +826,27 @@ impl Simulation {
             .reduce_to_grid(self.layout.as_dyn(), &mut self.field.rho);
     }
 
-    /// Solve Poisson from `field.rho` into `field.ex/ey`.
+    /// Solve Poisson from `field.rho` into `field.ex/ey`. Multi-threaded
+    /// runs stripe the FFT passes over the persistent pool
+    /// ([`PoissonSolver2D::solve_e_pooled`]); the two paths are bit-exact,
+    /// so trajectories stay invariant under the thread count.
     fn solve_field(&mut self) {
         let t = Instant::now();
-        self.solver.solve_e_with(
-            &self.field.rho,
-            &mut self.field.ex,
-            &mut self.field.ey,
-            &mut self.solve_scratch,
-        );
+        match &self.pool {
+            Some(pool) => self.solver.solve_e_pooled(
+                &self.field.rho,
+                &mut self.field.ex,
+                &mut self.field.ey,
+                &mut self.solve_scratch,
+                pool,
+            ),
+            None => self.solver.solve_e_with(
+                &self.field.rho,
+                &mut self.field.ex,
+                &mut self.field.ey,
+                &mut self.solve_scratch,
+            ),
+        }
         self.timers.solve += t.elapsed().as_secs_f64();
     }
 

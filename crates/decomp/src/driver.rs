@@ -1,6 +1,7 @@
-//! The decomposed step loop: deposit → halo → gather-solve-scatter → migrate.
+//! The decomposed step loop: deposit → migrate-send → halo → solve →
+//! migrate-drain, with particle migration latency hidden behind the solve.
 
-use crate::{exchange_rho, halo::HaloPlan, DecompError, Partition};
+use crate::{exchange_rho, halo::HaloPlan, slab::SlabSolver, DecompError, Partition};
 use minimpi::Comm;
 use pic_core::faultlog::FaultLog;
 use pic_core::grid::Grid2D;
@@ -9,15 +10,30 @@ use pic_core::rng::Rng;
 use pic_core::sim::{ParticleLayout, PicConfig, Simulation};
 use pic_core::PicError;
 use spectral::poisson::{PoissonSolver2D, SolveScratch};
+use std::time::Instant;
 
 /// Tag namespace for decomposition traffic: far above the step-indexed user
 /// tags of the replication path (≤ ~2⁴⁰ + small), far below minimpi's
 /// control namespaces (2⁴⁵⁺). Each step burns [`TAGS_PER_STEP`] tags.
 const TAG_BASE: u64 = 1 << 42;
-/// Tags consumed per step (halo, gather, scatter, migrate).
-const TAGS_PER_STEP: u64 = 4;
+/// Tags consumed per step (halo, gather, scatter, migrate, and four
+/// all-to-all rounds of the slab solve).
+const TAGS_PER_STEP: u64 = 8;
 /// Tag of the one-time initialization allreduce.
 const INIT_TAG: u64 = TAG_BASE - 16;
+
+/// Which rank set runs the spectral Poisson solve each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverMode {
+    /// Slab-distributed solve: every rank owns a contiguous row slab,
+    /// all-to-all exchanges implement the distributed transpose, and no
+    /// rank ever holds the full grid. The default.
+    Slab,
+    /// Gather ρ to the first group rank, solve the full grid there, and
+    /// scatter E back — the legacy fallback, O(grid) memory and solve time
+    /// on one rank.
+    RootGather,
+}
 
 /// Knobs of the decomposition itself (the physics lives in [`PicConfig`]).
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +46,8 @@ pub struct DecompConfig {
     /// Cut the curve by initial per-cell particle counts instead of cell
     /// counts, so ranks start with near-equal particle loads.
     pub weighted: bool,
+    /// Field-solve distribution strategy.
+    pub solver: SolverMode,
 }
 
 impl Default for DecompConfig {
@@ -37,38 +55,68 @@ impl Default for DecompConfig {
         Self {
             halo_width: 2,
             weighted: false,
+            solver: SolverMode::Slab,
         }
     }
 }
 
-/// Cumulative per-rank communication accounting, by phase.
+/// Cumulative per-rank communication accounting, by phase: bytes moved
+/// *and* wall time spent, so overlap gains are measurable, not just
+/// volume reductions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CommStats {
     /// Bytes moved (sent + received) by ρ halo exchanges.
     pub halo_bytes: u64,
-    /// Bytes moved by the owned-ρ gather to the solving rank.
+    /// Bytes moved by the owned-ρ gather to the solving rank
+    /// ([`SolverMode::RootGather`] only).
     pub gather_bytes: u64,
-    /// Bytes moved by the E scatter from the solving rank.
+    /// Bytes moved by the E scatter from the solving rank
+    /// ([`SolverMode::RootGather`] only).
     pub scatter_bytes: u64,
+    /// Bytes moved by the slab solve's all-to-all rounds
+    /// ([`SolverMode::Slab`] only).
+    pub solve_bytes: u64,
     /// Bytes moved by particle migration.
     pub migrate_bytes: u64,
     /// Particles sent to other ranks.
     pub migrated_out: u64,
     /// Particles received from other ranks.
     pub migrated_in: u64,
+    /// Wall seconds in the ρ halo exchange.
+    pub halo_secs: f64,
+    /// Wall seconds in the field solve (gather + solve + scatter for the
+    /// root path; the full all-to-all pipeline for the slab path).
+    pub solve_secs: f64,
+    /// Wall seconds posting migration sends (classify + send + compact) —
+    /// before the solve, so the payloads travel while ranks compute.
+    pub migrate_send_secs: f64,
+    /// Wall seconds draining migration receives after the solve. Near-zero
+    /// drain time relative to `migrate_send_secs` + transit means the
+    /// overlap hid the migration latency.
+    pub migrate_drain_secs: f64,
 }
 
 impl CommStats {
     /// Total bytes moved across all phases.
     pub fn total_bytes(&self) -> u64 {
-        self.halo_bytes + self.gather_bytes + self.scatter_bytes + self.migrate_bytes
+        self.halo_bytes
+            + self.gather_bytes
+            + self.scatter_bytes
+            + self.solve_bytes
+            + self.migrate_bytes
+    }
+
+    /// Total wall seconds attributed to communication-bearing phases.
+    pub fn total_secs(&self) -> f64 {
+        self.halo_secs + self.solve_secs + self.migrate_send_secs + self.migrate_drain_secs
     }
 }
 
 /// A spatially decomposed PIC run: this rank advances only the particles
 /// inside its subdomain and stores valid field values only on its points
-/// (plus halos), while one rank performs the global spectral Poisson solve
-/// per step on the gathered density.
+/// (plus halos). The spectral Poisson solve is either slab-distributed
+/// across all ranks (default) or gathered to one root rank
+/// ([`SolverMode`]).
 ///
 /// Collective in construction and in [`step`](Self::step): every rank of
 /// the communicator must call them in lockstep with identical
@@ -82,13 +130,20 @@ pub struct DecomposedSimulation {
     step: u64,
     stats: CommStats,
     faults: FaultLog,
-    /// Solver state on the root rank only.
-    solver: Option<RootSolver>,
-    /// `owned_points` of every rank (root needs them to assemble and
-    /// scatter; cheap enough to keep everywhere).
+    backend: SolverBackend,
+    /// `owned_points` of every rank (solver routing needs them; cheap
+    /// enough to keep everywhere).
     all_owned_points: Vec<Vec<usize>>,
     /// `e_points` of every rank.
     all_e_points: Vec<Vec<usize>>,
+}
+
+/// Per-rank field-solver state, by mode.
+enum SolverBackend {
+    /// Root gather/solve/scatter: `Some` on the root rank only.
+    Root(Option<RootSolver>),
+    /// Slab-distributed solve: every rank carries one.
+    Slab(SlabSolver),
 }
 
 struct RootSolver {
@@ -168,18 +223,30 @@ impl DecomposedSimulation {
             return Err(e.into());
         }
 
-        let solver = if rank == root {
-            let n = cfg.grid_nx * cfg.grid_ny;
-            Some(RootSolver {
-                solver: PoissonSolver2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)
-                    .map_err(PicError::from)?,
-                scratch: SolveScratch::new(),
-                rho: vec![0.0; n],
-                ex: vec![0.0; n],
-                ey: vec![0.0; n],
-            })
-        } else {
-            None
+        let backend = match dcfg.solver {
+            SolverMode::Slab => SolverBackend::Slab(SlabSolver::new(
+                cfg.grid_nx,
+                cfg.grid_ny,
+                cfg.lx,
+                cfg.ly,
+                rank,
+                nranks,
+                &all_owned_points,
+                &all_e_points,
+            )?),
+            SolverMode::RootGather => SolverBackend::Root(if rank == root {
+                let n = cfg.grid_nx * cfg.grid_ny;
+                Some(RootSolver {
+                    solver: PoissonSolver2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)
+                        .map_err(PicError::from)?,
+                    scratch: SolveScratch::new(),
+                    rho: vec![0.0; n],
+                    ex: vec![0.0; n],
+                    ey: vec![0.0; n],
+                })
+            } else {
+                None
+            }),
         };
 
         Ok(Self {
@@ -191,7 +258,7 @@ impl DecomposedSimulation {
             step: 0,
             stats: CommStats::default(),
             faults: FaultLog::new(),
-            solver,
+            backend,
             all_owned_points,
             all_e_points,
         })
@@ -202,11 +269,14 @@ impl DecomposedSimulation {
     /// 1. local sort/kick/push/deposit ([`Simulation::step_pre_reduce`]);
     /// 2. leakage check — every particle must still sit in the write
     ///    region, else its deposit escaped the halo;
-    /// 3. halo-exchange partial ρ so owned points hold global values;
-    /// 4. gather owned ρ to the root, which assembles the full grid, runs
-    ///    the spectral solve, and scatters each rank's `e_points` values;
-    /// 5. rebuild the local redundant field view and diagnostics;
-    /// 6. migrate particles whose cell changed owner.
+    /// 3. **post migration sends**: particles whose cell changed owner are
+    ///    shipped out and compacted away now, so their payloads travel
+    ///    while every rank is busy solving;
+    /// 4. halo-exchange partial ρ so owned points hold global values;
+    /// 5. field solve — slab-distributed all-to-all pipeline, or the
+    ///    root gather/solve/scatter fallback ([`SolverMode`]);
+    /// 6. rebuild the local redundant field view and diagnostics;
+    /// 7. **drain migration receives** posted in step 3.
     ///
     /// Any injected transport fault surfaces as `Err` (never a deadlock:
     /// sends are non-blocking and receives are deadline-bounded); transport
@@ -233,80 +303,118 @@ impl DecomposedSimulation {
         }
 
         let mut moved = comm.bytes_sent() + comm.bytes_received();
-        let mut phase = |comm: &Comm, bucket: &mut u64| {
+        let mut mark = Instant::now();
+        let mut phase = |comm: &Comm, bytes: &mut u64, secs: &mut f64| {
             let now = comm.bytes_sent() + comm.bytes_received();
-            *bucket += now - moved;
+            *bytes += now - moved;
             moved = now;
+            *secs += mark.elapsed().as_secs_f64();
+            mark = Instant::now();
         };
 
+        // Comm/compute overlap: migration payloads leave now and sit in
+        // the peers' stashes while everyone runs the solve; the matching
+        // receives drain after it.
+        self.migrate_send(comm, t0 + 3)?;
+        phase(
+            comm,
+            &mut self.stats.migrate_bytes,
+            &mut self.stats.migrate_send_secs,
+        );
+
         exchange_rho(comm, &self.plan, self.sim.rho_mut(), t0)?;
-        phase(comm, &mut self.stats.halo_bytes);
+        phase(comm, &mut self.stats.halo_bytes, &mut self.stats.halo_secs);
 
-        let rho = self.sim.rho_mut();
-        let owned: Vec<f64> = self.plan.owned_points.iter().map(|&p| rho[p]).collect();
-        let gathered = comm.try_gather(&owned, t0 + 1)?;
-        phase(comm, &mut self.stats.gather_bytes);
-
-        match gathered {
-            Some(parts) => {
-                let rs = self.solver.as_mut().expect("gather root solves");
-                for (vals, pts) in parts.iter().zip(&self.all_owned_points) {
-                    for (&v, &p) in vals.iter().zip(pts) {
-                        rs.rho[p] = v;
-                    }
-                }
-                rs.solver
-                    .solve_e_with(&rs.rho, &mut rs.ex, &mut rs.ey, &mut rs.scratch);
-                for (r, pts) in self.all_e_points.iter().enumerate() {
-                    if r == self.rank {
-                        continue;
-                    }
-                    let payload: Vec<f64> = pts
-                        .iter()
-                        .map(|&p| rs.ex[p])
-                        .chain(pts.iter().map(|&p| rs.ey[p]))
-                        .collect();
-                    comm.try_send(r, t0 + 2, &payload)?;
-                }
-                let (ex, ey) = self.sim.e_field_mut();
-                for &p in &self.plan.e_points {
-                    ex[p] = rs.ex[p];
-                    ey[p] = rs.ey[p];
-                }
+        match &mut self.backend {
+            SolverBackend::Slab(slab) => {
+                let (rho, ex, ey) = self.sim.field_mut();
+                slab.solve(comm, rho, ex, ey, t0 + 4)?;
+                phase(
+                    comm,
+                    &mut self.stats.solve_bytes,
+                    &mut self.stats.solve_secs,
+                );
             }
-            None => {
-                let data = comm.try_recv(self.root, t0 + 2)?;
-                let n = self.plan.e_points.len();
-                if data.len() != 2 * n {
-                    return Err(DecompError::Config(format!(
-                        "E scatter payload: {} values for {n} points",
-                        data.len()
-                    )));
+            SolverBackend::Root(solver) => {
+                let rho = self.sim.rho_mut();
+                let owned: Vec<f64> = self.plan.owned_points.iter().map(|&p| rho[p]).collect();
+                let gathered = comm.try_gather(&owned, t0 + 1)?;
+                phase(
+                    comm,
+                    &mut self.stats.gather_bytes,
+                    &mut self.stats.solve_secs,
+                );
+
+                match gathered {
+                    Some(parts) => {
+                        let rs = solver.as_mut().expect("gather root solves");
+                        for (vals, pts) in parts.iter().zip(&self.all_owned_points) {
+                            for (&v, &p) in vals.iter().zip(pts) {
+                                rs.rho[p] = v;
+                            }
+                        }
+                        rs.solver
+                            .solve_e_with(&rs.rho, &mut rs.ex, &mut rs.ey, &mut rs.scratch);
+                        for (r, pts) in self.all_e_points.iter().enumerate() {
+                            if r == self.rank {
+                                continue;
+                            }
+                            let payload: Vec<f64> = pts
+                                .iter()
+                                .map(|&p| rs.ex[p])
+                                .chain(pts.iter().map(|&p| rs.ey[p]))
+                                .collect();
+                            comm.try_send(r, t0 + 2, &payload)?;
+                        }
+                        let (ex, ey) = self.sim.e_field_mut();
+                        for &p in &self.plan.e_points {
+                            ex[p] = rs.ex[p];
+                            ey[p] = rs.ey[p];
+                        }
+                    }
+                    None => {
+                        let data = comm.try_recv(self.root, t0 + 2)?;
+                        let n = self.plan.e_points.len();
+                        if data.len() != 2 * n {
+                            return Err(DecompError::Config(format!(
+                                "E scatter payload: {} values for {n} points",
+                                data.len()
+                            )));
+                        }
+                        let (ex, ey) = self.sim.e_field_mut();
+                        for (i, &p) in self.plan.e_points.iter().enumerate() {
+                            ex[p] = data[i];
+                            ey[p] = data[n + i];
+                        }
+                    }
                 }
-                let (ex, ey) = self.sim.e_field_mut();
-                for (i, &p) in self.plan.e_points.iter().enumerate() {
-                    ex[p] = data[i];
-                    ey[p] = data[n + i];
-                }
+                phase(
+                    comm,
+                    &mut self.stats.scatter_bytes,
+                    &mut self.stats.solve_secs,
+                );
             }
         }
-        phase(comm, &mut self.stats.scatter_bytes);
 
         self.sim.step_post_external_solve();
 
-        self.migrate(comm, t0 + 3)?;
-        phase(comm, &mut self.stats.migrate_bytes);
+        self.migrate_drain(comm, t0 + 3)?;
+        phase(
+            comm,
+            &mut self.stats.migrate_bytes,
+            &mut self.stats.migrate_drain_secs,
+        );
         Ok(())
     }
 
-    /// Route particles whose cell left the subdomain to the owning rank.
-    /// Exchanges with every halo neighbor each step (possibly empty
-    /// payloads, so no receive can dangle); stayers keep their relative
-    /// order and arrivals append in ascending sender order — deterministic,
-    /// and the next counting sort restores cell order.
-    fn migrate(&mut self, comm: &mut Comm, tag: u64) -> Result<(), DecompError> {
-        const F_PER_P: usize = 7; // icell, ix, iy, dx, dy, vx, vy
-
+    /// Route particles whose cell left the subdomain to the owning rank:
+    /// classify, post one send per halo neighbor (possibly empty, so no
+    /// receive can dangle), and compact the stayers. The matching receives
+    /// happen in [`migrate_drain`](Self::migrate_drain) after the solve;
+    /// stayers keep their relative order and arrivals append in ascending
+    /// sender order — deterministic, and the next counting sort restores
+    /// cell order.
+    fn migrate_send(&mut self, comm: &mut Comm, tag: u64) -> Result<(), DecompError> {
         let p = self.sim.particles_mut();
         let n = p.len();
         let mut stay = vec![true; n];
@@ -346,7 +454,13 @@ impl DecomposedSimulation {
         if outgoing.iter().any(|o| !o.is_empty()) {
             compact(p, &stay);
         }
+        Ok(())
+    }
 
+    /// Drain the migration receives posted by [`migrate_send`]
+    /// (Self::migrate_send) — by now the payloads have crossed during the
+    /// solve, so this is normally a stash lookup, not a wait.
+    fn migrate_drain(&mut self, comm: &mut Comm, tag: u64) -> Result<(), DecompError> {
         for &peer in &self.plan.neighbors {
             let data = comm.try_recv(peer, tag)?;
             if data.len() % F_PER_P != 0 {
@@ -377,6 +491,22 @@ impl DecomposedSimulation {
             self.step(comm)?;
         }
         Ok(())
+    }
+
+    /// Snapshot the local simulation state (particles, fields, RNG,
+    /// diagnostics). The snapshot is the plain [`Simulation::checkpoint`]
+    /// format — its config fingerprint covers grid, physics, and this
+    /// rank's `keep_cells` range, but *not* the solver mode or thread
+    /// count, so a snapshot taken under one solver restores into another.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        self.sim.checkpoint()
+    }
+
+    /// Restore the local simulation from a [`checkpoint`](Self::checkpoint)
+    /// snapshot (collective: every rank must restore a snapshot of the same
+    /// step so the tag sequence stays aligned).
+    pub fn restore(&mut self, snapshot: &[u8]) -> Result<(), DecompError> {
+        self.sim.restore(snapshot).map_err(DecompError::Pic)
     }
 
     /// The underlying local simulation. Its ρ/E arrays hold *global*
@@ -417,18 +547,40 @@ impl DecomposedSimulation {
         self.partition.range(self.rank).len()
     }
 
-    /// The assembled global ρ of the last step — root rank only.
-    pub fn global_rho(&self) -> Option<&[f64]> {
-        self.solver.as_ref().map(|s| s.rho.as_slice())
+    /// Persistent bytes this rank dedicates to field-solver grid state:
+    /// the four slab buffers in [`SolverMode::Slab`] (shrinks as ranks are
+    /// added), or three full-grid arrays on the root in
+    /// [`SolverMode::RootGather`] (zero on the other ranks).
+    pub fn solver_grid_bytes(&self) -> u64 {
+        match &self.backend {
+            SolverBackend::Slab(s) => s.solver_bytes(),
+            SolverBackend::Root(Some(rs)) => (3 * rs.rho.len() * std::mem::size_of::<f64>()) as u64,
+            SolverBackend::Root(None) => 0,
+        }
     }
 
-    /// The solved global E of the last step — root rank only.
+    /// The assembled global ρ of the last step — root rank of
+    /// [`SolverMode::RootGather`] only (`None` under the slab solver,
+    /// where no rank holds the full grid).
+    pub fn global_rho(&self) -> Option<&[f64]> {
+        match &self.backend {
+            SolverBackend::Root(Some(rs)) => Some(rs.rho.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The solved global E of the last step — root rank of
+    /// [`SolverMode::RootGather`] only.
     pub fn global_e(&self) -> Option<(&[f64], &[f64])> {
-        self.solver
-            .as_ref()
-            .map(|s| (s.ex.as_slice(), s.ey.as_slice()))
+        match &self.backend {
+            SolverBackend::Root(Some(rs)) => Some((rs.ex.as_slice(), rs.ey.as_slice())),
+            _ => None,
+        }
     }
 }
+
+/// Migration payload stride: icell, ix, iy, dx, dy, vx, vy.
+const F_PER_P: usize = 7;
 
 /// Order-preserving compaction of all seven SoA columns by a keep mask.
 fn compact(p: &mut ParticlesSoA, keep: &[bool]) {

@@ -39,10 +39,12 @@
 mod driver;
 mod halo;
 mod partition;
+mod slab;
 
-pub use driver::{CommStats, DecompConfig, DecomposedSimulation};
+pub use driver::{CommStats, DecompConfig, DecomposedSimulation, SolverMode};
 pub use halo::{exchange_rho, HaloPlan};
 pub use partition::{particle_cell_weights, Partition};
+pub use slab::SlabSolver;
 
 use minimpi::CommError;
 use pic_core::PicError;

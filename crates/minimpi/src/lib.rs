@@ -1522,6 +1522,74 @@ impl Comm {
             .unwrap_or_else(|e| panic!("minimpi broadcast: {e}"));
     }
 
+    /// Fault-aware personalized all-to-all over the current group:
+    /// `blocks[i]` (blocks may differ in length, including empty) is
+    /// delivered to group member `i`, and the return value holds the block
+    /// received from each member, in group order — the exchange pattern of
+    /// a distributed matrix transpose. This rank's own block is copied
+    /// directly without touching the transport.
+    ///
+    /// Deadlock-free by construction: every send completes before any
+    /// receive is posted (frames park in the receiver's stash, and under a
+    /// fault plan the ack wait itself services incoming frames). A dead
+    /// group member surfaces as [`CommError::RankFailed`] on every caller
+    /// instead of a hang; injected drop/corrupt faults are absorbed by the
+    /// ack/retry transport and recorded in the event ledger.
+    ///
+    /// # Panics
+    /// Panics if `blocks.len()` differs from the group size.
+    pub fn try_all_to_all(
+        &mut self,
+        blocks: &[Vec<f64>],
+        tag: u64,
+    ) -> Result<Vec<Vec<f64>>, CommError> {
+        self.note_op()?;
+        let tag = self.etag(tag);
+        let group = self.group.clone();
+        assert_eq!(
+            blocks.len(),
+            group.len(),
+            "all_to_all needs one block per group member"
+        );
+        let t = Instant::now();
+        let res = self.all_to_all_over(&group, blocks, tag);
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res
+    }
+
+    fn all_to_all_over(
+        &mut self,
+        group: &[usize],
+        blocks: &[Vec<f64>],
+        tag: u64,
+    ) -> Result<Vec<Vec<f64>>, CommError> {
+        let me = self.group_index(group);
+        for (i, &m) in group.iter().enumerate() {
+            if i != me {
+                self.send_ft(m, tag, &blocks[i], Some(group))?;
+            }
+        }
+        let mut out = Vec::with_capacity(group.len());
+        for (i, &m) in group.iter().enumerate() {
+            if i == me {
+                out.push(blocks[i].clone());
+            } else {
+                out.push(self.recv_watch(m, tag, Some(group))?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Personalized all-to-all over the current group.
+    ///
+    /// # Panics
+    /// Panics on a detected rank failure or transport error; use
+    /// [`try_all_to_all`](Self::try_all_to_all) to handle those.
+    pub fn all_to_all(&mut self, blocks: &[Vec<f64>], tag: u64) -> Vec<Vec<f64>> {
+        self.try_all_to_all(blocks, tag)
+            .unwrap_or_else(|e| panic!("minimpi all_to_all: {e}"))
+    }
+
     // ------------------------------------------------------------- recovery
 
     /// ULFM-style shrink: agree with the surviving group members on the
@@ -2116,7 +2184,10 @@ mod tests {
         let plan = FaultPlan::new(9).kill_rank(2, 2);
         let out = World::run_with_faults(4, plan, |comm| {
             fast_timeouts(comm);
-            comm.set_recv_deadline(Duration::from_millis(2000));
+            // Generous deadline: the dead rank is caught by the dead-flag
+            // watch, not deadline expiry, and a loaded box can starve a
+            // *live* peer past a short deadline mid-collective.
+            comm.set_recv_deadline(Duration::from_millis(10_000));
             let mut buf = vec![1.0; 4];
             // First collective succeeds (rank 2 dies on its second op).
             if comm.try_allreduce_sum_tree(&mut buf, 50).is_err() {
@@ -2173,6 +2244,99 @@ mod tests {
             assert_eq!(out[r], 3.0, "rank {r}"); // sum of surviving rank ids
         }
         assert_eq!(out[3], -1.0);
+    }
+
+    #[test]
+    fn all_to_all_exchanges_variable_length_blocks() {
+        // Rank r sends to rank d a block of length r + d whose entries encode
+        // both endpoints; every rank must receive exactly what each peer
+        // addressed to it, including the zero-length block from rank 0 to 0.
+        let out = World::run(4, |comm| {
+            let me = comm.rank();
+            let blocks: Vec<Vec<f64>> =
+                (0..4).map(|d| vec![(me * 10 + d) as f64; me + d]).collect();
+            comm.all_to_all(&blocks, 40)
+        });
+        for (me, recvd) in out.iter().enumerate() {
+            for (src, block) in recvd.iter().enumerate() {
+                assert_eq!(
+                    *block,
+                    vec![(src * 10 + me) as f64; src + me],
+                    "rank {me} from {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_accounts_data_volume() {
+        // Only off-rank blocks travel: each rank ships 3 blocks of 8 f64s
+        // out and takes 3 in; the own-rank block never hits the transport.
+        let out = World::run(2, |comm| {
+            comm.reset_data_volume();
+            let blocks = vec![vec![comm.rank() as f64; 8]; 2];
+            comm.all_to_all(&blocks, 41);
+            (comm.bytes_sent(), comm.bytes_received())
+        });
+        for (r, &(sent, recvd)) in out.iter().enumerate() {
+            assert_eq!(sent, 8 * 8, "rank {r} sent");
+            assert_eq!(recvd, 8 * 8, "rank {r} recvd");
+        }
+    }
+
+    #[test]
+    fn all_to_all_recovers_under_faults() {
+        // Drops and corruption on every link must be absorbed by the
+        // ack/retry layer: the exchanged blocks are bit-exact with the
+        // fault-free run and the ledger records the retransmissions.
+        let plan = FaultPlan::new(29).drop_messages(0.3).corrupt_messages(0.2);
+        let out = World::run_with_faults(4, plan, |comm| {
+            fast_timeouts(comm);
+            let me = comm.rank();
+            let mut sum = 0.0;
+            for step in 0..4u64 {
+                let blocks: Vec<Vec<f64>> = (0..4)
+                    .map(|d| vec![(me * 4 + d) as f64 + step as f64; 6])
+                    .collect();
+                let recvd = comm.try_all_to_all(&blocks, 100 + step * 10).unwrap();
+                for (src, b) in recvd.iter().enumerate() {
+                    assert_eq!(*b, vec![(src * 4 + me) as f64 + step as f64; 6]);
+                }
+                sum += recvd.iter().map(|b| b[0]).sum::<f64>();
+            }
+            let retries = comm
+                .take_events()
+                .iter()
+                .filter(|e| e.kind == TransportEventKind::Retry)
+                .count();
+            (sum, retries)
+        });
+        let total_retries: usize = out.iter().map(|o| o.1).sum();
+        assert!(total_retries > 0, "fault plan produced no retransmissions");
+        for (me, &(sum, _)) in out.iter().enumerate() {
+            let expect: f64 = (0..4u64)
+                .map(|step| {
+                    (0..4)
+                        .map(|src| (src * 4 + me) as f64 + step as f64)
+                        .sum::<f64>()
+                })
+                .sum();
+            assert_eq!(sum, expect, "rank {me}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_fails_cleanly_when_a_rank_dies() {
+        // Rank 1 dies at its first op, mid-exchange: every survivor must
+        // surface a CommError instead of hanging in the drain loop.
+        let plan = FaultPlan::new(31).kill_rank(1, 1);
+        let out = World::run_with_faults(4, plan, |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(Duration::from_millis(2000));
+            let blocks = vec![vec![comm.rank() as f64; 4]; 4];
+            comm.try_all_to_all(&blocks, 55).is_err()
+        });
+        assert!(out.iter().all(|&failed| failed), "{out:?}");
     }
 
     #[test]

@@ -123,14 +123,125 @@ impl FftPlan {
     }
 }
 
+/// An executor for batches of independent whole-row transforms — the seam
+/// through which a thread pool (which lives upstream of this dependency-free
+/// crate) parallelizes the 2-D transform passes.
+///
+/// The contract of [`run_rows`](Self::run_rows): partition `data` into
+/// contiguous blocks of whole `row_len`-element rows and invoke
+/// `f(first_row, block)` exactly once per block (possibly concurrently),
+/// where `first_row` is the global index of the block's first row. Blocks
+/// must cover `data` in order and must not overlap. Implementations choose
+/// the block count (≤ [`width`](Self::width)); any partition into whole
+/// rows yields identical results because `f` treats rows independently.
+pub trait RowExecutor {
+    /// Maximum useful concurrency (1 for serial executors).
+    fn width(&self) -> usize;
+
+    /// Run `f` over a partition of `data` into whole-row blocks.
+    ///
+    /// # Panics
+    /// Implementations may panic when `data.len()` is not a multiple of
+    /// `row_len`.
+    fn run_rows(
+        &self,
+        data: &mut [Complex64],
+        row_len: usize,
+        f: &(dyn Fn(usize, &mut [Complex64]) + Sync),
+    );
+}
+
+/// The trivial executor: one block, run on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExec;
+
+impl RowExecutor for SerialExec {
+    fn width(&self) -> usize {
+        1
+    }
+
+    fn run_rows(
+        &self,
+        data: &mut [Complex64],
+        row_len: usize,
+        f: &(dyn Fn(usize, &mut [Complex64]) + Sync),
+    ) {
+        assert_eq!(data.len() % row_len.max(1), 0, "partial row in batch");
+        if !data.is_empty() {
+            f(0, data);
+        }
+    }
+}
+
+/// Default tile edge for [`transpose_tiled`]: a 16×16 `Complex64` tile
+/// touches 4 KiB of source and 4 KiB of destination — both L1-resident, so
+/// the strided side of the transpose misses at most once per cache line.
+pub const TRANSPOSE_TILE: usize = 16;
+
+/// Cache-blocked out-of-place matrix transpose: `src` is `rows × cols`
+/// row-major and `dst` becomes `cols × rows` (`dst[j * rows + i] =
+/// src[i * cols + j]`). The loops walk `tile × tile` blocks so both the
+/// read and the write side stay within a few cache lines per block — the
+/// naive double loop strides one side by `cols` (or `rows`) every element
+/// and thrashes at grid sizes ≥ 256².
+///
+/// # Panics
+/// Panics if the slice lengths differ from `rows * cols` or `tile == 0`.
+pub fn transpose_tiled(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    rows: usize,
+    cols: usize,
+    tile: usize,
+) {
+    assert_eq!(src.len(), rows * cols, "transpose source size mismatch");
+    assert_eq!(
+        dst.len(),
+        rows * cols,
+        "transpose destination size mismatch"
+    );
+    assert!(tile >= 1, "transpose tile must be nonzero");
+    transpose_block(src, rows, cols, 0, dst, tile);
+}
+
+/// Transpose columns `j0 ..` of `src` (`rows × cols`) into `block`, a
+/// contiguous run of destination rows starting at row `j0` of the full
+/// `cols × rows` transpose. `transpose_tiled` is the `j0 = 0`, whole-output
+/// case; the parallel transform hands each executor block its own slice.
+fn transpose_block(
+    src: &[Complex64],
+    rows: usize,
+    cols: usize,
+    j0: usize,
+    block: &mut [Complex64],
+    tile: usize,
+) {
+    let brows = block.len() / rows.max(1);
+    for jt in (0..brows).step_by(tile) {
+        let jhi = (jt + tile).min(brows);
+        for it in (0..rows).step_by(tile) {
+            let ihi = (it + tile).min(rows);
+            for j in jt..jhi {
+                for i in it..ihi {
+                    block[j * rows + i] = src[i * cols + j0 + j];
+                }
+            }
+        }
+    }
+}
+
 /// A reusable 2-D FFT plan (row–column algorithm) for an `nx × ny` grid
 /// stored row-major (`data[ix * ny + iy]`).
 #[derive(Debug, Clone)]
 pub struct Fft2Plan {
     nx: usize,
     ny: usize,
+    /// Length-`ny` plan for the row pass.
     row: FftPlan,
-    col: FftPlan,
+    /// Length-`nx` plan for the column pass — `None` on square grids,
+    /// where the row plan's twiddle/bit-reversal tables are reused instead
+    /// of being built twice.
+    col: Option<FftPlan>,
 }
 
 impl Fft2Plan {
@@ -143,8 +254,19 @@ impl Fft2Plan {
             nx,
             ny,
             row: FftPlan::new(ny)?,
-            col: FftPlan::new(nx)?,
+            col: (nx != ny).then(|| FftPlan::new(nx)).transpose()?,
         })
+    }
+
+    /// The length-`ny` 1-D plan used for the row pass.
+    pub fn row_plan(&self) -> &FftPlan {
+        &self.row
+    }
+
+    /// The length-`nx` 1-D plan used for the column pass (the row plan
+    /// itself on square grids).
+    pub fn col_plan(&self) -> &FftPlan {
+        self.col.as_ref().unwrap_or(&self.row)
     }
 
     /// Grid dimensions `(nx, ny)`.
@@ -188,30 +310,134 @@ impl Fft2Plan {
         self.transform2(data, Direction::Inverse, colbuf);
     }
 
+    /// Pass order: the forward transform runs rows then columns; the
+    /// inverse runs columns then rows — the reversed composition, so each
+    /// 1-D pass is undone by its own inverse in reverse order. The order
+    /// fixes the floating-point rounding, and the parallel
+    /// ([`forward_par`](Self::forward_par)) and distributed (slab) solvers
+    /// replicate it exactly to stay bit-identical with this path.
     fn transform2(&self, data: &mut [Complex64], dir: Direction, colbuf: &mut [Complex64]) {
         assert_eq!(data.len(), self.nx * self.ny, "2-D FFT size mismatch");
         assert_eq!(colbuf.len(), self.nx, "2-D FFT column buffer mismatch");
-        // Rows (contiguous).
+        match dir {
+            Direction::Forward => {
+                self.rows_pass(data, dir);
+                self.cols_pass(data, dir, colbuf);
+            }
+            Direction::Inverse => {
+                self.cols_pass(data, dir, colbuf);
+                self.rows_pass(data, dir);
+            }
+        }
+    }
+
+    /// Transform every (contiguous) row with the length-`ny` plan.
+    fn rows_pass(&self, data: &mut [Complex64], dir: Direction) {
         for r in data.chunks_exact_mut(self.ny) {
             match dir {
                 Direction::Forward => self.row.forward(r),
                 Direction::Inverse => self.row.inverse(r),
             }
         }
-        // Columns: gather → transform → scatter, one column buffer at a time.
+    }
+
+    /// Transform every column: gather → transform → scatter, one column
+    /// buffer at a time.
+    fn cols_pass(&self, data: &mut [Complex64], dir: Direction, colbuf: &mut [Complex64]) {
+        let col = self.col_plan();
         for iy in 0..self.ny {
             for ix in 0..self.nx {
                 colbuf[ix] = data[ix * self.ny + iy];
             }
             match dir {
-                Direction::Forward => self.col.forward(colbuf),
-                Direction::Inverse => self.col.inverse(colbuf),
+                Direction::Forward => col.forward(colbuf),
+                Direction::Inverse => col.inverse(colbuf),
             }
             for ix in 0..self.nx {
                 data[ix * self.ny + iy] = colbuf[ix];
             }
         }
     }
+
+    /// [`forward_with`](Self::forward_with), with the row batches of each
+    /// pass striped over `exec` and the column pass run on contiguous rows
+    /// of a tiled transpose (`tbuf`, `nx * ny` entries) instead of a
+    /// strided gather/scatter. Bit-exact with the sequential path: every
+    /// 1-D transform sees the same values in the same butterfly order, and
+    /// the passes compose in the same row-then-column order.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny` or `tbuf.len() != nx * ny`.
+    pub fn forward_par(
+        &self,
+        data: &mut [Complex64],
+        tbuf: &mut [Complex64],
+        exec: &dyn RowExecutor,
+    ) {
+        let n = self.nx * self.ny;
+        assert_eq!(data.len(), n, "2-D FFT size mismatch");
+        assert_eq!(tbuf.len(), n, "2-D FFT transpose buffer mismatch");
+        self.par_pass(data, self.ny, &self.row, Direction::Forward, exec);
+        par_transpose(data, self.nx, self.ny, tbuf, exec);
+        self.par_pass(tbuf, self.nx, self.col_plan(), Direction::Forward, exec);
+        par_transpose(tbuf, self.ny, self.nx, data, exec);
+    }
+
+    /// [`inverse_with`](Self::inverse_with) on the executor: columns first,
+    /// then rows — the sequential inverse pass order — each pass striped
+    /// over `exec` with transposes in between. Bit-exact with the
+    /// sequential path.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny` or `tbuf.len() != nx * ny`.
+    pub fn inverse_par(
+        &self,
+        data: &mut [Complex64],
+        tbuf: &mut [Complex64],
+        exec: &dyn RowExecutor,
+    ) {
+        let n = self.nx * self.ny;
+        assert_eq!(data.len(), n, "2-D FFT size mismatch");
+        assert_eq!(tbuf.len(), n, "2-D FFT transpose buffer mismatch");
+        par_transpose(data, self.nx, self.ny, tbuf, exec);
+        self.par_pass(tbuf, self.nx, self.col_plan(), Direction::Inverse, exec);
+        par_transpose(tbuf, self.ny, self.nx, data, exec);
+        self.par_pass(data, self.ny, &self.row, Direction::Inverse, exec);
+    }
+
+    /// One 1-D pass over every `row_len`-element row of `data`, striped
+    /// across the executor's row blocks.
+    fn par_pass(
+        &self,
+        data: &mut [Complex64],
+        row_len: usize,
+        plan: &FftPlan,
+        dir: Direction,
+        exec: &dyn RowExecutor,
+    ) {
+        exec.run_rows(data, row_len, &|_first, block| {
+            for r in block.chunks_exact_mut(row_len) {
+                match dir {
+                    Direction::Forward => plan.forward(r),
+                    Direction::Inverse => plan.inverse(r),
+                }
+            }
+        });
+    }
+}
+
+/// Transpose `src` (`rows × cols`) into `dst` (`cols × rows`), each
+/// executor block tiling its own contiguous run of destination rows.
+fn par_transpose(
+    src: &[Complex64],
+    rows: usize,
+    cols: usize,
+    dst: &mut [Complex64],
+    exec: &dyn RowExecutor,
+) {
+    exec.run_rows(dst, rows, &|j0, block| {
+        transpose_block(src, rows, cols, j0, block, TRANSPOSE_TILE);
+    });
 }
 
 /// Naive `O(N²)` DFT, used as the test oracle.
@@ -399,6 +625,124 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A serial executor that still exercises the multi-block partition
+    /// logic: splits every batch into `k` near-equal whole-row blocks.
+    struct Blocks(usize);
+
+    impl RowExecutor for Blocks {
+        fn width(&self) -> usize {
+            self.0
+        }
+
+        fn run_rows(
+            &self,
+            data: &mut [Complex64],
+            row_len: usize,
+            f: &(dyn Fn(usize, &mut [Complex64]) + Sync),
+        ) {
+            let nrows = data.len() / row_len.max(1);
+            let k = self.0.clamp(1, nrows.max(1));
+            let (base, extra) = (nrows / k, nrows % k);
+            let mut rest = data;
+            let mut first = 0;
+            for c in 0..k {
+                let take = base + usize::from(c < extra);
+                let (head, tail) = rest.split_at_mut(take * row_len);
+                if !head.is_empty() {
+                    f(first, head);
+                }
+                first += take;
+                rest = tail;
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_and_naive_parity() {
+        for (rows, cols) in [(1usize, 1usize), (4, 8), (16, 16), (13, 7), (33, 65)] {
+            let src = rand_signal(rows * cols, (rows * 1000 + cols) as u64);
+            for tile in [1usize, 8, 13, TRANSPOSE_TILE] {
+                let mut t = vec![Complex64::ZERO; rows * cols];
+                transpose_tiled(&src, &mut t, rows, cols, tile);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        assert_eq!(
+                            t[j * rows + i],
+                            src[i * cols + j],
+                            "rows={rows} cols={cols} tile={tile} ({i},{j})"
+                        );
+                    }
+                }
+                let mut back = vec![Complex64::ZERO; rows * cols];
+                transpose_tiled(&t, &mut back, cols, rows, tile);
+                assert_eq!(back, src, "rows={rows} cols={cols} tile={tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn square_plan_is_shared() {
+        let sq = Fft2Plan::new(64, 64).unwrap();
+        assert!(
+            std::ptr::eq(sq.row_plan(), sq.col_plan()),
+            "square grid should reuse one 1-D plan"
+        );
+        let rect = Fft2Plan::new(32, 64).unwrap();
+        assert!(!std::ptr::eq(rect.row_plan(), rect.col_plan()));
+        assert_eq!(rect.row_plan().len(), 64);
+        assert_eq!(rect.col_plan().len(), 32);
+    }
+
+    #[test]
+    fn parallel_transform_bit_exact_with_sequential() {
+        for (nx, ny) in [(8usize, 8usize), (16, 32), (64, 16), (1, 8), (8, 1)] {
+            let plan = Fft2Plan::new(nx, ny).unwrap();
+            let sig = rand_signal(nx * ny, (nx * 100 + ny) as u64);
+            let mut colbuf = vec![Complex64::ZERO; nx];
+            let mut seq = sig.clone();
+            plan.forward_with(&mut seq, &mut colbuf);
+            for exec in [&Blocks(1) as &dyn RowExecutor, &Blocks(3), &Blocks(64)] {
+                let mut par = sig.clone();
+                let mut tbuf = vec![Complex64::ZERO; nx * ny];
+                plan.forward_par(&mut par, &mut tbuf, exec);
+                assert_eq!(par, seq, "forward {nx}x{ny} width={}", exec.width());
+                plan.inverse_par(&mut par, &mut tbuf, exec);
+                let mut undo = seq.clone();
+                plan.inverse_with(&mut undo, &mut colbuf);
+                assert_eq!(par, undo, "inverse {nx}x{ny} width={}", exec.width());
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_pass_order_is_reversed_composition() {
+        // Column-inverse then row-inverse must bit-exactly undo each pass
+        // applied manually in the forward order.
+        let (nx, ny) = (8usize, 16usize);
+        let plan = Fft2Plan::new(nx, ny).unwrap();
+        let sig = rand_signal(nx * ny, 77);
+        let mut d = sig.clone();
+        plan.forward(&mut d);
+        // Manually undo: columns first (gather/scatter), then rows.
+        let mut col = vec![Complex64::ZERO; nx];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                col[ix] = d[ix * ny + iy];
+            }
+            plan.col_plan().inverse(&mut col);
+            for ix in 0..nx {
+                d[ix * ny + iy] = col[ix];
+            }
+        }
+        for r in d.chunks_exact_mut(ny) {
+            plan.row_plan().inverse(r);
+        }
+        let mut via_plan = sig.clone();
+        plan.forward(&mut via_plan);
+        plan.inverse(&mut via_plan);
+        assert_eq!(d, via_plan);
     }
 
     #[test]

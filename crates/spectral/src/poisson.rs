@@ -14,8 +14,26 @@
 //! globally neutral, and PIC codes enforce this by subtracting the uniform
 //! ion background — dropping the zero mode is exactly that subtraction.
 
-use crate::fft::Fft2Plan;
+use crate::fft::{Fft2Plan, RowExecutor};
 use crate::{Complex64, SpectralError};
+
+/// The signed angular wavenumbers of an `n`-point periodic axis of extent
+/// `l`: `2π · s(i) / l` with `s(i) = i` for `i ≤ n/2` and `i − n` above —
+/// the frequency convention of every solver in this crate, exposed so
+/// distributed solvers scale spectral coefficients with bit-identical
+/// values.
+pub fn wavenumbers(n: usize, l: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let s = if i <= n / 2 {
+                i as f64
+            } else {
+                i as f64 - n as f64
+            };
+            2.0 * std::f64::consts::PI * s / l
+        })
+        .collect()
+}
 
 /// Reusable buffers for [`PoissonSolver2D::solve_e_with`]: the spectral
 /// workspaces that [`PoissonSolver2D::solve_e`] allocates on every call.
@@ -26,6 +44,9 @@ pub struct SolveScratch {
     hx: Vec<Complex64>,
     hy: Vec<Complex64>,
     colbuf: Vec<Complex64>,
+    /// Transpose buffer for the pool-parallel transform passes
+    /// ([`PoissonSolver2D::solve_e_pooled`]); grown lazily like the rest.
+    tbuf: Vec<Complex64>,
 }
 
 impl SolveScratch {
@@ -42,6 +63,12 @@ impl SolveScratch {
         }
         if self.colbuf.len() < nx {
             self.colbuf.resize(nx, Complex64::ZERO);
+        }
+    }
+
+    fn ensure_tbuf(&mut self, n: usize) {
+        if self.tbuf.len() < n {
+            self.tbuf.resize(n, Complex64::ZERO);
         }
     }
 }
@@ -73,16 +100,8 @@ impl PoissonSolver2D {
             return Err(SpectralError::BadExtent { extent: ly });
         }
         let plan = Fft2Plan::new(nx, ny)?;
-        let freq = |i: usize, n: usize, l: f64| -> f64 {
-            let s = if i <= n / 2 {
-                i as f64
-            } else {
-                i as f64 - n as f64
-            };
-            2.0 * std::f64::consts::PI * s / l
-        };
-        let kx = (0..nx).map(|i| freq(i, nx, lx)).collect();
-        let ky = (0..ny).map(|i| freq(i, ny, ly)).collect();
+        let kx = wavenumbers(nx, lx);
+        let ky = wavenumbers(ny, ly);
         Ok(Self {
             nx,
             ny,
@@ -107,6 +126,16 @@ impl PoissonSolver2D {
     /// Physical extent along y.
     pub fn ly(&self) -> f64 {
         self.ly
+    }
+
+    /// Signed wavenumbers along x (`kx[ix] = 2π·s(ix)/Lx`).
+    pub fn kx(&self) -> &[f64] {
+        &self.kx
+    }
+
+    /// Signed wavenumbers along y.
+    pub fn ky(&self) -> &[f64] {
+        &self.ky
     }
 
     /// Solve for the potential: given `rho` (row-major, `rho[ix*ny + iy]`),
@@ -173,6 +202,58 @@ impl PoissonSolver2D {
             *h = Complex64::from_re(r);
         }
         self.plan.forward_with(hat, colbuf);
+        self.scale_spectral(hat, hx, hy);
+        self.plan.inverse_with(hx, colbuf);
+        self.plan.inverse_with(hy, colbuf);
+        for i in 0..n {
+            ex[i] = hx[i].re;
+            ey[i] = hy[i].re;
+        }
+    }
+
+    /// [`solve_e_with`](Self::solve_e_with) with the transform passes run
+    /// on `exec` (a thread pool in the simulation hot path): row batches
+    /// striped across workers, column passes on contiguous rows of a tiled
+    /// transpose. Bit-exact with the sequential path — every 1-D transform
+    /// and every spectral scale performs the identical operation sequence —
+    /// and allocation-free once `scratch` has grown to the grid size.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from `nx * ny`.
+    pub fn solve_e_pooled(
+        &self,
+        rho: &[f64],
+        ex: &mut [f64],
+        ey: &mut [f64],
+        scratch: &mut SolveScratch,
+        exec: &dyn RowExecutor,
+    ) {
+        let n = self.nx * self.ny;
+        assert_eq!(rho.len(), n);
+        assert_eq!(ex.len(), n);
+        assert_eq!(ey.len(), n);
+        scratch.ensure(n, self.nx);
+        scratch.ensure_tbuf(n);
+        let hat = &mut scratch.hat[..n];
+        let hx = &mut scratch.hx[..n];
+        let hy = &mut scratch.hy[..n];
+        let tbuf = &mut scratch.tbuf[..n];
+        for (h, &r) in hat.iter_mut().zip(rho) {
+            *h = Complex64::from_re(r);
+        }
+        self.plan.forward_par(hat, tbuf, exec);
+        self.scale_spectral(hat, hx, hy);
+        self.plan.inverse_par(hx, tbuf, exec);
+        self.plan.inverse_par(hy, tbuf, exec);
+        for i in 0..n {
+            ex[i] = hx[i].re;
+            ey[i] = hy[i].re;
+        }
+    }
+
+    /// The per-mode scale `Ê = −ik ρ̂ / |k|²` (zero mode projected out),
+    /// shared by every solve path so they stay bit-identical.
+    fn scale_spectral(&self, hat: &[Complex64], hx: &mut [Complex64], hy: &mut [Complex64]) {
         for ix in 0..self.nx {
             for iy in 0..self.ny {
                 let kx = self.kx[ix];
@@ -189,12 +270,6 @@ impl PoissonSolver2D {
                     hy[idx] = Complex64::ZERO;
                 }
             }
-        }
-        self.plan.inverse_with(hx, colbuf);
-        self.plan.inverse_with(hy, colbuf);
-        for i in 0..n {
-            ex[i] = hx[i].re;
-            ey[i] = hy[i].re;
         }
     }
 
@@ -322,6 +397,35 @@ mod tests {
         let ey = vec![0.0; n * n];
         let e = s.field_energy(&ex, &ey);
         assert!((e - PI * PI).abs() < 1e-8, "energy {e}");
+    }
+
+    #[test]
+    fn pooled_solve_bit_exact_with_sequential() {
+        use crate::fft::SerialExec;
+        for (nx, ny) in [(16usize, 16usize), (32, 16), (8, 64)] {
+            let s = PoissonSolver2D::new(nx, ny, 2.0 * PI, 4.0 * PI).unwrap();
+            let rho = grid_fn(nx, ny, 2.0 * PI, 4.0 * PI, |x, y| {
+                (x).cos() * (0.5 * y).sin() + 0.25 * (2.0 * x).sin()
+            });
+            let n = nx * ny;
+            let (mut ex_s, mut ey_s) = (vec![0.0; n], vec![0.0; n]);
+            let mut scratch = SolveScratch::new();
+            s.solve_e_with(&rho, &mut ex_s, &mut ey_s, &mut scratch);
+            let (mut ex_p, mut ey_p) = (vec![0.0; n], vec![0.0; n]);
+            s.solve_e_pooled(&rho, &mut ex_p, &mut ey_p, &mut scratch, &SerialExec);
+            for i in 0..n {
+                assert_eq!(ex_s[i].to_bits(), ex_p[i].to_bits(), "ex {nx}x{ny} i={i}");
+                assert_eq!(ey_s[i].to_bits(), ey_p[i].to_bits(), "ey {nx}x{ny} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wavenumber_convention_matches_solver() {
+        let s = PoissonSolver2D::new(8, 16, 1.0, 3.0).unwrap();
+        assert_eq!(s.kx(), wavenumbers(8, 1.0).as_slice());
+        assert_eq!(s.ky(), wavenumbers(16, 3.0).as_slice());
+        assert!(wavenumbers(8, 1.0)[5] < 0.0, "upper half is negative");
     }
 
     #[test]

@@ -34,4 +34,11 @@ cargo run --release -q -p pic-bench --bin perf_smoke || {
 echo "==> scaling gate (replication vs decomposition comm volume)"
 cargo run --release -q -p pic-bench --bin bench_scaling
 
+echo "==> solver gate (serial vs pool-parallel vs slab-distributed solve)"
+# Wall-clock gates on a shared box jitter; retry once like perf_smoke.
+cargo run --release -q -p pic-bench --bin bench_solver || {
+    echo "solver gate failed once; retrying"
+    cargo run --release -q -p pic-bench --bin bench_solver
+}
+
 echo "All checks passed."
