@@ -22,11 +22,23 @@
 //!   transport events.
 //! * **a2a kill** — a rank dies between all-to-all rounds mid-solve;
 //!   every rank's `SlabSolver::solve` must surface an error, never hang.
+//! * **chaos rejoin** — the elastic runner's full recovery loop: a rank is
+//!   killed mid-run, the group shrinks, a waiting spare is voted in,
+//!   adopts the dead rank's slot, and the run replays through its
+//!   scheduled re-cuts — final per-slot state must be bit-exact against
+//!   the fault-free run of the same schedule.
+//! * **chaos degrade** — repeated kills with no spares drive a 4-rank slab
+//!   run down the degradation ladder (slab → root-gather below the floor →
+//!   replicated at one survivor) with every transition ledgered and the
+//!   full particle population conserved exactly.
 //!
 //! Any mismatch or failed recovery exits nonzero, so check.sh can gate on
 //! it. Seeds are fixed: the scenarios are deterministic, not sampled.
 
-use decomp::{DecompConfig, DecomposedSimulation, SlabSolver};
+use decomp::{
+    run_elastic_member, run_elastic_spare, DecompConfig, DecomposedSimulation, ElasticConfig,
+    ElasticOutcome, SlabSolver, SolverMode,
+};
 use minimpi::{Comm, FaultPlan, TransportEventKind, World};
 use pic_core::faultlog::FaultKind;
 use pic_core::pool::chunk_range;
@@ -351,6 +363,162 @@ fn check_a2a_kill() -> Result<(), PicError> {
     Ok(())
 }
 
+const CHAOS_STEPS: u64 = 8;
+
+fn chaos_ecfg(recut_every: u64, slab_floor: usize) -> ElasticConfig {
+    ElasticConfig {
+        checkpoint_every: 2,
+        recut_every,
+        slab_floor,
+        max_recoveries: 6,
+        heartbeat_timeout: None,
+        recv_deadline: Some(Duration::from_secs(5)),
+        join_deadline: Duration::from_secs(30),
+        admit_attempts: 100,
+    }
+}
+
+fn chaos_world(spares: usize, plan: Option<FaultPlan>) -> Vec<ElasticOutcome> {
+    World::run_elastic(4, spares, plan, move |comm| {
+        let e = chaos_ecfg(3, 2);
+        let d = DecompConfig::default();
+        if comm.is_member() {
+            run_elastic_member(comm, decomp_cfg(), d, &e, CHAOS_STEPS).unwrap()
+        } else {
+            run_elastic_spare(comm, decomp_cfg(), d, &e, CHAOS_STEPS).unwrap()
+        }
+    })
+}
+
+fn check_chaos_rejoin() -> Result<(), PicError> {
+    let base = chaos_world(0, None);
+    // Kill rank 2 mid-run; world rank 4 waits as a spare.
+    let plan = FaultPlan::new(0xE1A5).kill_rank(2, 40);
+    let outs = chaos_world(1, Some(plan));
+    if outs[2].survivor {
+        return Err(PicError::Diverged(
+            "chaos rejoin: rank 2 should have died".into(),
+        ));
+    }
+    if !outs[4].joined || outs[4].slot != Some(2) {
+        return Err(PicError::Diverged(format!(
+            "chaos rejoin: spare not admitted into the dead slot (joined={}, slot={:?})",
+            outs[4].joined, outs[4].slot
+        )));
+    }
+    for slot in 0..4usize {
+        let b = base
+            .iter()
+            .find(|o| o.slot == Some(slot))
+            .expect("baseline hosts every slot");
+        let f = outs
+            .iter()
+            .find(|o| o.slot == Some(slot))
+            .ok_or_else(|| PicError::Diverged(format!("chaos rejoin: slot {slot} unhosted")))?;
+        if b.particles != f.particles
+            || b.owned_points != f.owned_points
+            || b.rho_owned != f.rho_owned
+            || b.ex_owned != f.ex_owned
+            || b.ey_owned != f.ey_owned
+        {
+            return Err(PicError::Diverged(format!(
+                "chaos rejoin: slot {slot} diverged from the fault-free run"
+            )));
+        }
+    }
+    let mut log = pic_core::faultlog::FaultLog::new();
+    for o in &outs {
+        log.merge(o.log.clone());
+    }
+    if !log.has_sequence(&[
+        FaultKind::Kill,
+        FaultKind::Shrink,
+        FaultKind::Join,
+        FaultKind::Rollback,
+        FaultKind::Recut,
+    ]) {
+        return Err(PicError::Diverged(
+            "chaos rejoin: kill → shrink → join → rollback → recut not ledgered".into(),
+        ));
+    }
+    println!("  chaos rejoin: kill → shrink → rejoin → recut, 4 slots bit-exact");
+    Ok(())
+}
+
+fn check_chaos_degrade() -> Result<(), PicError> {
+    // Staggered kills, each landing after the previous recovery completed,
+    // driving 4 → 3 → 2 → 1 with a slab floor of 3.
+    // Op counts are tuned to this config's schedule: each kill lands in
+    // the replay window after the previous recovery's re-checkpoint.
+    let plan = FaultPlan::new(0xDE64)
+        .kill_rank(1, 40)
+        .kill_rank(2, 80)
+        .kill_rank(3, 108);
+    let outs = World::run_elastic(4, 0, Some(plan), move |comm| {
+        // No spares to admit: a single admission poll per recovery keeps
+        // the op schedule deterministic against the kill plan above.
+        let e = ElasticConfig {
+            join_deadline: Duration::from_secs(1),
+            admit_attempts: 1,
+            ..chaos_ecfg(0, 3)
+        };
+        let d = DecompConfig {
+            solver: SolverMode::Slab,
+            ..DecompConfig::default()
+        };
+        run_elastic_member(comm, decomp_cfg(), d, &e, CHAOS_STEPS).unwrap()
+    });
+    let survivors: Vec<&ElasticOutcome> = outs.iter().filter(|o| o.survivor).collect();
+    if survivors.len() != 1 {
+        return Err(PicError::Diverged(format!(
+            "chaos degrade: expected 1 survivor, got {}",
+            survivors.len()
+        )));
+    }
+    let last = survivors[0];
+    if last.steps != CHAOS_STEPS
+        || last.nslots != 1
+        || last.mode != Some(SolverMode::RootGather)
+        || last.particles.len() != N
+    {
+        return Err(PicError::Diverged(format!(
+            "chaos degrade: survivor state wrong (steps={}, nslots={}, mode={:?}, particles={})",
+            last.steps,
+            last.nslots,
+            last.mode,
+            last.particles.len()
+        )));
+    }
+    let mut log = pic_core::faultlog::FaultLog::new();
+    for o in &outs {
+        log.merge(o.log.clone());
+    }
+    // Below-floor downgrade (ledgered by both survivors of that recovery)
+    // plus the replicated fallback (sole survivor): three Degrade events.
+    if log.count(FaultKind::Degrade) != 3
+        || !log.has_sequence(&[
+            FaultKind::Kill,
+            FaultKind::Shrink,
+            FaultKind::Recut,
+            FaultKind::Kill,
+            FaultKind::Shrink,
+            FaultKind::Degrade,
+            FaultKind::Kill,
+            FaultKind::Shrink,
+            FaultKind::Degrade,
+        ])
+    {
+        return Err(PicError::Diverged(
+            "chaos degrade: degradation ladder not fully ledgered".into(),
+        ));
+    }
+    println!(
+        "  chaos degrade: slab → root-gather → replicated, {} particles conserved",
+        last.particles.len()
+    );
+    Ok(())
+}
+
 fn main() -> std::process::ExitCode {
     pic_bench::exit_on_error(run)
 }
@@ -364,6 +532,8 @@ fn run() -> Result<(), PicError> {
     check_p2p_kill()?;
     check_a2a_drop_corrupt()?;
     check_a2a_kill()?;
+    check_chaos_rejoin()?;
+    check_chaos_degrade()?;
     println!("fault matrix: all scenarios recovered bit-exact");
     Ok(())
 }

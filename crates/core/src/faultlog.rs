@@ -28,6 +28,13 @@ pub enum FaultKind {
     Detect,
     /// The communicator group was rebuilt without the failed ranks.
     Shrink,
+    /// A spare rank was admitted into the communicator group.
+    Join,
+    /// The live partition was re-cut from a fresh particle histogram.
+    Recut,
+    /// The driver downgraded its operating mode to survive lost capacity
+    /// (solver fallback, or decomposed → replicated at one rank).
+    Degrade,
     /// A rank rolled its simulation state back to the last checkpoint.
     Rollback,
     /// A coordinated checkpoint was taken.
@@ -49,6 +56,9 @@ impl FaultKind {
             FaultKind::Kill => "kill",
             FaultKind::Detect => "detect",
             FaultKind::Shrink => "shrink",
+            FaultKind::Join => "join",
+            FaultKind::Recut => "recut",
+            FaultKind::Degrade => "degrade",
             FaultKind::Rollback => "rollback",
             FaultKind::Checkpoint => "checkpoint",
             FaultKind::Restore => "restore",
@@ -112,6 +122,7 @@ impl FaultLog {
                 TransportEventKind::Kill => FaultKind::Kill,
                 TransportEventKind::Detect => FaultKind::Detect,
                 TransportEventKind::Shrink => FaultKind::Shrink,
+                TransportEventKind::Join => FaultKind::Join,
             };
             let detail = match e.peer {
                 Some(p) => format!("peer {p}, tag {:#x}: {}", e.tag, e.detail),

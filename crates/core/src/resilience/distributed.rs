@@ -114,8 +114,11 @@ fn comm_err(ctx: &str, e: CommError) -> PicError {
 }
 
 /// Pack checkpoint snapshots into an f64 payload:
-/// `[count, (id, nbytes, ceil(nbytes/8) packed words)…]`.
-fn pack_snaps(snaps: &[(usize, Vec<u8>)]) -> Vec<f64> {
+/// `[count, (id, nbytes, ceil(nbytes/8) packed words)…]` — the transport
+/// form buddy checkpoint copies travel in. Public because every runner
+/// that replicates snapshots over `minimpi` (this one, the decomposition
+/// layer's elastic runner) needs the same byte ↔ f64 framing.
+pub fn pack_snaps(snaps: &[(usize, Vec<u8>)]) -> Vec<f64> {
     let total: usize = snaps.iter().map(|(_, b)| 2 + b.len().div_ceil(8)).sum();
     let mut out = Vec::with_capacity(1 + total);
     out.push(snaps.len() as f64);
@@ -136,7 +139,8 @@ fn pack_snaps(snaps: &[(usize, Vec<u8>)]) -> Vec<f64> {
     out
 }
 
-fn unpack_snaps(payload: &[f64]) -> Vec<(usize, Vec<u8>)> {
+/// Inverse of [`pack_snaps`].
+pub fn unpack_snaps(payload: &[f64]) -> Vec<(usize, Vec<u8>)> {
     let count = payload[0] as usize;
     let mut out = Vec::with_capacity(count);
     let mut off = 1;

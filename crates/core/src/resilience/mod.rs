@@ -28,5 +28,7 @@ pub mod distributed;
 pub mod watchdog;
 
 pub use checkpoint::{decode, encode, SimState, FORMAT_VERSION};
-pub use distributed::{run_resilient_distributed, DistConfig, DistOutcome};
+pub use distributed::{
+    pack_snaps, run_resilient_distributed, unpack_snaps, DistConfig, DistOutcome,
+};
 pub use watchdog::{check_invariants, run_resilient, ResilientReport, WatchdogConfig};

@@ -718,6 +718,30 @@ impl Simulation {
         self.charge_ref
     }
 
+    /// Re-declare the spatial slice this simulation owns
+    /// ([`PicConfig::keep_cells`]), without touching live state.
+    ///
+    /// `keep_cells` only filters the *initial* population; afterwards it
+    /// identifies the subdomain in the checkpoint fingerprint, so snapshots
+    /// can never restore into a simulation owning different cells. A live
+    /// re-partition legitimately changes the owned range: the driver
+    /// migrates the particles itself, then calls this so the fingerprint
+    /// follows the new cut — adopting a snapshot taken under a given range
+    /// likewise requires declaring that range first. `None` declares full
+    /// ownership (the replicated fallback at one rank).
+    pub fn set_keep_cells(&mut self, range: Option<(u32, u32)>) -> Result<(), PicError> {
+        if let Some((lo, hi)) = range {
+            let ncells = self.layout.as_dyn().ncells() as u32;
+            if lo >= hi || hi > ncells {
+                return Err(PicError::Config(format!(
+                    "keep_cells {lo}..{hi} out of bounds for {ncells} cells"
+                )));
+            }
+        }
+        self.cfg.keep_cells = range;
+        Ok(())
+    }
+
     // ---------------- checkpoint / restart ----------------
 
     /// Capture the complete restorable state as a versioned, checksummed

@@ -1,24 +1,34 @@
 //! The decomposed step loop: deposit → migrate-send → halo → solve →
 //! migrate-drain, with particle migration latency hidden behind the solve.
 
-use crate::{exchange_rho, halo::HaloPlan, slab::SlabSolver, DecompError, Partition};
+use crate::halo::{self, HaloPlan};
+use crate::{exchange_rho_routed, slab::SlabSolver, DecompError, Partition};
 use minimpi::Comm;
-use pic_core::faultlog::FaultLog;
+use pic_core::faultlog::{FaultKind, FaultLog};
 use pic_core::grid::Grid2D;
 use pic_core::particles::{self, ParticlesSoA};
+use pic_core::resilience::checkpoint as ckpt;
 use pic_core::rng::Rng;
 use pic_core::sim::{ParticleLayout, PicConfig, Simulation};
 use pic_core::PicError;
 use spectral::poisson::{PoissonSolver2D, SolveScratch};
+use std::ops::Range;
 use std::time::Instant;
 
 /// Tag namespace for decomposition traffic: far above the step-indexed user
 /// tags of the replication path (≤ ~2⁴⁰ + small), far below minimpi's
-/// control namespaces (2⁴⁵⁺). Each step burns [`TAGS_PER_STEP`] tags.
+/// control namespaces (2⁴⁴⁺). Each step burns [`TAGS_PER_STEP`] tags.
 const TAG_BASE: u64 = 1 << 42;
-/// Tags consumed per step (halo, gather, scatter, migrate, and four
-/// all-to-all rounds of the slab solve).
-const TAGS_PER_STEP: u64 = 8;
+/// Tags consumed per step: halo, gather, scatter, migrate, four
+/// all-to-all rounds of the slab solve, and three re-partition rounds
+/// (histogram, particle exchange, field handoff).
+const TAGS_PER_STEP: u64 = 16;
+/// Point-to-point frames carry raw tags (minimpi epoch-qualifies only its
+/// collectives), so the driver folds the communicator epoch into its tag
+/// block itself: after a shrink/join bumps the epoch, replayed steps reuse
+/// step numbers but never tag-match stale pre-failure frames. Epoch 0 —
+/// every non-elastic run — leaves the tags untouched.
+const EPOCH_TAG_SHIFT: u64 = 36;
 /// Tag of the one-time initialization allreduce.
 const INIT_TAG: u64 = TAG_BASE - 16;
 
@@ -121,6 +131,15 @@ impl CommStats {
 /// Collective in construction and in [`step`](Self::step): every rank of
 /// the communicator must call them in lockstep with identical
 /// configurations.
+/// # Slots
+///
+/// The partition is indexed by *slot*, not world rank: slot `s` is the
+/// `s`-th contiguous curve range, and [`slot_owner`](Self::slot_owner)
+/// maps it to the world rank currently hosting it (a bijection with the
+/// live communicator group). In a plain world the map is the identity and
+/// the distinction disappears; after a death + rejoin, the replacement
+/// rank adopts the dead rank's slot, so partition geometry, halo plans,
+/// and tag schedules survive membership churn unchanged.
 pub struct DecomposedSimulation {
     sim: Simulation,
     partition: Partition,
@@ -131,11 +150,23 @@ pub struct DecomposedSimulation {
     stats: CommStats,
     faults: FaultLog,
     backend: SolverBackend,
-    /// `owned_points` of every rank (solver routing needs them; cheap
+    /// `owned_points` of every slot (solver routing needs them; cheap
     /// enough to keep everywhere).
     all_owned_points: Vec<Vec<usize>>,
-    /// `e_points` of every rank.
+    /// `e_points` of every slot.
     all_e_points: Vec<Vec<usize>>,
+    /// The physics configuration (with this rank's `keep_cells` applied) —
+    /// kept so re-partitions and backend rebuilds can re-derive grid
+    /// parameters and fingerprints.
+    cfg: PicConfig,
+    dcfg: DecompConfig,
+    /// The solver mode currently in force (may differ from `dcfg.solver`
+    /// after a graceful degradation).
+    mode: SolverMode,
+    /// The partition slot this rank hosts.
+    my_slot: usize,
+    /// Slot → hosting world rank (bijection with the live group).
+    slot_owner: Vec<usize>,
 }
 
 /// Per-rank field-solver state, by mode.
@@ -177,8 +208,15 @@ impl DecomposedSimulation {
         if dcfg.halo_width == 0 {
             return Err(DecompError::Config("halo_width must be at least 1".into()));
         }
-        let (rank, nranks) = (comm.rank(), comm.size());
-        let root = comm.group()[0];
+        let rank = comm.rank();
+        // One slot per live group member; in a fresh world the group is
+        // `0..nranks` and slots coincide with ranks.
+        let slot_owner: Vec<usize> = comm.group().to_vec();
+        let nranks = slot_owner.len();
+        let my_slot = slot_owner
+            .iter()
+            .position(|&r| r == rank)
+            .expect("calling rank is a group member");
 
         let partition = if dcfg.weighted {
             // Re-sample the (deterministic) initial population once to
@@ -202,15 +240,15 @@ impl DecomposedSimulation {
             Partition::new(cfg.ordering, cfg.grid_nx, cfg.grid_ny, nranks)?
         };
 
-        let range = partition.range(rank);
+        let range = partition.range(my_slot);
         cfg.keep_cells = Some((range.start as u32, range.end as u32));
 
-        let plan = HaloPlan::build(&partition, rank, dcfg.halo_width);
+        let plan = HaloPlan::build(&partition, my_slot, dcfg.halo_width);
         let all_owned_points: Vec<Vec<usize>> = (0..nranks)
-            .map(|r| HaloPlan::build(&partition, r, dcfg.halo_width).owned_points)
+            .map(|s| HaloPlan::build(&partition, s, dcfg.halo_width).owned_points)
             .collect();
         let all_e_points: Vec<Vec<usize>> = (0..nranks)
-            .map(|r| HaloPlan::build(&partition, r, dcfg.halo_width).e_points)
+            .map(|s| HaloPlan::build(&partition, s, dcfg.halo_width).e_points)
             .collect();
 
         let mut comm_err = None;
@@ -223,22 +261,157 @@ impl DecomposedSimulation {
             return Err(e.into());
         }
 
-        let backend = match dcfg.solver {
-            SolverMode::Slab => SolverBackend::Slab(SlabSolver::new(
-                cfg.grid_nx,
-                cfg.grid_ny,
-                cfg.lx,
-                cfg.ly,
-                rank,
-                nranks,
-                &all_owned_points,
-                &all_e_points,
-            )?),
-            SolverMode::RootGather => SolverBackend::Root(if rank == root {
-                let n = cfg.grid_nx * cfg.grid_ny;
+        let mut this = Self {
+            sim,
+            partition,
+            plan,
+            rank,
+            root: comm.group()[0],
+            step: 0,
+            stats: CommStats::default(),
+            faults: FaultLog::new(),
+            backend: SolverBackend::Root(None),
+            all_owned_points,
+            all_e_points,
+            cfg,
+            dcfg,
+            mode: dcfg.solver,
+            my_slot,
+            slot_owner,
+        };
+        this.build_backend(comm)?;
+        Ok(this)
+    }
+
+    /// Build a driver on a *joining* rank by adopting partition state the
+    /// incumbent group already agreed on: explicit `ranges` (the cuts in
+    /// force at the rollback step), the resolved `slot_owner` table (which
+    /// names this rank for exactly one slot), and the adopted slot's buddy
+    /// `snapshot`. No collective participates — the incumbents restore
+    /// their own snapshots concurrently — so the joiner slots into the
+    /// step/tag schedule exactly where the group rolled back to.
+    ///
+    /// `cfg` must be the run's original physics configuration (same
+    /// `keep_cells`-free form every rank passed to [`new`](Self::new));
+    /// `dcfg.solver` must name the mode currently in force.
+    pub fn new_adopted(
+        mut cfg: PicConfig,
+        dcfg: DecompConfig,
+        comm: &mut Comm,
+        ranges: Vec<Range<usize>>,
+        slot_owner: Vec<usize>,
+        snapshot: &[u8],
+    ) -> Result<Self, DecompError> {
+        if cfg.particle_layout != ParticleLayout::Soa {
+            return Err(DecompError::Config(
+                "decomposed runs require the SoA particle layout".into(),
+            ));
+        }
+        if cfg.keep_range.is_some() || cfg.keep_cells.is_some() {
+            return Err(DecompError::Config(
+                "keep_range/keep_cells are owned by the decomposition driver".into(),
+            ));
+        }
+        if dcfg.halo_width == 0 {
+            return Err(DecompError::Config("halo_width must be at least 1".into()));
+        }
+        let rank = comm.rank();
+        let partition = Partition::from_ranges(cfg.ordering, cfg.grid_nx, cfg.grid_ny, ranges)?;
+        if slot_owner.len() != partition.nranks() {
+            return Err(DecompError::Config(format!(
+                "{} slot owners for {} slots",
+                slot_owner.len(),
+                partition.nranks()
+            )));
+        }
+        let my_slot = slot_owner
+            .iter()
+            .position(|&r| r == rank)
+            .ok_or_else(|| DecompError::Config(format!("rank {rank} hosts no slot")))?;
+
+        // Full-domain init without communication: the snapshot replaces
+        // every field of this state, the construction only sizes buffers
+        // and builds kernels deterministically.
+        let sim = Simulation::new_with_reduce(cfg.clone(), |_| {})?;
+        let plan = HaloPlan::build(&partition, my_slot, dcfg.halo_width);
+        let all_owned_points: Vec<Vec<usize>> = (0..partition.nranks())
+            .map(|s| HaloPlan::build(&partition, s, dcfg.halo_width).owned_points)
+            .collect();
+        let all_e_points: Vec<Vec<usize>> = (0..partition.nranks())
+            .map(|s| HaloPlan::build(&partition, s, dcfg.halo_width).e_points)
+            .collect();
+        let range = partition.range(my_slot);
+        cfg.keep_cells = Some((range.start as u32, range.end as u32));
+
+        let mut this = Self {
+            sim,
+            partition,
+            plan,
+            rank,
+            root: comm.group()[0],
+            step: 0,
+            stats: CommStats::default(),
+            faults: FaultLog::new(),
+            backend: SolverBackend::Root(None),
+            all_owned_points,
+            all_e_points,
+            cfg,
+            dcfg,
+            mode: dcfg.solver,
+            my_slot,
+            slot_owner,
+        };
+        this.sim
+            .set_keep_cells(Some((range.start as u32, range.end as u32)))?;
+        this.build_backend(comm)?;
+        this.sim.restore(snapshot)?;
+        this.step = this.sim.steps() as u64;
+        Ok(this)
+    }
+
+    /// Rebuild the field-solver backend for the current partition, slot
+    /// map, and mode. Slab indices follow the *group order* of the hosting
+    /// ranks; every slab value is computed by identical arithmetic
+    /// wherever it is hosted (row FFTs are per-row, transposes are pure
+    /// permutations), so the solved E is bitwise independent of hosting.
+    fn build_backend(&mut self, comm: &Comm) -> Result<(), DecompError> {
+        let group = comm.group();
+        self.root = group[0];
+        self.backend = match self.mode {
+            SolverMode::Slab => {
+                let me = group
+                    .iter()
+                    .position(|&r| r == self.rank)
+                    .expect("member of own group");
+                let owned: Vec<Vec<usize>> = group
+                    .iter()
+                    .map(|&r| self.all_owned_points[self.slot_of(r)].clone())
+                    .collect();
+                let epts: Vec<Vec<usize>> = group
+                    .iter()
+                    .map(|&r| self.all_e_points[self.slot_of(r)].clone())
+                    .collect();
+                SolverBackend::Slab(SlabSolver::new(
+                    self.cfg.grid_nx,
+                    self.cfg.grid_ny,
+                    self.cfg.lx,
+                    self.cfg.ly,
+                    me,
+                    group.len(),
+                    &owned,
+                    &epts,
+                )?)
+            }
+            SolverMode::RootGather => SolverBackend::Root(if self.rank == self.root {
+                let n = self.cfg.grid_nx * self.cfg.grid_ny;
                 Some(RootSolver {
-                    solver: PoissonSolver2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)
-                        .map_err(PicError::from)?,
+                    solver: PoissonSolver2D::new(
+                        self.cfg.grid_nx,
+                        self.cfg.grid_ny,
+                        self.cfg.lx,
+                        self.cfg.ly,
+                    )
+                    .map_err(PicError::from)?,
                     scratch: SolveScratch::new(),
                     rho: vec![0.0; n],
                     ex: vec![0.0; n],
@@ -248,20 +421,21 @@ impl DecomposedSimulation {
                 None
             }),
         };
+        Ok(())
+    }
 
-        Ok(Self {
-            sim,
-            partition,
-            plan,
-            rank,
-            root,
-            step: 0,
-            stats: CommStats::default(),
-            faults: FaultLog::new(),
-            backend,
-            all_owned_points,
-            all_e_points,
-        })
+    /// The slot hosted by world rank `r`.
+    fn slot_of(&self, r: usize) -> usize {
+        self.slot_owner
+            .iter()
+            .position(|&o| o == r)
+            .expect("rank hosts a slot")
+    }
+
+    /// First tag of this step's block, with the communicator epoch folded
+    /// in (see [`EPOCH_TAG_SHIFT`]).
+    fn tag0(&self, comm: &Comm) -> u64 {
+        TAG_BASE + (comm.epoch() << EPOCH_TAG_SHIFT) + TAGS_PER_STEP * self.step
     }
 
     /// Advance one step on every rank (collective).
@@ -283,7 +457,7 @@ impl DecomposedSimulation {
     /// retry/kill events are folded into [`fault_log`](Self::fault_log).
     pub fn step(&mut self, comm: &mut Comm) -> Result<(), DecompError> {
         self.step += 1;
-        let t0 = TAG_BASE + TAGS_PER_STEP * self.step;
+        let t0 = self.tag0(comm);
         let res = self.step_inner(comm, t0);
         self.faults.ingest_transport(self.step, comm.take_events());
         res
@@ -322,7 +496,7 @@ impl DecomposedSimulation {
             &mut self.stats.migrate_send_secs,
         );
 
-        exchange_rho(comm, &self.plan, self.sim.rho_mut(), t0)?;
+        exchange_rho_routed(comm, &self.plan, self.sim.rho_mut(), t0, &self.slot_owner)?;
         phase(comm, &mut self.stats.halo_bytes, &mut self.stats.halo_secs);
 
         match &mut self.backend {
@@ -348,15 +522,23 @@ impl DecomposedSimulation {
                 match gathered {
                     Some(parts) => {
                         let rs = solver.as_mut().expect("gather root solves");
-                        for (vals, pts) in parts.iter().zip(&self.all_owned_points) {
-                            for (&v, &p) in vals.iter().zip(pts) {
+                        // Gathered parts arrive in group order; map each
+                        // back to the slot its sender hosts.
+                        let group = comm.group().to_vec();
+                        for (g, vals) in parts.iter().enumerate() {
+                            let slot = self
+                                .slot_owner
+                                .iter()
+                                .position(|&o| o == group[g])
+                                .expect("group member hosts a slot");
+                            for (&v, &p) in vals.iter().zip(&self.all_owned_points[slot]) {
                                 rs.rho[p] = v;
                             }
                         }
                         rs.solver
                             .solve_e_with(&rs.rho, &mut rs.ex, &mut rs.ey, &mut rs.scratch);
-                        for (r, pts) in self.all_e_points.iter().enumerate() {
-                            if r == self.rank {
+                        for (s, pts) in self.all_e_points.iter().enumerate() {
+                            if s == self.my_slot {
                                 continue;
                             }
                             let payload: Vec<f64> = pts
@@ -364,7 +546,7 @@ impl DecomposedSimulation {
                                 .map(|&p| rs.ex[p])
                                 .chain(pts.iter().map(|&p| rs.ey[p]))
                                 .collect();
-                            comm.try_send(r, t0 + 2, &payload)?;
+                            comm.try_send(self.slot_owner[s], t0 + 2, &payload)?;
                         }
                         let (ex, ey) = self.sim.e_field_mut();
                         for &p in &self.plan.e_points {
@@ -373,7 +555,7 @@ impl DecomposedSimulation {
                         }
                     }
                     None => {
-                        let data = comm.try_recv(self.root, t0 + 2)?;
+                        let data = comm.try_recv_group(self.root, t0 + 2)?;
                         let n = self.plan.e_points.len();
                         if data.len() != 2 * n {
                             return Err(DecompError::Config(format!(
@@ -407,12 +589,13 @@ impl DecomposedSimulation {
         Ok(())
     }
 
-    /// Route particles whose cell left the subdomain to the owning rank:
-    /// classify, post one send per halo neighbor (possibly empty, so no
-    /// receive can dangle), and compact the stayers. The matching receives
-    /// happen in [`migrate_drain`](Self::migrate_drain) after the solve;
-    /// stayers keep their relative order and arrivals append in ascending
-    /// sender order — deterministic, and the next counting sort restores
+    /// Route particles whose cell left the subdomain to the owning slot's
+    /// host: classify, post one send per halo neighbor (possibly empty, so
+    /// no receive can dangle), and compact the stayers. The matching
+    /// receives happen in [`migrate_drain`](Self::migrate_drain) after the
+    /// solve; stayers keep their relative order and arrivals append in
+    /// ascending sender-*slot* order — deterministic and independent of
+    /// which rank hosts which slot, and the next counting sort restores
     /// cell order.
     fn migrate_send(&mut self, comm: &mut Comm, tag: u64) -> Result<(), DecompError> {
         let p = self.sim.particles_mut();
@@ -421,9 +604,9 @@ impl DecomposedSimulation {
         let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); self.plan.neighbors.len()];
         for (i, keep) in stay.iter_mut().enumerate() {
             let owner = self.partition.owner(p.icell[i] as usize);
-            if owner != self.rank {
+            if owner != self.my_slot {
                 // The leakage check bounds strays to the write region, so
-                // the owner is always a halo neighbor.
+                // the owning slot is always a halo neighbor.
                 let j = self
                     .plan
                     .neighbors
@@ -447,7 +630,7 @@ impl DecomposedSimulation {
                     p.vy[i],
                 ]);
             }
-            comm.try_send(peer, tag, &payload)?;
+            comm.try_send(self.slot_owner[peer], tag, &payload)?;
             self.stats.migrated_out += outgoing[j].len() as u64;
         }
 
@@ -461,8 +644,9 @@ impl DecomposedSimulation {
     /// (Self::migrate_send) — by now the payloads have crossed during the
     /// solve, so this is normally a stash lookup, not a wait.
     fn migrate_drain(&mut self, comm: &mut Comm, tag: u64) -> Result<(), DecompError> {
-        for &peer in &self.plan.neighbors {
-            let data = comm.try_recv(peer, tag)?;
+        for &peer_slot in &self.plan.neighbors {
+            let peer = self.slot_owner[peer_slot];
+            let data = comm.try_recv_group(peer, tag)?;
             if data.len() % F_PER_P != 0 {
                 return Err(DecompError::Config(format!(
                     "migration payload from rank {peer}: {} values not a \
@@ -506,7 +690,373 @@ impl DecomposedSimulation {
     /// snapshot (collective: every rank must restore a snapshot of the same
     /// step so the tag sequence stays aligned).
     pub fn restore(&mut self, snapshot: &[u8]) -> Result<(), DecompError> {
-        self.sim.restore(snapshot).map_err(DecompError::Pic)
+        self.sim.restore(snapshot).map_err(DecompError::Pic)?;
+        self.step = self.sim.steps() as u64;
+        Ok(())
+    }
+
+    // ------------------------------------------------------- elasticity
+
+    /// Live re-partition (collective): histogram the current particle
+    /// population per cell (an allreduce of exact integer counts, so every
+    /// rank computes bit-identical weights in any summation order), re-cut
+    /// the curve, and migrate only what the new cuts displace — particles
+    /// whose cell changed owner, plus a pointwise field handoff so the new
+    /// owner of every point inherits the old owner's (canonical) ρ/E
+    /// values. Slot hosting is unchanged, so a run that re-cuts on a fixed
+    /// schedule stays bit-exact against any same-schedule run of the same
+    /// trajectory, whatever its fault history.
+    pub fn recut(&mut self, comm: &mut Comm) -> Result<(), DecompError> {
+        let hosts = self.slot_owner.clone();
+        let my_slot = self.my_slot;
+        self.recut_to(comm, hosts.clone(), hosts, my_slot)
+    }
+
+    /// Generalized re-partition: re-cut to `new_hosts.len()` slots, with
+    /// `old_hosts[s]` naming the world rank holding slot `s`'s *current*
+    /// state (differs from the hosting map only during shrink recovery,
+    /// where a dead slot's state was injected into its buddy) and
+    /// `new_hosts` the hosting map afterwards (a bijection with the live
+    /// group). `new_my_slot` is this rank's position in `new_hosts`.
+    pub fn recut_to(
+        &mut self,
+        comm: &mut Comm,
+        old_hosts: Vec<usize>,
+        new_hosts: Vec<usize>,
+        new_my_slot: usize,
+    ) -> Result<(), DecompError> {
+        let group = comm.group().to_vec();
+        let new_nslots = new_hosts.len();
+        if new_nslots != group.len() {
+            return Err(DecompError::Config(format!(
+                "{new_nslots} slots for a {}-rank group",
+                group.len()
+            )));
+        }
+        if old_hosts.len() != self.partition.nranks() {
+            return Err(DecompError::Config(format!(
+                "{} old hosts for {} slots",
+                old_hosts.len(),
+                self.partition.nranks()
+            )));
+        }
+        if new_hosts.get(new_my_slot) != Some(&self.rank) {
+            return Err(DecompError::Config(format!(
+                "rank {} does not host new slot {new_my_slot}",
+                self.rank
+            )));
+        }
+        let rt = self.tag0(comm) + TAGS_PER_STEP + 8;
+        let ncells = self.partition.ncells();
+
+        // 1. Global per-cell histogram: sums of exact small integers are
+        //    order-independent in f64, so every rank derives the same cuts.
+        let mut w = vec![0.0f64; ncells];
+        for &c in &self.sim.particles().icell {
+            w[c as usize] += 1.0;
+        }
+        comm.try_allreduce_sum_tree(&mut w, rt)?;
+        let new_part = self.partition.recut_weighted(&w, new_nslots)?;
+
+        // Group index hosting each new slot.
+        let g_of_new: Vec<usize> = new_hosts
+            .iter()
+            .map(|&h| {
+                group
+                    .iter()
+                    .position(|&r| r == h)
+                    .ok_or_else(|| DecompError::Config(format!("new host {h} not in group")))
+            })
+            .collect::<Result<_, _>>()?;
+
+        // 2. Ship particles to their new owner slot (all-slots exchange:
+        //    a re-cut can move cells past halo distance).
+        {
+            let p = self.sim.particles_mut();
+            let mut stay = vec![true; p.len()];
+            let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); group.len()];
+            for (i, keep) in stay.iter_mut().enumerate() {
+                let s = new_part.owner(p.icell[i] as usize);
+                if s != new_my_slot {
+                    blocks[g_of_new[s]].extend_from_slice(&[
+                        f64::from(p.icell[i]),
+                        f64::from(p.ix[i]),
+                        f64::from(p.iy[i]),
+                        p.dx[i],
+                        p.dy[i],
+                        p.vx[i],
+                        p.vy[i],
+                    ]);
+                    *keep = false;
+                }
+            }
+            let moved = blocks.iter().map(|b| b.len() / F_PER_P).sum::<usize>();
+            if moved > 0 {
+                compact(p, &stay);
+            }
+            self.stats.migrated_out += moved as u64;
+            let parts = comm.try_all_to_all(&blocks, rt + 1)?;
+            // Append arrivals in ascending sender-*slot* order, so the
+            // particle array is independent of slot → rank hosting.
+            let mut order: Vec<usize> = (0..new_nslots).collect();
+            order.retain(|&s| s != new_my_slot);
+            let p = self.sim.particles_mut();
+            for s in order {
+                let data = &parts[g_of_new[s]];
+                if data.len() % F_PER_P != 0 {
+                    return Err(DecompError::Config(format!(
+                        "re-cut particle payload from slot {s}: {} values not a \
+                         multiple of {F_PER_P}",
+                        data.len()
+                    )));
+                }
+                for q in data.chunks_exact(F_PER_P) {
+                    p.icell.push(q[0] as u32);
+                    p.ix.push(q[1] as u32);
+                    p.iy.push(q[2] as u32);
+                    p.dx.push(q[3]);
+                    p.dy.push(q[4]);
+                    p.vx.push(q[5]);
+                    p.vy.push(q[6]);
+                }
+                self.stats.migrated_in += (data.len() / F_PER_P) as u64;
+            }
+        }
+
+        // 3. Field handoff: for every grid point, the owner of its cell
+        //    under the *old* partition is the canonical holder (ρ summed
+        //    at owned points by the halo exchange, E delivered at
+        //    e_points ⊇ owned points). Each rank sends E at the new
+        //    owners' e-points and ρ at their owned points, restricted to
+        //    the old slots whose state it holds; both endpoints derive
+        //    identical ascending point lists, so no index traffic and the
+        //    writes are disjoint. Pointwise copies — no arithmetic — so
+        //    the handoff cannot perturb the trajectory.
+        let old_po = halo::point_owner_map(&self.partition);
+        let new_po = halo::point_owner_map(&new_part);
+        let new_e_masks: Vec<Vec<bool>> = (0..new_nslots)
+            .map(|s| halo::corner_point_mask(&new_part, &halo::mask_of_range(&new_part, s)))
+            .collect();
+        {
+            let (rho, ex, ey) = self.sim.field_mut();
+            let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); group.len()];
+            for s in 0..new_nslots {
+                let blk = &mut blocks[g_of_new[s]];
+                for p in 0..ncells {
+                    if new_e_masks[s][p] && old_hosts[old_po[p]] == self.rank {
+                        blk.push(ex[p]);
+                        blk.push(ey[p]);
+                    }
+                }
+                for p in 0..ncells {
+                    if new_po[p] == s && old_hosts[old_po[p]] == self.rank {
+                        blk.push(rho[p]);
+                    }
+                }
+            }
+            let parts = comm.try_all_to_all(&blocks, rt + 2)?;
+            let (rho, ex, ey) = self.sim.field_mut();
+            for (g, data) in parts.iter().enumerate() {
+                let from_g = |p: usize| old_hosts[old_po[p]] == group[g];
+                let ne = (0..ncells)
+                    .filter(|&p| new_e_masks[new_my_slot][p] && from_g(p))
+                    .count();
+                let nr = (0..ncells)
+                    .filter(|&p| new_po[p] == new_my_slot && from_g(p))
+                    .count();
+                if data.len() != 2 * ne + nr {
+                    return Err(DecompError::Config(format!(
+                        "field handoff from group member {g}: {} values for \
+                         {ne} E points + {nr} ρ points",
+                        data.len()
+                    )));
+                }
+                let mut it = data.iter();
+                for p in (0..ncells).filter(|&p| new_e_masks[new_my_slot][p] && from_g(p)) {
+                    ex[p] = *it.next().expect("E payload sized above");
+                    ey[p] = *it.next().expect("E payload sized above");
+                }
+                for p in (0..ncells).filter(|&p| new_po[p] == new_my_slot && from_g(p)) {
+                    rho[p] = *it.next().expect("rho payload sized above");
+                }
+            }
+        }
+        // 4. Adopt the new partition and rebuild plans + backend.
+        self.apply_partition(comm, new_part, new_hosts, new_my_slot)?;
+        self.faults.record(
+            self.step,
+            self.rank,
+            comm.op_count(),
+            FaultKind::Recut,
+            format!(
+                "{new_nslots} slot(s), slot {new_my_slot} owns {:?}, {} local particle(s)",
+                self.partition.range(new_my_slot),
+                self.sim.particles().len()
+            ),
+        );
+        Ok(())
+    }
+
+    /// Install a partition + hosting map: update `keep_cells` (and the
+    /// checkpoint fingerprint with it), rebuild the halo plans and the
+    /// solver backend. Purely local.
+    fn apply_partition(
+        &mut self,
+        comm: &Comm,
+        part: Partition,
+        slot_owner: Vec<usize>,
+        my_slot: usize,
+    ) -> Result<(), DecompError> {
+        let range = part.range(my_slot);
+        let keep = (range.start as u32, range.end as u32);
+        self.sim.set_keep_cells(Some(keep))?;
+        self.cfg.keep_cells = Some(keep);
+        self.plan = HaloPlan::build(&part, my_slot, self.dcfg.halo_width);
+        self.all_owned_points = (0..part.nranks())
+            .map(|s| HaloPlan::build(&part, s, self.dcfg.halo_width).owned_points)
+            .collect();
+        self.all_e_points = (0..part.nranks())
+            .map(|s| HaloPlan::build(&part, s, self.dcfg.halo_width).e_points)
+            .collect();
+        self.partition = part;
+        self.slot_owner = slot_owner;
+        self.my_slot = my_slot;
+        self.build_backend(comm)
+    }
+
+    /// Re-resolve the slot → rank hosting map against the current group
+    /// (same partition): how incumbents absorb a membership change —
+    /// a joiner adopting a dead rank's slot — without moving any data.
+    /// Rebuilds plans and backend against the (possibly rolled-back)
+    /// partition.
+    pub fn reconfigure_hosts(
+        &mut self,
+        comm: &Comm,
+        slot_owner: Vec<usize>,
+    ) -> Result<(), DecompError> {
+        if slot_owner.len() != self.partition.nranks() {
+            return Err(DecompError::Config(format!(
+                "{} slot owners for {} slots",
+                slot_owner.len(),
+                self.partition.nranks()
+            )));
+        }
+        let my_slot = slot_owner
+            .iter()
+            .position(|&r| r == self.rank)
+            .ok_or_else(|| DecompError::Config(format!("rank {} hosts no slot", self.rank)))?;
+        let part = Partition::from_ranges(
+            self.partition.ordering(),
+            self.partition.layout().ncx(),
+            self.partition.layout().ncy(),
+            self.partition.ranges().to_vec(),
+        )?;
+        self.apply_partition(comm, part, slot_owner, my_slot)
+    }
+
+    /// Roll this rank back for recovery: re-adopt the partition that was
+    /// in force at the checkpoint (`ranges`, this rank at `my_slot`) and
+    /// restore the snapshot into it. Leaves the hosting map and solver
+    /// backend *stale* — the caller must follow with
+    /// [`reconfigure_hosts`](Self::reconfigure_hosts) or
+    /// [`recut_to`](Self::recut_to) before stepping; splitting the two is
+    /// what lets shrink recovery inject a dead slot's state in between.
+    pub fn stage_rollback(
+        &mut self,
+        ranges: Vec<Range<usize>>,
+        my_slot: usize,
+        snapshot: &[u8],
+    ) -> Result<(), DecompError> {
+        let part = Partition::from_ranges(
+            self.partition.ordering(),
+            self.partition.layout().ncx(),
+            self.partition.layout().ncy(),
+            ranges,
+        )?;
+        if my_slot >= part.nranks() {
+            return Err(DecompError::Config(format!(
+                "slot {my_slot} out of range for {} slots",
+                part.nranks()
+            )));
+        }
+        let range = part.range(my_slot);
+        let keep = (range.start as u32, range.end as u32);
+        self.sim.set_keep_cells(Some(keep))?;
+        self.cfg.keep_cells = Some(keep);
+        self.partition = part;
+        self.my_slot = my_slot;
+        self.sim.restore(snapshot)?;
+        self.step = self.sim.steps() as u64;
+        Ok(())
+    }
+
+    /// Inject a dead slot's decoded snapshot into this rank (its buddy):
+    /// append the particles (a following [`recut_to`](Self::recut_to)
+    /// redistributes them before any leakage check can see them) and adopt
+    /// the snapshot's ρ/E values at the dead slot's owned points, making
+    /// this rank the canonical holder of that state for the handoff.
+    pub fn inject_snapshot(&mut self, slot: usize, snapshot: &[u8]) -> Result<(), DecompError> {
+        let st = ckpt::decode(snapshot)?;
+        let po = halo::point_owner_map(&self.partition);
+        {
+            let (rho, ex, ey) = self.sim.field_mut();
+            for p in 0..po.len() {
+                if po[p] == slot {
+                    rho[p] = st.rho[p];
+                    ex[p] = st.ex[p];
+                    ey[p] = st.ey[p];
+                }
+            }
+        }
+        let n = st.particles.len();
+        let p = self.sim.particles_mut();
+        p.icell.extend_from_slice(&st.particles.icell);
+        p.ix.extend_from_slice(&st.particles.ix);
+        p.iy.extend_from_slice(&st.particles.iy);
+        p.dx.extend_from_slice(&st.particles.dx);
+        p.dy.extend_from_slice(&st.particles.dy);
+        p.vx.extend_from_slice(&st.particles.vx);
+        p.vy.extend_from_slice(&st.particles.vy);
+        self.faults.record(
+            self.step,
+            self.rank,
+            0,
+            FaultKind::Restore,
+            format!("injected {n} particle(s) of orphaned slot {slot}"),
+        );
+        Ok(())
+    }
+
+    /// Switch the field-solve distribution strategy in place (graceful
+    /// degradation and recovery). Checkpoints are portable across the
+    /// switch: the config fingerprint never covered solver parallelism.
+    pub fn set_solver_mode(&mut self, comm: &Comm, mode: SolverMode) -> Result<(), DecompError> {
+        if mode != self.mode {
+            self.mode = mode;
+            self.build_backend(comm)?;
+        }
+        Ok(())
+    }
+
+    /// The solver mode currently in force (tracks degradations, unlike
+    /// the configured [`DecompConfig::solver`]).
+    pub fn solver_mode(&self) -> SolverMode {
+        self.mode
+    }
+
+    /// The partition slot this rank hosts.
+    pub fn my_slot(&self) -> usize {
+        self.my_slot
+    }
+
+    /// Slot → hosting world rank (bijection with the live group).
+    pub fn slot_owner(&self) -> &[usize] {
+        &self.slot_owner
+    }
+
+    /// The simulation step counter (completed steps).
+    pub fn steps(&self) -> u64 {
+        self.step
     }
 
     /// The underlying local simulation. Its ρ/E arrays hold *global*
@@ -542,9 +1092,9 @@ impl DecomposedSimulation {
         self.sim.particles().len()
     }
 
-    /// Cells owned by this rank.
+    /// Cells owned by this rank's slot.
     pub fn local_cells(&self) -> usize {
-        self.partition.range(self.rank).len()
+        self.partition.range(self.my_slot).len()
     }
 
     /// Persistent bytes this rank dedicates to field-solver grid state:

@@ -66,7 +66,7 @@ fn write_cell_mask(part: &Partition, r: usize, h: usize) -> Vec<bool> {
 
 /// Mask over grid points touched by depositing in the masked cells: the
 /// union of every masked cell's four corner points.
-fn corner_point_mask(part: &Partition, cells: &[bool]) -> Vec<bool> {
+pub(crate) fn corner_point_mask(part: &Partition, cells: &[bool]) -> Vec<bool> {
     let layout = part.layout();
     let (ncx, ncy) = (layout.ncx(), layout.ncy());
     let mut pts = vec![false; ncx * ncy];
@@ -84,12 +84,26 @@ fn corner_point_mask(part: &Partition, cells: &[bool]) -> Vec<bool> {
     pts
 }
 
-fn mask_of_range(part: &Partition, r: usize) -> Vec<bool> {
+pub(crate) fn mask_of_range(part: &Partition, r: usize) -> Vec<bool> {
     let mut m = vec![false; part.ncells()];
     for c in part.range(r) {
         m[c] = true;
     }
     m
+}
+
+/// Owner part of every grid point (row-major `ix * ncy + iy` index): the
+/// owner of the 1:1 cell with the same coordinates. Shared by the plan
+/// builder and the live re-partition's field handoff.
+pub(crate) fn point_owner_map(part: &Partition) -> Vec<usize> {
+    let layout = part.layout();
+    let ncy = layout.ncy();
+    let mut po = vec![0usize; part.ncells()];
+    for c in 0..part.ncells() {
+        let (ix, iy) = layout.decode(c);
+        po[ix * ncy + iy] = part.owner(c);
+    }
+    po
 }
 
 impl HaloPlan {
@@ -98,15 +112,8 @@ impl HaloPlan {
     /// send list toward B equals B's recv list from A, in the same point
     /// order), so the exchange needs no handshake.
     pub fn build(part: &Partition, rank: usize, halo_width: usize) -> Self {
-        let layout = part.layout();
-        let ncy = layout.ncy();
-
         // Owner of each point = owner of the 1:1 cell.
-        let mut point_owner = vec![0usize; part.ncells()];
-        for c in 0..part.ncells() {
-            let (ix, iy) = layout.decode(c);
-            point_owner[ix * ncy + iy] = part.owner(c);
-        }
+        let point_owner = point_owner_map(part);
 
         let write_cells = write_cell_mask(part, rank, halo_width);
         let my_write_pts = corner_point_mask(part, &write_cells);
@@ -179,15 +186,41 @@ pub fn exchange_rho(
     rho: &mut [f64],
     tag: u64,
 ) -> Result<(), DecompError> {
+    exchange_rho_impl(comm, plan, rho, tag, None)
+}
+
+/// [`exchange_rho`] with a *slot routing table*: the plan's peer indices
+/// are partition slots, and the frame for slot `s` travels to world rank
+/// `route[s]`. This is how the elastic driver keeps one halo plan valid
+/// across rank deaths and rejoins — the plan (pure partition geometry)
+/// survives; only the slot → rank table changes.
+pub fn exchange_rho_routed(
+    comm: &mut Comm,
+    plan: &HaloPlan,
+    rho: &mut [f64],
+    tag: u64,
+    route: &[usize],
+) -> Result<(), DecompError> {
+    exchange_rho_impl(comm, plan, rho, tag, Some(route))
+}
+
+fn exchange_rho_impl(
+    comm: &mut Comm,
+    plan: &HaloPlan,
+    rho: &mut [f64],
+    tag: u64,
+    route: Option<&[usize]>,
+) -> Result<(), DecompError> {
+    let dst = |slot: usize| route.map_or(slot, |r| r[slot]);
     for (peer, pts) in &plan.send {
         let payload: Vec<f64> = pts.iter().map(|&p| rho[p]).collect();
-        comm.try_send(*peer, tag, &payload)?;
+        comm.try_send(dst(*peer), tag, &payload)?;
     }
     for (peer, pts) in &plan.recv {
-        let data = comm.try_recv(*peer, tag)?;
+        let data = comm.try_recv_group(dst(*peer), tag)?;
         if data.len() != pts.len() {
             return Err(DecompError::Config(format!(
-                "halo payload from rank {peer}: {} values for {} points",
+                "halo payload from slot {peer}: {} values for {} points",
                 data.len(),
                 pts.len()
             )));

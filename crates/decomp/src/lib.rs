@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod driver;
+pub mod elastic;
 mod halo;
 mod partition;
 mod slab;
 
 pub use driver::{CommStats, DecompConfig, DecomposedSimulation, SolverMode};
-pub use halo::{exchange_rho, HaloPlan};
+pub use elastic::{run_elastic_member, run_elastic_spare, ElasticConfig, ElasticOutcome};
+pub use halo::{exchange_rho, exchange_rho_routed, HaloPlan};
 pub use partition::{particle_cell_weights, Partition};
 pub use slab::SlabSolver;
 

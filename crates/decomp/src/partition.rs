@@ -72,6 +72,60 @@ impl Partition {
         })
     }
 
+    /// Re-cut the same grid and ordering from a fresh weight histogram —
+    /// the live re-partition primitive. `weights.len()` must equal the
+    /// cell count; `nparts` may differ from the current rank count (a
+    /// shrink or join changes the live group size). The returned partition
+    /// shares nothing with `self` beyond the layout parameters, so the
+    /// caller can diff old vs new ownership cell by cell to derive an
+    /// incremental migration.
+    pub fn recut_weighted(&self, weights: &[f64], nparts: usize) -> Result<Self, DecompError> {
+        Self::new_weighted(
+            self.ordering,
+            self.layout.ncx(),
+            self.layout.ncy(),
+            nparts,
+            weights,
+        )
+    }
+
+    /// Rebuild a partition from explicit ranges — how a joining rank adopts
+    /// the cuts the incumbent group already agreed on, without re-deriving
+    /// them from a histogram it never saw. The ranges must be a contiguous,
+    /// non-empty, exhaustive tiling of `[0, ncells)`.
+    pub fn from_ranges(
+        ordering: Ordering,
+        ncx: usize,
+        ncy: usize,
+        ranges: Vec<Range<usize>>,
+    ) -> Result<Self, DecompError> {
+        let layout = Self::checked_layout(ordering, ncx, ncy)?;
+        let ncells = layout.ncells();
+        if ranges.is_empty() {
+            return Err(DecompError::Config("empty range list".into()));
+        }
+        let mut expect = 0usize;
+        for r in &ranges {
+            if r.start != expect || r.is_empty() {
+                return Err(DecompError::Config(format!(
+                    "ranges must tile [0, {ncells}) contiguously and non-empty; \
+                     got {r:?} where {expect} was expected"
+                )));
+            }
+            expect = r.end;
+        }
+        if expect != ncells {
+            return Err(DecompError::Config(format!(
+                "ranges end at {expect}, grid has {ncells} cells"
+            )));
+        }
+        Ok(Self {
+            ordering,
+            layout,
+            ranges,
+        })
+    }
+
     fn checked_layout(
         ordering: Ordering,
         ncx: usize,
@@ -198,6 +252,57 @@ mod tests {
             assert!((l - 1000.0).abs() < 150.0, "unbalanced loads {loads:?}");
         }
         assert!(p.range(0).len() < p.range(3).len());
+    }
+
+    #[test]
+    fn recut_tracks_shifted_weight_and_changes_rank_count() {
+        let ncells = 16 * 16;
+        let p = Partition::new(Ordering::Hilbert, 16, 16, 4).unwrap();
+        // All particles drift into the high-index half of the curve.
+        let icell: Vec<u32> = (0..3000u32)
+            .map(|i| ncells as u32 / 2 + i % (ncells as u32 / 2))
+            .collect();
+        let w = particle_cell_weights(&icell, ncells);
+        let q = p.recut_weighted(&w, 3).unwrap();
+        assert_eq!(q.nranks(), 3);
+        assert_eq!(q.ordering(), p.ordering());
+        assert_eq!(q.ncells(), p.ncells());
+        let loads: Vec<f64> = (0..3)
+            .map(|r| q.range(r).map(|c| w[c]).sum::<f64>())
+            .collect();
+        for &l in &loads {
+            assert!(
+                (l - 1000.0).abs() < 200.0,
+                "unbalanced recut loads {loads:?}"
+            );
+        }
+        // The empty half must not bloat one rank: the cut follows the mass.
+        assert!(q.range(0).len() > q.range(2).len());
+    }
+
+    #[test]
+    // The single-element vecs below really are one-range tilings, not a
+    // mistyped `vec![elem; len]`.
+    #[allow(clippy::single_range_in_vec_init)]
+    fn from_ranges_adopts_and_validates_tiling() {
+        let p = Partition::new(Ordering::Morton, 8, 8, 3).unwrap();
+        let q = Partition::from_ranges(Ordering::Morton, 8, 8, p.ranges().to_vec()).unwrap();
+        assert_eq!(q.ranges(), p.ranges());
+        for bad in [
+            vec![0..10, 12..64], // gap
+            vec![0..40, 30..64], // overlap
+            vec![0..64, 64..64], // empty part
+            vec![0..32],         // short
+            vec![1..64],         // does not start at 0
+        ] {
+            assert!(
+                matches!(
+                    Partition::from_ranges(Ordering::Morton, 8, 8, bad.clone()),
+                    Err(DecompError::Config(_))
+                ),
+                "accepted invalid tiling {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -165,6 +165,25 @@ impl FaultPlan {
     }
 }
 
+/// Scale a timing `base` (a receive deadline, a heartbeat timeout) by how
+/// oversubscribed `nranks` concurrent ranks leave this host's cores.
+///
+/// Every rank of an in-process world is an OS thread; when `nranks` exceeds
+/// the available parallelism, a *live* rank can be starved off-CPU for
+/// whole scheduler quanta mid-collective, and a deadline tuned on an idle
+/// many-core box spuriously expires — misread as a rank failure. The scale
+/// factor is the oversubscription ratio `ceil(nranks / cores)` (never below
+/// 1), so idle multi-core hosts keep the tight `base` while loaded or
+/// single-core boxes get proportionally more slack. Used by the heartbeat
+/// detector and the shrink/recovery tests alike, replacing hand-raised
+/// magic constants.
+pub fn load_scaled_deadline(base: Duration, nranks: usize) -> Duration {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    base * nranks.div_ceil(cores).max(1) as u32
+}
+
 /// Checksum over the raw bit patterns of an `f64` payload — the integrity
 /// check every data frame carries. Bitwise, so `-0.0`, `NaN` payloads, and
 /// denormals all checksum stably.

@@ -87,7 +87,7 @@
 pub mod cost;
 mod fault;
 
-pub use fault::{checksum, FaultPlan};
+pub use fault::{checksum, load_scaled_deadline, FaultPlan};
 
 use fault::Fault;
 use std::collections::{HashSet, VecDeque};
@@ -121,6 +121,9 @@ pub enum TransportEventKind {
     Detect,
     /// The communicator group was shrunk to the surviving ranks.
     Shrink,
+    /// A spare rank was admitted into the communicator group (recorded by
+    /// both the admitting members and the joiner itself).
+    Join,
 }
 
 /// One entry of the transport-level fault ledger, recorded by [`Comm`] as
@@ -262,6 +265,22 @@ enum Frame {
     },
 }
 
+/// The admission board of an elastic world: spares announce themselves as
+/// candidates, the group leader posts tickets once the members vote them
+/// in, and the members close the board when the run ends so unused spares
+/// stop waiting. Purely advisory shared state — the binding agreement is
+/// the epoch-tagged allreduce inside [`Comm::try_admit`].
+#[derive(Default)]
+struct JoinBoard {
+    /// World ranks of spares currently waiting for admission.
+    candidates: Vec<usize>,
+    /// Admission tickets posted by the group leader:
+    /// `(candidate, new group, new epoch)`.
+    tickets: Vec<(usize, Vec<usize>, u64)>,
+    /// No further admissions — posted when the members finish their run.
+    closed: bool,
+}
+
 /// Shared state for one world.
 struct Shared {
     nranks: usize,
@@ -282,6 +301,8 @@ struct Shared {
     heartbeats: Vec<AtomicU64>,
     /// World creation time — the heartbeat clock's origin.
     start: Instant,
+    /// Spare-admission board for elastic worlds ([`World::run_elastic`]).
+    join: Mutex<JoinBoard>,
 }
 
 /// Bounded exponential backoff between retransmissions: 1, 2, 4, 8, 16 ms,
@@ -304,7 +325,7 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
-        Self::run_inner(nranks, None, f).0
+        Self::run_inner(nranks, nranks, None, f).0
     }
 
     /// Like [`World::run`], additionally returning the mean per-rank
@@ -314,7 +335,7 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
-        Self::run_inner(nranks, None, f)
+        Self::run_inner(nranks, nranks, None, f)
     }
 
     /// Run `f` on `nranks` ranks with `plan` injecting message faults into
@@ -330,15 +351,42 @@ impl World {
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
-        Self::run_inner(nranks, Some(Arc::new(plan)), f).0
+        Self::run_inner(nranks, nranks, Some(Arc::new(plan)), f).0
     }
 
-    fn run_inner<T, F>(nranks: usize, faults: Option<Arc<FaultPlan>>, f: F) -> (Vec<T>, f64)
+    /// Run an *elastic* world: `active` member ranks plus `spares` extra
+    /// ranks that start outside the communicator group. Spares call
+    /// [`Comm::try_join`] to announce themselves and wait for admission;
+    /// members admit them with the [`Comm::try_admit`] collective
+    /// (typically after a [`Comm::shrink`] removed a dead rank) and should
+    /// call [`Comm::close_joins`] when they finish so unclaimed spares stop
+    /// waiting. All `active + spares` closures run concurrently and their
+    /// results return in world-rank order. An elastic world always uses the
+    /// message-based fault-aware collectives — the fixed-count shared
+    /// barrier cannot describe a group that grows and shrinks.
+    ///
+    /// # Panics
+    /// Panics if `active == 0`.
+    pub fn run_elastic<T, F>(active: usize, spares: usize, plan: Option<FaultPlan>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        Self::run_inner(active + spares, active, plan.map(Arc::new), f).0
+    }
+
+    fn run_inner<T, F>(
+        nranks: usize,
+        active: usize,
+        faults: Option<Arc<FaultPlan>>,
+        f: F,
+    ) -> (Vec<T>, f64)
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
         assert!(nranks > 0, "need at least one rank");
+        assert!(active > 0 && active <= nranks, "need at least one member");
         let mut senders = Vec::with_capacity(nranks);
         let mut receivers = Vec::with_capacity(nranks);
         for _ in 0..nranks {
@@ -355,6 +403,7 @@ impl World {
             dead: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
             heartbeats: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
             start: Instant::now(),
+            join: Mutex::new(JoinBoard::default()),
         });
 
         let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
@@ -367,7 +416,7 @@ impl World {
                     let faults = faults.clone();
                     let f = &f;
                     s.spawn(move || {
-                        let mut comm = Comm::new(rank, shared, rx, faults);
+                        let mut comm = Comm::new(rank, active, shared, rx, faults);
                         let r = f(&mut comm);
                         comm.shared
                             .comm_nanos
@@ -410,13 +459,26 @@ pub struct Comm {
     ack_timeout: Duration,
     recv_deadline: Duration,
     max_retries: usize,
-    /// World ranks of the current (possibly shrunk) communicator group,
-    /// sorted ascending. Starts as `0..nranks`.
+    /// World ranks of the current (possibly shrunk or grown) communicator
+    /// group, sorted ascending. Starts as `0..active`.
     group: Vec<usize>,
-    /// Communicator epoch, bumped by [`shrink`](Self::shrink) and mixed
-    /// into the high bits of collective tags so stale pre-shrink traffic
-    /// never matches a post-shrink collective.
+    /// Whether this rank belongs to `group`. Always true in non-elastic
+    /// worlds; spares of an elastic world start false and flip true when
+    /// [`try_join`](Self::try_join) hands them an admission ticket.
+    member: bool,
+    /// Whether this world was started by [`World::run_elastic`] — forces
+    /// the message-based collectives even when every spare gets admitted
+    /// and the group momentarily equals the full world.
+    elastic: bool,
+    /// Communicator epoch, bumped by [`shrink`](Self::shrink) and
+    /// [`try_admit`](Self::try_admit), and mixed into the high bits of
+    /// collective tags so stale pre-recovery traffic never matches a
+    /// post-recovery collective.
     epoch: u64,
+    /// Failed-admission attempts within the current epoch — sequences the
+    /// join-agreement tags exactly like `shrink`'s attempt counter. Reset
+    /// on every epoch bump so a fresh joiner agrees with the incumbents.
+    join_seq: u64,
     /// Count of public communication operations — the clock crash faults
     /// ([`FaultPlan::kill_rank`]) key on.
     op_count: u64,
@@ -451,6 +513,8 @@ const EPOCH_SHIFT: u32 = 48;
 const CTL_TAG_BASE: u64 = 1 << 46;
 /// Tag namespace for the shrink agreement protocol.
 const SHRINK_TAG_BASE: u64 = 1 << 45;
+/// Tag namespace for the join (spare admission) agreement protocol.
+const JOIN_TAG_BASE: u64 = 1 << 44;
 /// Tag stride between internally sequenced collectives — larger than any
 /// offset a single collective adds to its base tag.
 const CTL_TAG_STRIDE: u64 = 4096;
@@ -458,6 +522,7 @@ const CTL_TAG_STRIDE: u64 = 4096;
 impl Comm {
     fn new(
         rank: usize,
+        active: usize,
         shared: Arc<Shared>,
         inbox: Receiver<Frame>,
         faults: Option<Arc<FaultPlan>>,
@@ -476,8 +541,11 @@ impl Comm {
             ack_timeout: Duration::from_millis(25),
             recv_deadline: Duration::from_secs(10),
             max_retries: 10,
-            group: (0..nranks).collect(),
+            group: (0..active).collect(),
+            member: rank < active,
+            elastic: active != nranks,
             epoch: 0,
+            join_seq: 0,
             op_count: 0,
             dead_self: false,
             heartbeat_timeout: None,
@@ -576,9 +644,18 @@ impl Comm {
         self.group.len()
     }
 
-    /// Current communicator epoch (bumped by each [`shrink`](Self::shrink)).
+    /// Current communicator epoch (bumped by each [`shrink`](Self::shrink)
+    /// and each successful [`try_admit`](Self::try_admit)).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Whether this rank belongs to the current communicator group. Always
+    /// true in non-elastic worlds; a spare of [`World::run_elastic`] is a
+    /// non-member until [`try_join`](Self::try_join) admits it. Non-members
+    /// must not call group collectives.
+    pub fn is_member(&self) -> bool {
+        self.member
     }
 
     /// Count of public communication operations performed by this rank —
@@ -622,6 +699,7 @@ impl Comm {
     fn watching(&self) -> bool {
         self.faults.is_some()
             || self.heartbeat_timeout.is_some()
+            || self.elastic
             || self.group.len() != self.shared.nranks
     }
 
@@ -638,6 +716,19 @@ impl Comm {
             }
         }
         false
+    }
+
+    /// Scan the current group for a member the failure detector considers
+    /// dead. A point-to-point receive from a *live* peer surfaces a third
+    /// rank's death only as [`CommError::Timeout`] (the detector watches
+    /// the message's source, not the whole group); callers holding such a
+    /// timeout can consult this to distinguish a genuine stall from a peer
+    /// failure that warrants a [`Comm::shrink`].
+    pub fn failed_group_member(&self) -> Option<usize> {
+        self.group
+            .iter()
+            .copied()
+            .find(|&m| m != self.rank && self.peer_failed(m))
     }
 
     /// Build the error for an observed failure of `failed`, recording a
@@ -999,6 +1090,23 @@ impl Comm {
         self.note_op()?;
         let t = Instant::now();
         let res = self.recv_watch(src, tag, None);
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res
+    }
+
+    /// Group-watched point-to-point receive: like [`try_recv`](Self::try_recv),
+    /// but the failure of *any* current group member — not just `src` —
+    /// surfaces as [`CommError::RankFailed`]. Use this for receives inside
+    /// a step whose completion depends on the whole group making progress
+    /// (halo exchanges, scatter legs): a third rank's death then interrupts
+    /// every member within a detector poll instead of costing stragglers a
+    /// full receive deadline, which keeps their entry into
+    /// [`shrink`](Self::shrink) aligned.
+    pub fn try_recv_group(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        self.note_op()?;
+        let group = self.group.clone();
+        let t = Instant::now();
+        let res = self.recv_watch(src, tag, Some(&group));
         self.comm_time_ns += t.elapsed().as_nanos() as u64;
         res
     }
@@ -1635,6 +1743,7 @@ impl Comm {
                     if agreed.iter().all(|&m| suspect[m]) {
                         self.group = tentative;
                         self.epoch += 1;
+                        self.join_seq = 0;
                         self.push_event(
                             TransportEventKind::Shrink,
                             None,
@@ -1672,6 +1781,149 @@ impl Comm {
             }
         }
         Err(last_err.unwrap_or(CommError::Disconnected { rank: self.rank }))
+    }
+
+    // ------------------------------------------------------------ elasticity
+
+    /// Spare side of the join protocol: announce this rank on the world's
+    /// admission board and wait up to `deadline` for the members to vote it
+    /// in via [`try_admit`](Self::try_admit). Returns the adopted group on
+    /// admission, `Ok(None)` when the members closed the board without
+    /// admitting this rank (the run ended), and
+    /// [`CommError::Timeout`] when `deadline` elapses first. A member
+    /// calling `try_join` returns its current group immediately.
+    ///
+    /// On admission this rank adopts the group's epoch, so its collective
+    /// tags line up with the incumbents' from the first post-join exchange.
+    pub fn try_join(&mut self, deadline: Duration) -> Result<Option<Vec<usize>>, CommError> {
+        if self.member {
+            return Ok(Some(self.group.clone()));
+        }
+        self.note_op()?;
+        {
+            let mut board = self.shared.join.lock().expect("join board poisoned");
+            if !board.candidates.contains(&self.rank) {
+                board.candidates.push(self.rank);
+            }
+        }
+        let limit = Instant::now() + deadline;
+        loop {
+            self.beat();
+            {
+                let mut board = self.shared.join.lock().expect("join board poisoned");
+                if let Some(i) = board.tickets.iter().position(|t| t.0 == self.rank) {
+                    let (_, group, epoch) = board.tickets.remove(i);
+                    drop(board);
+                    self.group = group;
+                    self.epoch = epoch;
+                    self.join_seq = 0;
+                    self.member = true;
+                    self.push_event(
+                        TransportEventKind::Join,
+                        None,
+                        0,
+                        format!("joined group {:?}, epoch {}", self.group, self.epoch),
+                    );
+                    return Ok(Some(self.group.clone()));
+                }
+                if board.closed {
+                    board.candidates.retain(|&c| c != self.rank);
+                    return Ok(None);
+                }
+            }
+            if Instant::now() >= limit {
+                self.shared
+                    .join
+                    .lock()
+                    .expect("join board poisoned")
+                    .candidates
+                    .retain(|&c| c != self.rank);
+                return Err(CommError::Timeout {
+                    rank: self.rank,
+                    src: self.rank,
+                    tag: JOIN_TAG_BASE,
+                });
+            }
+            std::thread::sleep(self.detect_poll);
+        }
+    }
+
+    /// Member side of the join protocol: a collective over the current
+    /// group that votes waiting spares in. Every member snapshots the
+    /// admission board (skipping candidates the failure detector already
+    /// considers dead), the per-candidate votes are summed with an
+    /// epoch-qualified allreduce — mirroring [`shrink`](Self::shrink)'s
+    /// agreement — and exactly the unanimously seen candidates are
+    /// admitted: the summed vote count identifies the same set on every
+    /// member, so the new group is consistent without a second round. A
+    /// candidate only some members saw (it announced itself mid-snapshot)
+    /// simply stays on the board for the next `try_admit`.
+    ///
+    /// On success the group grows, the epoch bumps, a
+    /// [`TransportEventKind::Join`] event is ledgered, and the (old) group
+    /// leader posts admission tickets the joiners collect in
+    /// [`try_join`](Self::try_join). Returns the admitted world ranks, or
+    /// `Ok(None)` when no candidate was unanimously visible. Every member
+    /// of the group must call `try_admit` at the same protocol point; after
+    /// an `Err` (e.g. a member died mid-agreement) callers should
+    /// [`shrink`](Self::shrink) and retry.
+    pub fn try_admit(&mut self) -> Result<Option<Vec<usize>>, CommError> {
+        self.note_op()?;
+        let nranks = self.shared.nranks;
+        let group = self.group.clone();
+        let mut votes = vec![0.0; nranks];
+        {
+            let board = self.shared.join.lock().expect("join board poisoned");
+            for &c in &board.candidates {
+                if !group.contains(&c) && !self.peer_failed(c) {
+                    votes[c] = 1.0;
+                }
+            }
+        }
+        let tag = self.etag(JOIN_TAG_BASE + CTL_TAG_STRIDE * self.join_seq);
+        self.join_seq += 1;
+        let t = Instant::now();
+        let res = self.allreduce_tree_over(&group, &mut votes, tag);
+        self.comm_time_ns += t.elapsed().as_nanos() as u64;
+        res?;
+        let admitted: Vec<usize> = (0..nranks)
+            .filter(|&c| votes[c] == group.len() as f64)
+            .collect();
+        if admitted.is_empty() {
+            return Ok(None);
+        }
+        let leader = group[0];
+        let mut new_group = group;
+        new_group.extend_from_slice(&admitted);
+        new_group.sort_unstable();
+        self.group = new_group;
+        self.epoch += 1;
+        self.join_seq = 0;
+        self.push_event(
+            TransportEventKind::Join,
+            Some(admitted[0]),
+            0,
+            format!(
+                "admitted {:?}: group -> {:?}, epoch {}",
+                admitted, self.group, self.epoch
+            ),
+        );
+        if self.rank == leader {
+            let mut board = self.shared.join.lock().expect("join board poisoned");
+            board.candidates.retain(|c| !admitted.contains(c));
+            for &c in &admitted {
+                board.tickets.push((c, self.group.clone(), self.epoch));
+            }
+        }
+        Ok(Some(admitted))
+    }
+
+    /// Close the admission board: spares blocked in
+    /// [`try_join`](Self::try_join) return `Ok(None)` instead of waiting
+    /// out their deadline. Members call this when their run completes;
+    /// idempotent and safe to call from every member.
+    pub fn close_joins(&self) {
+        self.shared.join.lock().expect("join board poisoned").closed = true;
     }
 }
 
@@ -2186,8 +2438,10 @@ mod tests {
             fast_timeouts(comm);
             // Generous deadline: the dead rank is caught by the dead-flag
             // watch, not deadline expiry, and a loaded box can starve a
-            // *live* peer past a short deadline mid-collective.
-            comm.set_recv_deadline(Duration::from_millis(10_000));
+            // *live* peer past a short deadline mid-collective — scale the
+            // base by the host's oversubscription instead of hard-coding
+            // a worst-case constant.
+            comm.set_recv_deadline(load_scaled_deadline(Duration::from_millis(2_500), 4));
             let mut buf = vec![1.0; 4];
             // First collective succeeds (rank 2 dies on its second op).
             if comm.try_allreduce_sum_tree(&mut buf, 50).is_err() {
@@ -2350,5 +2604,139 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(200));
             }
         });
+    }
+
+    #[test]
+    fn load_scaled_deadline_never_shrinks_base() {
+        let base = Duration::from_millis(500);
+        assert!(load_scaled_deadline(base, 1) >= base);
+        assert!(load_scaled_deadline(base, 4) >= base);
+        // Oversubscription can only lengthen the deadline, monotonically.
+        assert!(load_scaled_deadline(base, 1024) >= load_scaled_deadline(base, 4));
+    }
+
+    #[test]
+    fn elastic_world_admits_a_spare() {
+        // 3 members + 1 spare, no faults: the members admit the spare, the
+        // grown group runs a collective, and both sides ledger the Join.
+        let out = World::run_elastic(3, 1, None, |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(load_scaled_deadline(Duration::from_millis(2_500), 4));
+            if !comm.is_member() {
+                let g = comm
+                    .try_join(load_scaled_deadline(Duration::from_secs(5), 4))
+                    .expect("spare join");
+                let Some(group) = g else {
+                    return (vec![], f64::NAN, 0);
+                };
+                let mut v = vec![comm.rank() as f64 + 1.0];
+                comm.try_allreduce_sum_tree(&mut v, 70).unwrap();
+                let joins = comm
+                    .take_events()
+                    .iter()
+                    .filter(|e| e.kind == TransportEventKind::Join)
+                    .count();
+                return (group, v[0], joins);
+            }
+            // Members: give the spare a moment to announce itself, then
+            // admit (retrying while no candidate is visible yet).
+            let mut admitted = None;
+            for _ in 0..500 {
+                match comm.try_admit().expect("admit collective") {
+                    Some(a) => {
+                        admitted = Some(a);
+                        break;
+                    }
+                    None => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            assert_eq!(admitted, Some(vec![3]), "rank {}", comm.rank());
+            let mut v = vec![comm.rank() as f64 + 1.0];
+            comm.try_allreduce_sum_tree(&mut v, 70).unwrap();
+            comm.close_joins();
+            let joins = comm
+                .take_events()
+                .iter()
+                .filter(|e| e.kind == TransportEventKind::Join)
+                .count();
+            (comm.group().to_vec(), v[0], joins)
+        });
+        for (r, (group, sum, joins)) in out.iter().enumerate() {
+            assert_eq!(group, &vec![0, 1, 2, 3], "rank {r} group");
+            assert_eq!(*sum, 1.0 + 2.0 + 3.0 + 4.0, "rank {r} sum");
+            assert_eq!(*joins, 1, "rank {r} must ledger exactly one Join");
+        }
+    }
+
+    #[test]
+    fn unclaimed_spare_exits_when_joins_close() {
+        let out = World::run_elastic(2, 1, None, |comm| {
+            if !comm.is_member() {
+                // The members never admit: the board closing must release
+                // the spare with Ok(None) well before the deadline.
+                return matches!(comm.try_join(Duration::from_secs(30)), Ok(None));
+            }
+            let mut v = vec![1.0];
+            comm.try_allreduce_sum_tree(&mut v, 10).unwrap();
+            comm.close_joins();
+            true
+        });
+        assert!(out.iter().all(|&ok| ok), "{out:?}");
+    }
+
+    #[test]
+    fn shrink_then_admit_replaces_a_dead_rank() {
+        // 3 members + 1 spare; member 1 dies, the survivors shrink and
+        // admit the spare: the group ends as {0, 2, 3} with a working
+        // collective and a fresh epoch qualifying its tags.
+        let plan = FaultPlan::new(77).kill_rank(1, 2);
+        let out = World::run_elastic(3, 1, Some(plan), |comm| {
+            fast_timeouts(comm);
+            comm.set_recv_deadline(load_scaled_deadline(Duration::from_millis(2_500), 4));
+            if !comm.is_member() {
+                match comm.try_join(load_scaled_deadline(Duration::from_secs(10), 4)) {
+                    Ok(Some(group)) => {
+                        let mut v = vec![comm.rank() as f64];
+                        comm.try_allreduce_sum_tree(&mut v, 90).unwrap();
+                        return (group, v[0]);
+                    }
+                    other => panic!("spare expected admission, got {other:?}"),
+                }
+            }
+            let mut v = vec![1.0; 2];
+            if comm.try_allreduce_sum_tree(&mut v, 80).is_err() && comm.rank() == 1 {
+                return (vec![], f64::NAN); // the killed rank exits
+            }
+            let mut v = vec![1.0; 2];
+            match comm.try_allreduce_sum_tree(&mut v, 81) {
+                Err(CommError::RankFailed { rank, failed }) if rank == failed => {
+                    return (vec![], f64::NAN)
+                }
+                Err(CommError::RankFailed { .. }) => {}
+                other => panic!("expected RankFailed, got {other:?}"),
+            }
+            comm.shrink().expect("survivors agree on shrink");
+            let mut admitted = None;
+            for _ in 0..500 {
+                match comm.try_admit().expect("admit collective") {
+                    Some(a) => {
+                        admitted = Some(a);
+                        break;
+                    }
+                    None => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            assert_eq!(admitted, Some(vec![3]));
+            assert!(comm.epoch() >= 2, "shrink + admit each bump the epoch");
+            let mut v = vec![comm.rank() as f64];
+            comm.try_allreduce_sum_tree(&mut v, 90).unwrap();
+            comm.close_joins();
+            (comm.group().to_vec(), v[0])
+        });
+        for r in [0, 2, 3] {
+            assert_eq!(out[r].0, vec![0, 2, 3], "rank {r} group");
+            assert_eq!(out[r].1, 5.0, "rank {r} post-join sum"); // 0 + 2 + 3
+        }
+        assert!(out[1].1.is_nan());
     }
 }

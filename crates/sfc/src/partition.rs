@@ -51,6 +51,15 @@ pub fn cut_uniform(ncells: usize, nparts: usize) -> Vec<Range<usize>> {
 /// [`cut_uniform`]'s balance up to rounding. Negative weights are clamped to
 /// zero — a cell cannot carry negative load.
 ///
+/// Degenerate histograms are handled explicitly: once the remaining weight
+/// is exhausted (all mass concentrated below the current cut, e.g. a
+/// single dominant cell), the leftover zero-weight cells are spread
+/// uniformly over the remaining parts instead of degenerating into
+/// one-cell parts plus one bloated tail — under a live re-partition those
+/// cells will acquire particles and a maximally lopsided cell assignment
+/// would turn directly into imbalance. The result is always an exact
+/// contiguous tiling of `[0, len)` with no empty part.
+///
 /// # Panics
 /// Panics if `nparts == 0` or `nparts > weights.len()`.
 pub fn cut_weighted(weights: &[f64], nparts: usize) -> Vec<Range<usize>> {
@@ -68,6 +77,15 @@ pub fn cut_weighted(weights: &[f64], nparts: usize) -> Vec<Range<usize>> {
     let mut start = 0usize;
     let mut prefix = 0.0f64;
     for k in 1..nparts {
+        if total - prefix <= 0.0 {
+            // Only zero-weight cells remain: tile them uniformly over the
+            // remaining parts (this part included).
+            for r in cut_uniform(ncells - start, nparts - (k - 1)) {
+                out.push(start + r.start..start + r.end);
+            }
+            debug_assert_valid_cut(&out, ncells, nparts);
+            return out;
+        }
         let target = total * k as f64 / nparts as f64;
         let mut end = start;
         // Leave room: parts k..nparts still need one cell each.
@@ -85,7 +103,22 @@ pub fn cut_weighted(weights: &[f64], nparts: usize) -> Vec<Range<usize>> {
         start = end;
     }
     out.push(start..ncells);
+    debug_assert_valid_cut(&out, ncells, nparts);
     out
+}
+
+/// Debug-mode structural check shared by the cut helpers: `nparts`
+/// non-empty ranges tiling `[0, ncells)` contiguously.
+fn debug_assert_valid_cut(ranges: &[Range<usize>], ncells: usize, nparts: usize) {
+    debug_assert_eq!(ranges.len(), nparts, "wrong part count");
+    debug_assert_eq!(ranges[0].start, 0, "tiling must start at 0");
+    debug_assert_eq!(ranges[nparts - 1].end, ncells, "tiling must end at len");
+    for w in ranges.windows(2) {
+        debug_assert_eq!(w[0].end, w[1].start, "gap or overlap at {w:?}");
+    }
+    for r in ranges {
+        debug_assert!(!r.is_empty(), "empty part {r:?}");
+    }
 }
 
 /// The part owning `index` under `ranges` (as produced by the cut helpers:
@@ -150,12 +183,31 @@ mod tests {
 
     #[test]
     fn weighted_survives_concentrated_mass() {
-        // All weight in one cell: every part must still be non-empty.
+        // All weight in one cell: every part must still be non-empty, and
+        // the weightless remainder must tile uniformly instead of piling
+        // into a single bloated tail part.
         let mut w = vec![0.0; 32];
         w[0] = 100.0;
         let ranges = cut_weighted(&w, 8);
         assert_eq!(ranges.len(), 8);
         assert_partition(&ranges, 32);
+        let sizes: Vec<usize> = ranges[1..].iter().map(|r| r.len()).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(hi - lo <= 1, "zero-weight tail must be uniform: {sizes:?}");
+    }
+
+    #[test]
+    fn weighted_single_cell_dominant_stays_tiled() {
+        // One cell carries 99% of the mass mid-sequence: exact tiling, no
+        // empty parts, and the cells after the spike spread near-evenly
+        // (each later part's light load comes from many cells, not one).
+        let mut w = vec![0.01; 64];
+        w[20] = 1000.0;
+        for nparts in [2usize, 4, 8, 16] {
+            let ranges = cut_weighted(&w, nparts);
+            assert_eq!(ranges.len(), nparts);
+            assert_partition(&ranges, 64);
+        }
     }
 
     #[test]

@@ -20,8 +20,11 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> fault matrix (kill/drop/corrupt scenarios, fixed seeds)"
+echo "==> fault matrix (kill/drop/corrupt + elastic chaos scenarios, fixed seeds)"
 cargo run --release -q -p pic-bench --bin fault_matrix
+
+echo "==> elastic gate (weighted re-cut load bound, kill -> rejoin timing)"
+cargo run --release -q -p pic-bench --bin bench_elastic
 
 echo "==> perf smoke (lane-blocked vs scalar kernels)"
 # A shared/loaded box can miss the speedup threshold on an unlucky run;

@@ -1,0 +1,242 @@
+//! Elastic recovery end to end: a rank dies mid-run, a spare is admitted
+//! into its slot, the group rolls back and replays — and the final state
+//! is bit-exact against the fault-free run of the same schedule. With no
+//! spares available, sustained kills degrade the run gracefully (fewer
+//! slots, slab → root-gather below the floor, replicated at one survivor)
+//! while conserving the particle population exactly, with every
+//! transition ledgered.
+
+use pic2d::decomp::{
+    run_elastic_member, run_elastic_spare, DecompConfig, ElasticConfig, ElasticOutcome, SolverMode,
+};
+use pic2d::minimpi::{FaultPlan, World};
+use pic2d::pic_core::faultlog::{FaultKind, FaultLog};
+use pic2d::pic_core::sim::PicConfig;
+use pic2d::sfc::Ordering;
+use std::time::Duration;
+
+const N: usize = 4_000;
+const STEPS: u64 = 8;
+const ACTIVE: usize = 4;
+
+fn cfg(ord: Ordering) -> PicConfig {
+    let mut cfg = PicConfig::landau_table1(N);
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    cfg.ordering = ord;
+    cfg.sort_period = 2;
+    cfg
+}
+
+fn dcfg(mode: SolverMode) -> DecompConfig {
+    DecompConfig {
+        halo_width: 2,
+        weighted: false,
+        solver: mode,
+    }
+}
+
+fn ecfg() -> ElasticConfig {
+    ElasticConfig {
+        checkpoint_every: 2,
+        recut_every: 3, // exercise the scheduled-re-cut replay path
+        slab_floor: 2,
+        max_recoveries: 4,
+        heartbeat_timeout: None,
+        recv_deadline: Some(Duration::from_secs(5)),
+        join_deadline: Duration::from_secs(30),
+        // Each attempt sleeps ~2ms between votes; a wide window tolerates a
+        // spare thread that is slow to register on the admission board.
+        admit_attempts: 100,
+    }
+}
+
+fn run_world(
+    ord: Ordering,
+    mode: SolverMode,
+    spares: usize,
+    plan: Option<FaultPlan>,
+) -> Vec<ElasticOutcome> {
+    World::run_elastic(ACTIVE, spares, plan, move |comm| {
+        let e = ecfg();
+        if comm.is_member() {
+            run_elastic_member(comm, cfg(ord), dcfg(mode), &e, STEPS).unwrap()
+        } else {
+            run_elastic_spare(comm, cfg(ord), dcfg(mode), &e, STEPS).unwrap()
+        }
+    })
+}
+
+fn merged_log(outs: &[ElasticOutcome]) -> FaultLog {
+    let mut log = FaultLog::new();
+    for o in outs {
+        log.merge(o.log.clone());
+    }
+    log
+}
+
+fn by_slot(outs: &[ElasticOutcome], slot: usize) -> &ElasticOutcome {
+    outs.iter()
+        .find(|o| o.slot == Some(slot))
+        .unwrap_or_else(|| panic!("no survivor hosts slot {slot}"))
+}
+
+#[test]
+fn kill_then_rejoin_replays_bit_exact() {
+    for ord in [Ordering::Morton, Ordering::Hilbert] {
+        for mode in [SolverMode::Slab, SolverMode::RootGather] {
+            // Fault-free baseline of the identical schedule (same loop,
+            // same checkpoint and re-cut cadence, no spares needed).
+            let base = run_world(ord, mode, 0, None);
+            assert!(base.iter().all(|o| o.survivor && o.recoveries == 0));
+
+            // Same run, but rank 2 is killed mid-flight and one spare
+            // (world rank 4) waits in the admission queue.
+            let plan = FaultPlan::new(7).kill_rank(2, 40);
+            let outs = run_world(ord, mode, 1, Some(plan));
+
+            let dead = &outs[2];
+            assert!(!dead.survivor, "{ord}/{mode:?}: rank 2 should be dead");
+            let joiner = &outs[4];
+            assert!(
+                joiner.joined && joiner.survivor,
+                "{ord}/{mode:?}: spare was not admitted"
+            );
+            assert_eq!(
+                joiner.slot,
+                Some(2),
+                "{ord}/{mode:?}: joiner should adopt the dead rank's slot"
+            );
+
+            // Every slot's final state — particle arrays in their
+            // deterministic slot order, and ρ/E at the owned points —
+            // must be bitwise identical to the fault-free run's.
+            for slot in 0..ACTIVE {
+                let b = by_slot(&base, slot);
+                let f = by_slot(&outs, slot);
+                assert_eq!(b.steps, STEPS);
+                assert_eq!(f.steps, STEPS);
+                assert_eq!(
+                    b.owned_points, f.owned_points,
+                    "{ord}/{mode:?} slot {slot}: partitions diverged"
+                );
+                assert_eq!(
+                    b.particles, f.particles,
+                    "{ord}/{mode:?} slot {slot}: particle state diverged"
+                );
+                assert_eq!(
+                    b.rho_owned, f.rho_owned,
+                    "{ord}/{mode:?} slot {slot}: rho diverged"
+                );
+                assert_eq!(
+                    b.ex_owned, f.ex_owned,
+                    "{ord}/{mode:?} slot {slot}: Ex diverged"
+                );
+                assert_eq!(
+                    b.ey_owned, f.ey_owned,
+                    "{ord}/{mode:?} slot {slot}: Ey diverged"
+                );
+            }
+
+            // The whole episode is ledgered in causal order.
+            let log = merged_log(&outs);
+            assert!(
+                log.has_sequence(&[
+                    FaultKind::Kill,
+                    FaultKind::Shrink,
+                    FaultKind::Join,
+                    FaultKind::Rollback,
+                ]),
+                "{ord}/{mode:?}: missing kill → shrink → join → rollback sequence"
+            );
+            let survivors: Vec<&ElasticOutcome> = outs
+                .iter()
+                .filter(|o| o.survivor && o.slot.is_some())
+                .collect();
+            assert_eq!(
+                survivors.len(),
+                ACTIVE,
+                "{ord}/{mode:?}: group not restored"
+            );
+            assert!(survivors.iter().all(|o| o.recoveries == 1 || o.joined));
+            // Particle conservation: the slots tile the population.
+            let total: usize = survivors.iter().map(|o| o.particles.len()).sum();
+            assert_eq!(total, N, "{ord}/{mode:?}: particles lost in recovery");
+        }
+    }
+}
+
+#[test]
+fn sustained_kills_degrade_to_replicated() {
+    // No spares: each kill permanently shrinks the group. 4 → 3 keeps the
+    // slab solve (floor 2 with ecfg below), 3 → 2 keeps it too, 2 → 1
+    // degenerates to the replicated single-domain fallback. With the slab
+    // floor at 3 the first drop below it (3 → 2) must also degrade the
+    // solver — so the ladder is slab → root-gather → replicated.
+    let ord = Ordering::Hilbert;
+    let plan = FaultPlan::new(11)
+        .kill_rank(1, 40)
+        .kill_rank(2, 110)
+        .kill_rank(3, 125);
+    let outs = World::run_elastic(ACTIVE, 0, Some(plan), move |comm| {
+        let e = ElasticConfig {
+            checkpoint_every: 2,
+            recut_every: 0,
+            slab_floor: 3,
+            max_recoveries: 6,
+            heartbeat_timeout: None,
+            recv_deadline: Some(Duration::from_secs(5)),
+            join_deadline: Duration::from_secs(1),
+            admit_attempts: 1,
+        };
+        run_elastic_member(comm, cfg(ord), dcfg(SolverMode::Slab), &e, STEPS).unwrap()
+    });
+
+    let survivors: Vec<&ElasticOutcome> = outs.iter().filter(|o| o.survivor).collect();
+    assert_eq!(survivors.len(), 1, "exactly rank 0 should survive");
+    let last = survivors[0];
+    assert_eq!(last.world_rank, 0);
+    assert_eq!(last.steps, STEPS, "run must complete despite the kills");
+    assert_eq!(
+        last.nslots, 1,
+        "final topology is a single replicated domain"
+    );
+    assert_eq!(
+        last.mode,
+        Some(SolverMode::RootGather),
+        "slab solve must have degraded"
+    );
+    assert_eq!(last.recoveries, 3);
+    // No silent particle loss: the lone survivor holds the whole
+    // population, bounced through three rollback + re-cut cycles.
+    assert_eq!(
+        last.particles.len(),
+        N,
+        "particles lost across degradations"
+    );
+
+    let log = merged_log(&outs);
+    // Each shrink re-cuts to the smaller live count, and the drop below
+    // the slab floor is ledgered as a degradation (twice: below-floor and
+    // the final replicated fallback).
+    assert!(
+        log.has_sequence(&[
+            FaultKind::Kill,
+            FaultKind::Shrink,
+            FaultKind::Rollback,
+            FaultKind::Recut,
+            FaultKind::Kill,
+            FaultKind::Shrink,
+            FaultKind::Degrade,
+            FaultKind::Kill,
+            FaultKind::Shrink,
+            FaultKind::Degrade,
+        ]),
+        "degradation ladder not fully ledgered:\n{}",
+        log.to_json()
+    );
+    // Two distinct transitions, recorded per surviving rank: below-floor
+    // (2 survivors) and the replicated fallback (1 survivor).
+    assert_eq!(log.count(FaultKind::Degrade), 3);
+    assert!(log.count(FaultKind::Recut) >= 3, "each shrink must re-cut");
+}

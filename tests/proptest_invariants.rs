@@ -168,6 +168,142 @@ fn weighted_partition_conserves_weight_and_balances() {
     }
 }
 
+#[test]
+fn recut_weighted_tiles_and_bounds_overload() {
+    // Live re-partition on random histograms — including the degenerate
+    // shapes a drifting plasma produces (empty regions, one dominant
+    // cell, all-empty): always a contiguous exact tiling with no empty
+    // rank, and no rank loaded beyond the ideal share plus one cell.
+    use pic2d::decomp::Partition;
+    use pic2d::sfc::Ordering as SfcOrdering;
+    let mut rng = Rng::seed_from_u64(0xe1a5);
+    for case in 0..CASES {
+        let side = 1usize << (rng.below(3) + 3); // 8, 16, 32
+        let ord = match case % 3 {
+            0 => SfcOrdering::RowMajor,
+            1 => SfcOrdering::Morton,
+            _ => SfcOrdering::Hilbert,
+        };
+        let p = Partition::new(ord, side, side, 2).unwrap();
+        let ncells = p.ncells();
+        let weights: Vec<f64> = match case % 5 {
+            // Degenerate: empty histogram (no particles anywhere).
+            0 => vec![0.0; ncells],
+            // Degenerate: one cell holds the whole population.
+            1 => {
+                let mut w = vec![0.0; ncells];
+                w[rng.below(ncells as u64) as usize] = 5000.0;
+                w
+            }
+            // Live: clustered mass over a random sub-range, zeros elsewhere.
+            2 => {
+                let lo = rng.below(ncells as u64 / 2) as usize;
+                let hi = lo + rng.below((ncells - lo) as u64) as usize + 1;
+                (0..ncells)
+                    .map(|c| {
+                        if (lo..hi).contains(&c) {
+                            rng.range(1.0, 40.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            }
+            // Live: arbitrary mixed histogram.
+            _ => (0..ncells)
+                .map(|_| match rng.below(3) {
+                    0 => 0.0,
+                    1 => rng.uniform() * 4.0,
+                    _ => rng.range(1.0, 60.0),
+                })
+                .collect(),
+        };
+        let nparts = rng.below(8) as usize + 1;
+        let q = p.recut_weighted(&weights, nparts).unwrap();
+        let ranges = q.ranges();
+        assert_eq!(ranges.len(), nparts, "case={case}");
+        assert_eq!(ranges[0].start, 0, "case={case}");
+        assert_eq!(ranges[nparts - 1].end, ncells, "case={case}");
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "case={case}: gap/overlap {w:?}");
+        }
+        for r in ranges {
+            assert!(!r.is_empty(), "case={case}: empty rank {r:?}");
+        }
+        // Bounded overload: the greedy cut never overshoots the ideal
+        // share by more than the heaviest single cell.
+        let total: f64 = weights.iter().sum();
+        let wmax = weights.iter().cloned().fold(0.0, f64::max);
+        for (k, r) in ranges.iter().enumerate() {
+            let load: f64 = weights[r.clone()].iter().sum();
+            assert!(
+                load <= total / nparts as f64 + wmax + 1e-9,
+                "case={case}: rank {k} overloaded ({load} of {total})"
+            );
+        }
+    }
+}
+
+#[test]
+fn recut_migrate_recut_conserves_particles_exactly() {
+    // The partition-level shadow of the driver's re-cut → migrate cycle:
+    // assign random particles to owners under a live re-cut, "migrate"
+    // them (each particle claimed by exactly its owner), and re-cut again.
+    // Population is conserved exactly at every stage, and a re-cut from an
+    // unchanged histogram reproduces identical cuts — the property that
+    // makes scheduled re-cuts replay as no-ops after a rollback.
+    use pic2d::decomp::{particle_cell_weights, Partition};
+    use pic2d::sfc::Ordering as SfcOrdering;
+    let mut rng = Rng::seed_from_u64(0xe1a6);
+    for case in 0..CASES {
+        let side = 16usize;
+        let p = Partition::new(SfcOrdering::Hilbert, side, side, 4).unwrap();
+        let ncells = p.ncells();
+        let n = rng.below(3000) + 100;
+        // Clustered population: most particles in a narrow cell band.
+        let band = rng.below(ncells as u64 / 4) + 1;
+        let base = rng.below(ncells as u64 - band);
+        let icell: Vec<u32> = (0..n)
+            .map(|_| {
+                if rng.below(4) == 0 {
+                    rng.below(ncells as u64) as u32
+                } else {
+                    (base + rng.below(band)) as u32
+                }
+            })
+            .collect();
+        let w = particle_cell_weights(&icell, ncells);
+        assert_eq!(w.iter().sum::<f64>() as u64, n, "case={case}");
+
+        let nparts = rng.below(6) as usize + 1;
+        let q = p.recut_weighted(&w, nparts).unwrap();
+        // Migrate: each particle lands with exactly one owner.
+        let mut per_part = vec![0usize; nparts];
+        for &c in &icell {
+            per_part[q.owner(c as usize)] += 1;
+        }
+        assert_eq!(
+            per_part.iter().sum::<usize>() as u64,
+            n,
+            "case={case}: particles lost in migration"
+        );
+        // Unchanged histogram → identical cuts (replay idempotence).
+        let q2 = q.recut_weighted(&w, nparts).unwrap();
+        assert_eq!(q.ranges(), q2.ranges(), "case={case}: recut not stable");
+        // Round-trip through a different rank count and back: the
+        // population is conserved through both re-assignments.
+        let other = rng.below(6) as usize + 1;
+        let r = q.recut_weighted(&w, other).unwrap();
+        let mut per_r = vec![0usize; other];
+        for &c in &icell {
+            per_r[r.owner(c as usize)] += 1;
+        }
+        assert_eq!(per_r.iter().sum::<usize>() as u64, n, "case={case}");
+        let back = r.recut_weighted(&w, nparts).unwrap();
+        assert_eq!(back.ranges(), q.ranges(), "case={case}: round-trip drifted");
+    }
+}
+
 // ---------------- grid arithmetic ----------------
 
 #[test]
