@@ -12,7 +12,7 @@ use pic_bench::harness::{black_box, criterion_group, Criterion, Throughput};
 use pic_bench::report::{records_to_json, results_path, take_records, write_json_file, Json};
 use pic_core::fields::{Field2D, RedundantE, RedundantRho};
 use pic_core::grid::Grid2D;
-use pic_core::kernels::{accumulate, position, simd, velocity};
+use pic_core::kernels::{accumulate, deposit, position, simd, velocity};
 use pic_core::particles::{initialize, InitialDistribution, ParticlesSoA};
 use pic_core::sort::sort_out_of_place;
 use sfc::{CellLayout, Morton, RowMajor};
@@ -29,8 +29,12 @@ fn particles() -> usize {
 }
 
 fn setup(layout: &dyn CellLayout) -> ParticlesSoA {
+    setup_n(layout, particles())
+}
+
+fn setup_n(layout: &dyn CellLayout, n: usize) -> ParticlesSoA {
     let grid = Grid2D::new(SIDE, SIDE, 1.0, 1.0).unwrap();
-    let mut p = initialize(&grid, layout, InitialDistribution::Uniform, particles(), 42);
+    let mut p = initialize(&grid, layout, InitialDistribution::Uniform, n, 42);
     // Grid-unit velocities ~ half a cell per step.
     for v in p.vx.iter_mut().chain(p.vy.iter_mut()) {
         *v *= 0.5;
@@ -278,6 +282,20 @@ fn bench_accumulate(c: &mut Criterion) {
             black_box(acc.rho4[0][0])
         })
     });
+    g.bench_function("lane_reduce", |b| {
+        let mut acc = RedundantRho::new(&layout);
+        b.iter(|| {
+            deposit::accumulate_lane_reduce(black_box(&p.icell), &p.dx, &p.dy, &mut acc.rho4, 1.0);
+            black_box(acc.rho4[0][0])
+        })
+    });
+    g.bench_function("sorted_block", |b| {
+        let mut acc = RedundantRho::new(&layout);
+        b.iter(|| {
+            deposit::accumulate_sorted_block(black_box(&p.icell), &p.dx, &p.dy, &mut acc.rho4, 1.0);
+            black_box(acc.rho4[0][0])
+        })
+    });
     g.bench_function("standard_scatter", |b| {
         let mut rho = vec![0.0; SIDE * SIDE];
         b.iter(|| {
@@ -297,10 +315,39 @@ fn bench_accumulate(c: &mut Criterion) {
     g.finish();
 }
 
+/// Particle-count sweep over the deposit kernels, so the ns/elem crossover
+/// between `LaneReduce` and `SortedBlock` (run lengths grow with particles
+/// per cell) is visible in `results/BENCH_kernels.json`.
+fn bench_accumulate_sweep(c: &mut Criterion) {
+    let layout = Morton::new(SIDE, SIDE).unwrap();
+    for (label, n) in [("100k", 100_000usize), ("1m", 1_000_000), ("4m", 4_000_000)] {
+        let p = setup_n(&layout, n);
+        let mut g = c.benchmark_group("accumulate_sweep");
+        g.throughput(Throughput::Elements(n as u64));
+        type Named = (&'static str, deposit::DepositFn);
+        let kernels: [Named; 3] = [
+            ("redundant", accumulate::accumulate_redundant),
+            ("lane_reduce", deposit::accumulate_lane_reduce),
+            ("sorted_block", deposit::accumulate_sorted_block),
+        ];
+        for (name, kernel) in kernels {
+            let mut acc = RedundantRho::new(&layout);
+            g.bench_function(format!("{name}_{label}"), |b| {
+                b.iter(|| {
+                    kernel(black_box(&p.icell), &p.dx, &p.dy, &mut acc.rho4, 1.0);
+                    black_box(acc.rho4[0][0])
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = short();
-    targets = bench_update_velocities, bench_update_positions, bench_accumulate
+    targets = bench_update_velocities, bench_update_positions, bench_accumulate,
+        bench_accumulate_sweep
 }
 
 /// Short-run Criterion config so `cargo bench --workspace` completes in
@@ -319,7 +366,11 @@ fn annotate(group: &str, id: &str) -> (&'static str, &'static str) {
         "update_positions" if !id.contains("morton") => "row_major",
         _ => "morton",
     };
-    let path = if id.ends_with("_lanes") {
+    let path = if id.contains("lane_reduce") {
+        "lane_reduce"
+    } else if id.contains("sorted_block") {
+        "sorted_block"
+    } else if id.ends_with("_lanes") {
         "lanes"
     } else {
         "scalar"

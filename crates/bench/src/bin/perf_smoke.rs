@@ -16,7 +16,7 @@ use pic_bench::cli::Args;
 use pic_bench::harness::black_box;
 use pic_core::fields::RedundantRho;
 use pic_core::grid::Grid2D;
-use pic_core::kernels::{accumulate, position, simd};
+use pic_core::kernels::{accumulate, deposit, position, simd};
 use pic_core::particles::{initialize, InitialDistribution, ParticlesSoA};
 use pic_core::sort::sort_out_of_place;
 use pic_core::PicError;
@@ -126,6 +126,19 @@ fn run() -> Result<(), PicError> {
             black_box(acc.rho4[0][0]);
         });
         gate("accumulate", scalar, lanes);
+
+        // Vectorized deposition: the best reassociated path must beat the
+        // scalar exact kernel (the whole point of DepositPath — anything
+        // else means the lane-reduction/run-walk codegen regressed).
+        let lane_reduce = min_time(reps, || {
+            deposit::accumulate_lane_reduce(&base.icell, &base.dx, &base.dy, &mut acc.rho4, 1.0);
+            black_box(acc.rho4[0][0]);
+        });
+        let sorted_block = min_time(reps, || {
+            deposit::accumulate_sorted_block(&base.icell, &base.dx, &base.dy, &mut acc.rho4, 1.0);
+            black_box(acc.rho4[0][0]);
+        });
+        gate("deposit_vectorized", scalar, lane_reduce.min(sorted_block));
     }
 
     if failed {

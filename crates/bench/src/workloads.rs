@@ -7,7 +7,8 @@
 //! back up to paper size.
 
 use pic_core::sim::{
-    FieldLayout, KernelPath, LoopStructure, ParticleLayout, PicConfig, PositionUpdate, Simulation,
+    DepositPath, FieldLayout, KernelPath, LoopStructure, ParticleLayout, PicConfig, PositionUpdate,
+    Simulation,
 };
 use pic_core::PicError;
 use sfc::Ordering;
@@ -32,7 +33,10 @@ pub fn table1(particles: usize, grid: usize, ordering: Ordering) -> PicConfig {
 /// The rungs of the Table IV optimization ladder, in paper order, plus an
 /// eighth rung for the lane-blocked kernel path (an optimization on top of
 /// the paper's ladder; the paper gets its vectorization from icc's
-/// auto-vectorizer, this codebase makes the lane blocking explicit).
+/// auto-vectorizer, this codebase makes the lane blocking explicit) and a
+/// ninth for the vectorized deposition (`DepositPath::LaneReduce` — the
+/// reassociated per-lane private-ρ deposit, the fastest path in
+/// `BENCH_kernels.json`; rungs 1–8 keep the exact scalar-order deposit).
 /// Each entry is `(label, config)`; configs share grid/particles/seed so
 /// timings are comparable.
 pub fn table4_ladder(particles: usize, grid: usize) -> Vec<(&'static str, PicConfig)> {
@@ -112,6 +116,19 @@ pub fn table4_ladder(particles: usize, grid: usize) -> Vec<(&'static str, PicCon
                 c.kernel_path = KernelPath::Lanes;
             }),
         ),
+        (
+            "+ Vectorized deposition",
+            base(&|c| {
+                c.loop_structure = LoopStructure::Split;
+                c.field_layout = FieldLayout::Redundant;
+                c.hoisted = true;
+                c.particle_layout = ParticleLayout::Soa;
+                c.ordering = Ordering::Morton;
+                c.position_update = PositionUpdate::Branchless;
+                c.kernel_path = KernelPath::Lanes;
+                c.deposit_path = DepositPath::LaneReduce;
+            }),
+        ),
     ]
 }
 
@@ -142,22 +159,27 @@ mod tests {
     #[test]
     fn ladder_configs_are_valid_and_ordered() {
         let ladder = table4_ladder(500, 32);
-        assert_eq!(ladder.len(), 8);
+        assert_eq!(ladder.len(), 9);
         assert_eq!(ladder[0].0, "Baseline");
         for (label, cfg) in &ladder {
             Simulation::new(cfg.clone()).unwrap_or_else(|e| panic!("{label}: {e}"));
         }
         // Last rung is the fully optimized configuration.
-        let last = &ladder[7].1;
+        let last = &ladder[8].1;
         assert_eq!(last.particle_layout, ParticleLayout::Soa);
         assert_eq!(last.field_layout, FieldLayout::Redundant);
         assert_eq!(last.position_update, PositionUpdate::Branchless);
         assert_eq!(last.kernel_path, KernelPath::Lanes);
+        assert_eq!(last.deposit_path, DepositPath::LaneReduce);
         assert!(matches!(last.ordering, Ordering::Morton));
-        // All rungs below the top run the scalar path.
+        // All rungs below the lane rung run the scalar path, and every rung
+        // below the top keeps the exact scalar-order deposit.
         assert!(ladder[..7]
             .iter()
             .all(|(_, c)| c.kernel_path == KernelPath::Scalar));
+        assert!(ladder[..8]
+            .iter()
+            .all(|(_, c)| c.deposit_path == DepositPath::Exact));
     }
 
     #[test]

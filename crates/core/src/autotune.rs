@@ -11,7 +11,7 @@
 //! per-step wall time of short trial windows at several candidate periods
 //! on the *live* simulation state and returns the cheapest.
 
-use crate::sim::{KernelPath, Simulation};
+use crate::sim::{DepositPath, KernelPath, Simulation};
 use crate::PicError;
 use std::time::Instant;
 
@@ -94,39 +94,51 @@ pub fn autotune_sort_period(
     })
 }
 
-/// Result of one hot-path tuning trial: a (kernel path, sort period) pair.
+/// Result of one hot-path tuning trial: a (kernel path, deposit path, sort
+/// period) triple.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HotPathTrial {
     /// The kernel path tried.
     pub path: KernelPath,
+    /// The deposition path tried.
+    pub deposit: DepositPath,
     /// The sorting period tried.
     pub period: usize,
     /// Measured mean seconds per step, including amortized sorting.
     pub secs_per_step: f64,
 }
 
-/// Outcome of the two-dimensional hot-path tuning run.
+/// Outcome of the three-dimensional hot-path tuning run.
 #[derive(Debug, Clone)]
 pub struct HotPathReport {
     /// All trials, in the order they ran.
     pub trials: Vec<HotPathTrial>,
     /// The winning kernel path.
     pub best_path: KernelPath,
+    /// The winning deposition path.
+    pub best_deposit: DepositPath,
     /// The winning period.
     pub best_period: usize,
 }
 
-/// Tune the kernel path × sort period grid on the live simulation: for each
-/// path, run [`autotune_sort_period`] over `periods`. The two knobs
-/// interact — lane-blocked kernels shift the balance between compute and
-/// the cache misses that sorting repairs — so the grid is measured jointly
-/// rather than per-axis. The simulation's kernel path is restored to its
-/// configured value afterwards; as with the period tuner, the caller
-/// applies the winners.
+/// Tune the kernel path × deposit path × sort period grid on the live
+/// simulation: for each (kernel, deposit) pair, run
+/// [`autotune_sort_period`] over `periods`. The knobs interact — the
+/// sorted-batch deposit lives or dies by the run lengths the sort period
+/// maintains, and lane-blocked kernels shift the balance between compute
+/// and the cache misses that sorting repairs — so the grid is measured
+/// jointly rather than per-axis. The simulation's kernel and deposit paths
+/// are restored to their configured values afterwards; as with the period
+/// tuner, the caller applies the winners. Note the trials themselves
+/// advance the simulation under each candidate deposit path, so a tuned
+/// run's trajectory is reproducible only by replaying the same tuning
+/// schedule (the reassociated paths round differently within the per-cell
+/// FP bound).
 pub fn autotune_hot_path(
     sim: &mut Simulation,
     periods: &[usize],
     paths: &[KernelPath],
+    deposits: &[DepositPath],
     window: usize,
 ) -> Result<HotPathReport, PicError> {
     if paths.is_empty() {
@@ -134,30 +146,45 @@ pub fn autotune_hot_path(
             "autotune needs at least one kernel path".into(),
         ));
     }
+    if deposits.is_empty() {
+        return Err(PicError::Config(
+            "autotune needs at least one deposit path".into(),
+        ));
+    }
     let original = sim.config().kernel_path;
-    let mut trials = Vec::with_capacity(paths.len() * periods.len());
+    let original_deposit = sim.config().deposit_path;
+    let restore = |sim: &mut Simulation| {
+        sim.set_kernel_path(original);
+        sim.set_deposit_path(original_deposit);
+    };
+    let mut trials = Vec::with_capacity(paths.len() * deposits.len() * periods.len());
     for &path in paths {
         sim.set_kernel_path(path);
-        let report = match autotune_sort_period(sim, periods, window) {
-            Ok(r) => r,
-            Err(e) => {
-                sim.set_kernel_path(original);
-                return Err(e);
-            }
-        };
-        trials.extend(report.trials.iter().map(|t| HotPathTrial {
-            path,
-            period: t.period,
-            secs_per_step: t.secs_per_step,
-        }));
+        for &dep in deposits {
+            sim.set_deposit_path(dep);
+            let report = match autotune_sort_period(sim, periods, window) {
+                Ok(r) => r,
+                Err(e) => {
+                    restore(sim);
+                    return Err(e);
+                }
+            };
+            trials.extend(report.trials.iter().map(|t| HotPathTrial {
+                path,
+                deposit: dep,
+                period: t.period,
+                secs_per_step: t.secs_per_step,
+            }));
+        }
     }
-    sim.set_kernel_path(original);
+    restore(sim);
     let best = trials
         .iter()
         .min_by(|a, b| a.secs_per_step.total_cmp(&b.secs_per_step))
-        .expect("paths and periods verified non-empty");
+        .expect("paths, deposits, and periods verified non-empty");
     Ok(HotPathReport {
         best_path: best.path,
+        best_deposit: best.deposit,
         best_period: best.period,
         trials,
     })
@@ -210,31 +237,46 @@ mod tests {
     }
 
     #[test]
-    fn hot_path_tunes_both_axes_and_restores_path() {
+    fn hot_path_tunes_all_axes_and_restores_paths() {
         let mut s = sim(3_000);
         let configured = s.config().kernel_path;
+        let configured_deposit = s.config().deposit_path;
         let report = autotune_hot_path(
             &mut s,
             &[5, 10],
             &[KernelPath::Scalar, KernelPath::Lanes],
+            &[
+                DepositPath::Exact,
+                DepositPath::LaneReduce,
+                DepositPath::SortedBlock,
+            ],
             10,
         )
         .unwrap();
-        assert_eq!(report.trials.len(), 4);
+        assert_eq!(report.trials.len(), 12);
         assert!([5, 10].contains(&report.best_period));
         assert_eq!(s.config().kernel_path, configured);
+        assert_eq!(s.config().deposit_path, configured_deposit);
         assert!(report.trials.iter().all(|t| t.secs_per_step > 0.0));
+        assert!(report.trials.iter().any(|t| t.path == report.best_path
+            && t.deposit == report.best_deposit
+            && t.period == report.best_period));
     }
 
     #[test]
     fn hot_path_rejects_empty_axes() {
         let mut s = sim(1_000);
+        let deposits = [DepositPath::Exact];
         assert!(matches!(
-            autotune_hot_path(&mut s, &[5], &[], 5),
+            autotune_hot_path(&mut s, &[5], &[], &deposits, 5),
             Err(crate::PicError::Config(_))
         ));
         assert!(matches!(
-            autotune_hot_path(&mut s, &[], &[KernelPath::Lanes], 5),
+            autotune_hot_path(&mut s, &[5], &[KernelPath::Lanes], &[], 5),
+            Err(crate::PicError::Config(_))
+        ));
+        assert!(matches!(
+            autotune_hot_path(&mut s, &[], &[KernelPath::Lanes], &deposits, 5),
             Err(crate::PicError::Config(_))
         ));
     }

@@ -6,8 +6,10 @@
 // into a struct would obscure the loop shapes the paper compares.
 #![allow(clippy::too_many_arguments)]
 
-use crate::fields::{RedundantRho, CX, CY, SX, SY};
+use super::deposit::{self, DepositPath};
+use crate::fields::RedundantRho;
 use crate::par;
+use crate::sim::KernelPath;
 use sfc::CellLayout;
 
 /// Standard deposition: four scattered adds onto grid points, periodic wrap
@@ -43,15 +45,9 @@ pub fn accumulate_standard(
 /// coefficient tables turning the inner corner loop into straight-line
 /// vectorizable arithmetic.
 pub fn accumulate_redundant(icell: &[u32], dx: &[f64], dy: &[f64], rho4: &mut [[f64; 4]], w: f64) {
-    let n = icell.len();
-    assert!(dx.len() == n && dy.len() == n);
-    for i in 0..n {
-        let cell = &mut rho4[icell[i] as usize];
-        let (odx, ody) = (dx[i], dy[i]);
-        for corner in 0..4 {
-            cell[corner] += w * (CX[corner] + SX[corner] * odx) * (CY[corner] + SY[corner] * ody);
-        }
-    }
+    // The scalar body is the shared tail helper of every blocked deposit
+    // variant, so there is exactly one copy of the weight/bounds logic.
+    deposit::deposit_tail(icell, dx, dy, rho4, w);
 }
 
 /// Parallel redundant deposition: each task accumulates into its own
@@ -98,8 +94,12 @@ pub fn par_accumulate_redundant(
 /// copy owned by the simulation — and the leader then merges the arenas
 /// into `out` in worker order, so the floating-point reduction order is
 /// deterministic regardless of thread timing. This is the steady-state form
-/// of [`par_accumulate_redundant`]: same §V-B2 array-section reduction, but
-/// no per-call `Vec` and an optional lane-blocked inner kernel.
+/// of [`par_accumulate_redundant`]: same §V-B2 array-section reduction, with
+/// the inner kernel chosen by the `(DepositPath, KernelPath)` pair through
+/// [`deposit::select_kernel`]. Worker chunk boundaries may split a cell run,
+/// so under the reassociated paths each worker's arena carries its own
+/// partial sums — the merged result still satisfies the per-cell FP bound
+/// because the worker-order merge only reassociates further.
 ///
 /// # Panics
 ///
@@ -113,14 +113,10 @@ pub fn pool_accumulate_redundant(
     out: &mut RedundantRho,
     arenas: &mut [RedundantRho],
     w: f64,
-    lanes: bool,
+    path: DepositPath,
+    kernel_path: KernelPath,
 ) {
-    type DepositFn = fn(&[u32], &[f64], &[f64], &mut [[f64; 4]], f64);
-    let kernel: DepositFn = if lanes {
-        super::simd::accumulate_redundant_lanes
-    } else {
-        accumulate_redundant
-    };
+    let kernel = deposit::select_kernel(path, kernel_path);
     let nw = pool.nthreads();
     let n = icell.len();
     if nw == 1 || n == 0 {
@@ -300,9 +296,15 @@ mod tests {
         let p = mk(10_000, ncx, ncy, &l);
         let mut seq = RedundantRho::new(&l);
         accumulate_redundant(&p.icell, &p.dx, &p.dy, &mut seq.rho4, 1.0);
+        let combos = [
+            (DepositPath::Exact, KernelPath::Scalar),
+            (DepositPath::Exact, KernelPath::Lanes),
+            (DepositPath::LaneReduce, KernelPath::Lanes),
+            (DepositPath::SortedBlock, KernelPath::Lanes),
+        ];
         for nthreads in [1usize, 2, 4] {
             let pool = crate::pool::ThreadPool::new(nthreads);
-            for lanes in [false, true] {
+            for (path, kp) in combos {
                 let mut arenas: Vec<RedundantRho> = (0..pool.nthreads())
                     .map(|_| RedundantRho::new(&l))
                     .collect();
@@ -313,7 +315,7 @@ mod tests {
                 let run = |arenas: &mut [RedundantRho]| {
                     let mut out = RedundantRho::new(&l);
                     pool_accumulate_redundant(
-                        &pool, &p.icell, &p.dx, &p.dy, &mut out, arenas, 1.0, lanes,
+                        &pool, &p.icell, &p.dx, &p.dy, &mut out, arenas, 1.0, path, kp,
                     );
                     out
                 };
@@ -325,11 +327,11 @@ mod tests {
                         assert_eq!(
                             a[k].to_bits(),
                             b[k].to_bits(),
-                            "nthreads={nthreads} lanes={lanes} cell={cell}"
+                            "nthreads={nthreads} path={path:?} cell={cell}"
                         );
                         assert!(
                             (a[k] - seq.rho4[cell][k]).abs() < 1e-10,
-                            "nthreads={nthreads} lanes={lanes} cell={cell}"
+                            "nthreads={nthreads} path={path:?} cell={cell}"
                         );
                     }
                 }

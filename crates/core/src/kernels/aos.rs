@@ -232,7 +232,9 @@ pub fn accumulate_redundant_aos(particles: &[Particle], rho4: &mut RedundantRho,
     accumulate_redundant_aos_slice(particles, &mut rho4.rho4, w);
 }
 
-fn accumulate_redundant_aos_slice(particles: &[Particle], rho4: &mut [[f64; 4]], w: f64) {
+/// Scalar-order AoS redundant deposit over a raw ρ₄ slice — the `Exact`
+/// reference for [`super::deposit::select_kernel_aos`].
+pub fn accumulate_redundant_aos_slice(particles: &[Particle], rho4: &mut [[f64; 4]], w: f64) {
     for p in particles {
         let dst = &mut rho4[p.icell as usize];
         for corner in 0..4 {
@@ -314,10 +316,23 @@ pub fn par_accumulate_redundant_aos(
     w: f64,
     chunk: usize,
 ) {
+    par_accumulate_redundant_aos_with(particles, rho4, w, chunk, accumulate_redundant_aos_slice);
+}
+
+/// [`par_accumulate_redundant_aos`] with an explicit chunk kernel, so the
+/// parallel AoS pipeline can run any [`super::deposit::DepositPath`]
+/// variant; chunks are merged in deterministic chunk order.
+pub fn par_accumulate_redundant_aos_with(
+    particles: &[Particle],
+    rho4: &mut RedundantRho,
+    w: f64,
+    chunk: usize,
+    kernel: super::deposit::DepositFnAos,
+) {
     let ncells = rho4.rho4.len();
     let locals = crate::par::map_collect(particles.chunks(chunk.max(1)).collect(), |c| {
         let mut local = vec![[0.0f64; 4]; ncells];
-        accumulate_redundant_aos_slice(c, &mut local, w);
+        kernel(c, &mut local, w);
         local
     });
     for local in locals {

@@ -8,6 +8,9 @@
 //!   `if`+real-modulo, integer-modulo, and branchless bitwise (§IV-C);
 //! * [`accumulate`] — the charge-deposition loop, standard (scattered) vs
 //!   redundant (contiguous, vectorizable — Fig. 2);
+//! * [`deposit`] — the reassociated vectorized deposit variants
+//!   ([`deposit::DepositPath`]): per-lane private ρ with transposed
+//!   lane-reduction, and the sorted-batch register deposit;
 //! * [`fused`] — the single fused particle loop (velocity + position +
 //!   deposition in one pass), the shape the paper *splits away from*
 //!   (§IV-A), for AoS and SoA;
@@ -28,6 +31,7 @@
 pub mod accumulate;
 pub mod aos;
 pub mod boundary;
+pub mod deposit;
 pub mod fused;
 pub mod position;
 pub mod simd;

@@ -28,7 +28,6 @@
 // Lane kernels mirror the scalar kernels' slice-per-field signatures.
 #![allow(clippy::too_many_arguments)]
 
-use crate::fields::{CX, CY, SX, SY};
 use sfc::CellLayout;
 
 /// Lane-block width: 8 × f64 fills one AVX-512 register (two AVX2).
@@ -50,7 +49,7 @@ const FLOOR_LIMIT: f64 = (1u64 << 51) as f64;
 
 /// Borrow a lane block starting at `o` from a slice as a fixed-size array.
 #[inline(always)]
-fn block<T>(s: &[T], o: usize) -> &[T; LANES] {
+pub(crate) fn block<T>(s: &[T], o: usize) -> &[T; LANES] {
     s[o..o + LANES].try_into().expect("block within bounds")
 }
 
@@ -368,11 +367,7 @@ pub fn accumulate_redundant_lanes(
         let bdy = block(dy, o);
         // Vector part: 4 corner weights × LANES particles, straight-line.
         for l in 0..LANES {
-            let (odx, ody) = (bdx[l], bdy[l]);
-            for corner in 0..4 {
-                wb[l][corner] =
-                    w * (CX[corner] + SX[corner] * odx) * (CY[corner] + SY[corner] * ody);
-            }
+            wb[l] = super::deposit::corner_weights(bdx[l], bdy[l], w);
         }
         // Scatter part: particle order, one contiguous 4-double block each.
         for l in 0..LANES {
@@ -383,7 +378,7 @@ pub fn accumulate_redundant_lanes(
         }
         o += LANES;
     }
-    super::accumulate::accumulate_redundant(&icell[main..], &dx[main..], &dy[main..], rho4, w);
+    super::deposit::deposit_tail(&icell[main..], &dx[main..], &dy[main..], rho4, w);
 }
 
 #[cfg(test)]

@@ -384,17 +384,19 @@ pub fn decode(bytes: &[u8]) -> Result<SimState, PicError> {
 /// Fingerprint a configuration over an explicit canonical field list:
 /// every knob that shapes the physics or the data layout — including
 /// [`KernelPath`](crate::sim::KernelPath), so a snapshot taken under
-/// `Scalar` cannot silently restore into a `Lanes` simulation — but *not*
-/// `threads`, which only partitions work across the pool without changing
-/// what is computed, so a checkpoint written on an 8-thread run restores
-/// into a 1-thread run (and a shrunken distributed survivor can adopt a
-/// dead rank's snapshot regardless of its pool size).
+/// `Scalar` cannot silently restore into a `Lanes` simulation, and
+/// [`DepositPath`](crate::sim::DepositPath), so an exact-deposit run and a
+/// reassociated one never cross-restore silently — but *not* `threads`,
+/// which only partitions work across the pool without changing what is
+/// computed, so a checkpoint written on an 8-thread run restores into a
+/// 1-thread run (and a shrunken distributed survivor can adopt a dead
+/// rank's snapshot regardless of its pool size).
 pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
     let canon = format!(
         "grid_nx={};grid_ny={};lx={:?};ly={:?};n_particles={};dt={:?};\
          distribution={:?};ordering={:?};particle_layout={:?};\
          field_layout={:?};loop_structure={:?};position_update={:?};\
-         kernel_path={:?};hoisted={:?};sort_period={};\
+         kernel_path={:?};deposit_path={:?};hoisted={:?};sort_period={};\
          sort_out_of_place={:?};seed={};keep_range={:?};keep_cells={:?}",
         cfg.grid_nx,
         cfg.grid_ny,
@@ -409,6 +411,7 @@ pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
         cfg.loop_structure,
         cfg.position_update,
         cfg.kernel_path,
+        cfg.deposit_path,
         cfg.hoisted,
         cfg.sort_period,
         cfg.sort_out_of_place,

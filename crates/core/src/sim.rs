@@ -17,7 +17,7 @@
 
 use crate::fields::{Field2D, RedundantE, RedundantRho};
 use crate::grid::Grid2D;
-use crate::kernels::{self, accumulate, aos, fused, position, simd, velocity, SoaViewMut};
+use crate::kernels::{self, accumulate, aos, deposit, fused, position, simd, velocity, SoaViewMut};
 use crate::particles::{self, InitialDistribution, ParticlesAoS, ParticlesSoA};
 use crate::pool::{ThreadPool, MAX_THREADS};
 use crate::resilience::checkpoint::{self as ckpt};
@@ -75,6 +75,8 @@ pub enum KernelPath {
     /// autovectorizing.
     Lanes,
 }
+
+pub use crate::kernels::deposit::DepositPath;
 
 /// Shape of the update-positions loop (§IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,6 +317,15 @@ pub struct PicConfig {
     /// Scalar vs explicit lane-blocked inner kernels (split-redundant SoA
     /// path; other paths always run scalar).
     pub kernel_path: KernelPath,
+    /// Which deposition kernel the split-redundant paths (SoA and AoS) run.
+    /// `Exact` preserves the scalar accumulation order bit-for-bit; the
+    /// reassociated paths ([`DepositPath::LaneReduce`],
+    /// [`DepositPath::SortedBlock`]) stay within the per-cell FP bound of
+    /// `crates/core/src/kernels/deposit.rs`. Standard-field and fused paths
+    /// deposit inline and ignore this knob; the initial deposit at
+    /// construction always runs `Exact` so every path starts from identical
+    /// state.
+    pub deposit_path: DepositPath,
     /// Coefficient hoisting (§IV-D).
     pub hoisted: bool,
     /// Sort every `sort_period` steps (0 = never).
@@ -362,6 +373,7 @@ impl PicConfig {
             loop_structure: LoopStructure::Split,
             position_update: PositionUpdate::Branchless,
             kernel_path: KernelPath::Lanes,
+            deposit_path: DepositPath::LaneReduce,
             hoisted: true,
             sort_period: 20,
             sort_out_of_place: true,
@@ -405,6 +417,7 @@ impl PicConfig {
         cfg.loop_structure = LoopStructure::Fused;
         cfg.position_update = PositionUpdate::NaiveIf;
         cfg.kernel_path = KernelPath::Scalar;
+        cfg.deposit_path = DepositPath::Exact;
         cfg.hoisted = false;
         cfg
     }
@@ -836,7 +849,9 @@ impl Simulation {
         self.restore(&bytes)
     }
 
-    /// Deposit the initial charge without moving particles.
+    /// Deposit the initial charge without moving particles. Always runs the
+    /// scalar `Exact` kernel (off the hot path), so every [`DepositPath`]
+    /// starts a run from bit-identical initial state.
     fn deposit_initial(&mut self) {
         self.rho4.clear();
         accumulate::accumulate_redundant(
@@ -1031,6 +1046,17 @@ impl Simulation {
         self.cfg.kernel_path = path;
     }
 
+    /// Switch the deposition kernel at runtime. Unlike
+    /// [`set_kernel_path`](Self::set_kernel_path) this *does* change the
+    /// rounding of subsequent steps (within the per-cell FP bound of
+    /// [`crate::kernels::deposit`]) unless switching between the two exact
+    /// forms; the autotuner restores the configured value after its trials,
+    /// and the checkpoint fingerprint covers the knob so mixed-path runs
+    /// never cross-restore silently.
+    pub fn set_deposit_path(&mut self, path: DepositPath) {
+        self.cfg.deposit_path = path;
+    }
+
     /// Pre-reserve diagnostic-history capacity for `n` further steps so
     /// steady-state stepping appends samples without reallocating.
     pub fn reserve_diagnostics(&mut self, n: usize) {
@@ -1158,7 +1184,7 @@ impl Simulation {
         self.push_positions_soa();
         self.timers.update_x += t.elapsed().as_secs_f64();
 
-        // Deposit.
+        // Deposit: kernel chosen by the (DepositPath, KernelPath) pair.
         let t = Instant::now();
         self.rho4.clear();
         let w = self.wq * QE.signum();
@@ -1166,17 +1192,18 @@ impl Simulation {
             Some(pool) => {
                 let (p, rho4, arenas) = (&self.particles, &mut self.rho4, &mut self.rho_arenas);
                 accumulate::pool_accumulate_redundant(
-                    pool, &p.icell, &p.dx, &p.dy, rho4, arenas, w, lanes,
+                    pool,
+                    &p.icell,
+                    &p.dx,
+                    &p.dy,
+                    rho4,
+                    arenas,
+                    w,
+                    self.cfg.deposit_path,
+                    self.cfg.kernel_path,
                 );
             }
-            None if lanes => simd::accumulate_redundant_lanes(
-                &self.particles.icell,
-                &self.particles.dx,
-                &self.particles.dy,
-                &mut self.rho4.rho4,
-                w,
-            ),
-            None => accumulate::accumulate_redundant(
+            None => deposit::select_kernel(self.cfg.deposit_path, self.cfg.kernel_path)(
                 &self.particles.icell,
                 &self.particles.dx,
                 &self.particles.dy,
@@ -1547,10 +1574,17 @@ impl Simulation {
                 let t = Instant::now();
                 self.rho4.clear();
                 let w = self.wq * QE.signum();
+                let kernel = deposit::select_kernel_aos(self.cfg.deposit_path);
                 if threads > 1 {
-                    aos::par_accumulate_redundant_aos(&aos.p, &mut self.rho4, w, chunk);
+                    aos::par_accumulate_redundant_aos_with(
+                        &aos.p,
+                        &mut self.rho4,
+                        w,
+                        chunk,
+                        kernel,
+                    );
                 } else {
-                    aos::accumulate_redundant_aos(&aos.p, &mut self.rho4, w);
+                    kernel(&aos.p, &mut self.rho4.rho4, w);
                 }
                 self.timers.accumulate += t.elapsed().as_secs_f64();
                 let t = Instant::now();

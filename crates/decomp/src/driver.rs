@@ -440,7 +440,11 @@ impl DecomposedSimulation {
 
     /// Advance one step on every rank (collective).
     ///
-    /// 1. local sort/kick/push/deposit ([`Simulation::step_pre_reduce`]);
+    /// 1. local sort/kick/push/deposit ([`Simulation::step_pre_reduce`]) —
+    ///    the deposit runs the per-rank config's
+    ///    [`DepositPath`](pic_core::sim::DepositPath), so decomposed runs
+    ///    get the vectorized deposit kernels (and their per-cell FP bound)
+    ///    exactly as serial runs do;
     /// 2. leakage check — every particle must still sit in the write
     ///    region, else its deposit escaped the halo;
     /// 3. **post migration sends**: particles whose cell changed owner are

@@ -26,7 +26,13 @@ cargo run --release -q -p pic-bench --bin fault_matrix
 echo "==> elastic gate (weighted re-cut load bound, kill -> rejoin timing)"
 cargo run --release -q -p pic-bench --bin bench_elastic
 
-echo "==> perf smoke (lane-blocked vs scalar kernels)"
+echo "==> deposition parity matrix (DepositPath x layout x threads, release)"
+cargo test -q --release --test parity_kernel_path
+
+echo "==> kernel microbenches -> results/BENCH_kernels.json"
+cargo bench -p pic-bench --bench bench_kernels
+
+echo "==> perf smoke (lane-blocked vs scalar kernels + vectorized deposit)"
 # A shared/loaded box can miss the speedup threshold on an unlucky run;
 # retry once before declaring a regression.
 cargo run --release -q -p pic-bench --bin perf_smoke || {

@@ -89,3 +89,112 @@ fn parity_on_baseline_row_major() {
     c.grid_ny = 32;
     assert_paths_bit_identical(c, 5, "baseline");
 }
+
+// ---------------------------------------------------------------------------
+// DepositPath parity: the deposition-kernel knob must likewise never change
+// physics beyond its documented contract — `Exact` stays bit-identical to
+// the scalar accumulation order, and the reassociated paths (`LaneReduce`,
+// `SortedBlock`) stay within a tight tolerance of the exact result at the
+// simulation level and within the proven per-cell FP bound at the kernel
+// level.
+// ---------------------------------------------------------------------------
+
+use pic_core::kernels::{accumulate, deposit};
+use pic_core::rng::Rng;
+use pic_core::sim::{DepositPath, ParticleLayout};
+
+/// {AoS, SoA} x {1, 2, 4 threads} x {sorted, unsorted}: under every combo,
+/// `Exact` is bit-identical between the scalar and lane kernel paths, and
+/// each reassociated path tracks the exact run to a loose per-cell
+/// tolerance (the per-deposit FP bound fed back through the field solve for
+/// a handful of steps).
+#[test]
+fn deposit_path_matrix() {
+    for layout in [ParticleLayout::Soa, ParticleLayout::Aos] {
+        for threads in [1usize, 2, 4] {
+            for sorted in [true, false] {
+                let make = |dp: DepositPath| {
+                    let mut c = cfg(1511);
+                    c.ordering = Ordering::Morton;
+                    c.particle_layout = layout;
+                    c.threads = threads;
+                    // Sorted: re-sort every step so the deposit always sees
+                    // long same-cell runs. Unsorted: never sort, so drift
+                    // scrambles the cell order the kernels walk.
+                    c.sort_period = if sorted { 1 } else { 0 };
+                    c.deposit_path = dp;
+                    c
+                };
+                let what = format!("{layout:?} threads={threads} sorted={sorted}");
+
+                // Exact deposit: scalar vs lane kernel paths, bit for bit.
+                assert_paths_bit_identical(make(DepositPath::Exact), 5, &what);
+
+                // Reassociated deposits track the exact run closely.
+                let mut exact = Simulation::new(make(DepositPath::Exact)).unwrap();
+                exact.run(5);
+                for dp in [DepositPath::LaneReduce, DepositPath::SortedBlock] {
+                    let mut sim = Simulation::new(make(dp)).unwrap();
+                    sim.run(5);
+                    let (re, rr) = (exact.rho(), sim.rho());
+                    for i in 0..re.len() {
+                        assert!(
+                            (re[i] - rr[i]).abs() < 1e-9,
+                            "{what} {dp:?}: rho[{i}] drifted: {} vs {}",
+                            rr[i],
+                            re[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Kernel-level bound at full scale: 1M particles on a 128x128 grid
+/// (~61 per cell), sorted and unsorted. Every reassociated path lands
+/// within the per-cell bound `4 k^2 eps |w|` (k = particles in the cell)
+/// of the exact scalar accumulation — the bound proven in
+/// `crates/core/src/kernels/deposit.rs`.
+#[test]
+fn reassociated_deposit_within_cell_bound_at_1m() {
+    const N: usize = 1_000_000;
+    const NCELLS: usize = 128 * 128;
+    let mut rng = Rng::seed_from_u64(0xdeb0);
+    let mut icell: Vec<u32> = (0..N).map(|_| rng.below(NCELLS as u64) as u32).collect();
+    let dx: Vec<f64> = (0..N).map(|_| rng.uniform()).collect();
+    let dy: Vec<f64> = (0..N).map(|_| rng.uniform()).collect();
+    let w = 0.37;
+
+    for sorted in [false, true] {
+        if sorted {
+            icell.sort_unstable();
+        }
+        let mut reference = vec![[0.0f64; 4]; NCELLS];
+        accumulate::accumulate_redundant(&icell, &dx, &dy, &mut reference, w);
+        let mut counts = vec![0u64; NCELLS];
+        for &c in &icell {
+            counts[c as usize] += 1;
+        }
+        let kernels: [(&str, deposit::DepositFn); 2] = [
+            ("lane_reduce", deposit::accumulate_lane_reduce),
+            ("sorted_block", deposit::accumulate_sorted_block),
+        ];
+        for (name, kernel) in kernels {
+            let mut got = vec![[0.0f64; 4]; NCELLS];
+            kernel(&icell, &dx, &dy, &mut got, w);
+            for c in 0..NCELLS {
+                let k = counts[c] as f64;
+                let bound = 4.0 * k * k * f64::EPSILON * w.abs();
+                for corner in 0..4 {
+                    let d = (got[c][corner] - reference[c][corner]).abs();
+                    assert!(
+                        d <= bound,
+                        "{name} sorted={sorted} cell={c} corner={corner}: \
+                         |diff| {d:e} exceeds bound {bound:e} (k={k})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -445,3 +445,45 @@ fn fft_roundtrip_random() {
         }
     }
 }
+
+// ---------------- deposition ----------------
+
+#[test]
+fn deposit_paths_conserve_total_charge() {
+    // Every deposition kernel — exact scalar order, exact lane-blocked,
+    // and both reassociated vectorized paths — deposits exactly `w` per
+    // particle (the CIC weights are a partition of unity), so the grand
+    // total over all cells and corners is `n * w` up to rounding, for any
+    // cell ordering (sorted or scrambled) and any sign of `w`.
+    use pic2d::pic_core::kernels::deposit::{self, DepositFn};
+    use pic2d::pic_core::kernels::{accumulate, simd};
+    let mut rng = Rng::seed_from_u64(0xd3b0);
+    let kernels: [(&str, DepositFn); 4] = [
+        ("exact_scalar", accumulate::accumulate_redundant),
+        ("exact_lanes", simd::accumulate_redundant_lanes),
+        ("lane_reduce", deposit::accumulate_lane_reduce),
+        ("sorted_block", deposit::accumulate_sorted_block),
+    ];
+    for case in 0..CASES {
+        let ncells = 1usize << (rng.below(6) + 4); // 16..512
+        let n = rng.below(4000) as usize; // includes the empty population
+        let mut icell: Vec<u32> = (0..n).map(|_| rng.below(ncells as u64) as u32).collect();
+        if case % 2 == 0 {
+            icell.sort_unstable();
+        }
+        let dx: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let dy: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let w = rng.range(-2.0, 2.0);
+        let expect = n as f64 * w;
+        let tol = 1e-12 * (n as f64 + 1.0) * (1.0 + w.abs());
+        for (name, kernel) in kernels {
+            let mut rho4 = vec![[0.0f64; 4]; ncells];
+            kernel(&icell, &dx, &dy, &mut rho4, w);
+            let total: f64 = rho4.iter().flatten().sum();
+            assert!(
+                (total - expect).abs() <= tol,
+                "case={case} {name}: total {total} vs {expect} (n={n}, w={w})"
+            );
+        }
+    }
+}
