@@ -1,0 +1,323 @@
+//! Multi-tenant job runtime gate: fault isolation and scheduling quality.
+//!
+//! A mixed workload — healthy short and long tenants plus an injected
+//! hang, an injected kill, and a poison job — is drained twice, once under
+//! the SRTF-preemptive scheduler and once under the naive FIFO baseline.
+//! The run gates on:
+//!
+//! * **zero healthy jobs lost** — every non-poison job reaches `Done`
+//!   under both policies (hang and kill recover from checkpoints);
+//! * **quarantine** — the poison job is `Quarantined` within its fault
+//!   window under both policies, with its ledger slice attached;
+//! * **determinism** — each job's trajectory digest is identical under
+//!   both schedules (preemption order must not leak into physics);
+//! * **makespan** — SRTF beats FIFO, whose head-of-line blocks the queue
+//!   during every backoff sleep;
+//! * **shedding** — an overload burst against a bounded queue sheds
+//!   exactly the accounted jobs, every one ledgered;
+//! * **result cache** — resubmitting a completed config is a cache hit
+//!   with the same digest.
+//!
+//! Latency quantiles and per-job accounting land in
+//! `results/BENCH_jobs.json`.
+//!
+//! Usage: bench_jobs [--particles N]
+
+use pic_bench::cli::Args;
+use pic_bench::report::{results_path, write_json_file, Json};
+use pic_core::faultlog::FaultKind;
+use pic_core::sim::PicConfig;
+use pic_core::PicError;
+use serve::{FaultInjection, JobRuntime, JobSpec, JobState, RuntimeConfig, SchedPolicy};
+use std::time::Duration;
+
+fn small_cfg(seed: u64, n_particles: usize) -> PicConfig {
+    let mut cfg = PicConfig::landau_table1(n_particles);
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    cfg.sort_period = 4;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The faulty tenants lead the submission order so the FIFO baseline pays
+/// their backoff sleeps as head-of-line blocking — the structural cost the
+/// preemptive scheduler exists to avoid.
+fn workload(short_n: usize, long_n: usize) -> Vec<JobSpec> {
+    vec![
+        JobSpec::new("hang", small_cfg(101, short_n), 24)
+            .with_injection(FaultInjection::Hang {
+                at_step: 6,
+                millis: 150,
+            })
+            .with_slice_timeout(Duration::from_millis(50)),
+        JobSpec::new("kill", small_cfg(102, short_n), 24)
+            .with_injection(FaultInjection::Kill { at_step: 10 }),
+        JobSpec::new("poison", small_cfg(103, short_n), 20)
+            .with_injection(FaultInjection::Poison { at_step: 4 }),
+        JobSpec::new("short-1", small_cfg(104, short_n), 12),
+        JobSpec::new("short-2", small_cfg(105, short_n), 12),
+        JobSpec::new("short-3", small_cfg(106, short_n), 12),
+        JobSpec::new("long-1", small_cfg(107, long_n), 80),
+        JobSpec::new("long-2", small_cfg(108, long_n), 80),
+    ]
+}
+
+fn rcfg(policy: SchedPolicy) -> RuntimeConfig {
+    RuntimeConfig {
+        quantum_steps: 8,
+        retry_base: Duration::from_millis(40),
+        policy,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn gate(cond: bool, what: &str) -> Result<(), PicError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(PicError::Diverged(format!("job runtime gate: {what}")))
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn policy_json(name: &str, report: &serve::RunReport) -> (&'static str, Json) {
+    let jobs = report
+        .jobs
+        .iter()
+        .map(|j| {
+            Json::obj([
+                ("name", Json::s(j.name.clone())),
+                ("state", Json::s(j.state.name())),
+                ("steps_done", Json::Int(j.steps_done as i64)),
+                ("retries", Json::Int(j.retries as i64)),
+                ("preemptions", Json::Int(j.preemptions as i64)),
+                ("restores", Json::Int(j.restores as i64)),
+                (
+                    "latency_ms",
+                    j.latency.map_or(Json::Null, |l| Json::Num(ms(l))),
+                ),
+            ])
+        })
+        .collect();
+    let obj = Json::obj([
+        ("makespan_ms", Json::Num(ms(report.makespan))),
+        (
+            "latency_p50_ms",
+            report
+                .latency_quantile(0.50)
+                .map_or(Json::Null, |l| Json::Num(ms(l))),
+        ),
+        (
+            "latency_p99_ms",
+            report
+                .latency_quantile(0.99)
+                .map_or(Json::Null, |l| Json::Num(ms(l))),
+        ),
+        ("quarantined", Json::Int(report.quarantined_jobs as i64)),
+        ("jobs", Json::Arr(jobs)),
+    ]);
+    (if name == "srtf" { "srtf" } else { "fifo" }, obj)
+}
+
+fn run() -> Result<(), PicError> {
+    let args = Args::from_env();
+    let short_n: usize = args.get("particles", 2_500);
+    let long_n = short_n * 8 / 5;
+
+    // ---- Section 1: mixed workload, SRTF vs FIFO -------------------------
+    let mut srtf = JobRuntime::new(rcfg(SchedPolicy::SrtfPreempt));
+    for spec in workload(short_n, long_n) {
+        srtf.submit(spec);
+    }
+    let srtf_report = srtf.run();
+
+    let mut fifo = JobRuntime::new(rcfg(SchedPolicy::Fifo));
+    for spec in workload(short_n, long_n) {
+        fifo.submit(spec);
+    }
+    let fifo_report = fifo.run();
+
+    println!(
+        "job runtime gate: mixed workload ({} jobs)",
+        srtf_report.jobs.len()
+    );
+    println!(
+        "  {:<10} {:>12} {:>12}  {:>7} {:>8} {:>9}",
+        "job", "srtf", "fifo", "retries", "preempts", "steps"
+    );
+    for (s, f) in srtf_report.jobs.iter().zip(&fifo_report.jobs) {
+        println!(
+            "  {:<10} {:>12} {:>12}  {:>7} {:>8} {:>9}",
+            s.name,
+            s.state.name(),
+            f.state.name(),
+            s.retries,
+            s.preemptions,
+            s.steps_done
+        );
+    }
+    println!(
+        "  makespan: srtf {:.1} ms vs fifo {:.1} ms",
+        ms(srtf_report.makespan),
+        ms(fifo_report.makespan)
+    );
+
+    for report in [&srtf_report, &fifo_report] {
+        for j in &report.jobs {
+            if j.name == "poison" {
+                gate(
+                    j.state == JobState::Quarantined,
+                    &format!("poison job ended {} instead of quarantined", j.state.name()),
+                )?;
+                gate(
+                    j.evidence.iter().any(|e| e.kind == FaultKind::Quarantine),
+                    "quarantine verdict missing from the evidence slice",
+                )?;
+            } else {
+                gate(
+                    j.state == JobState::Done,
+                    &format!("healthy job {} lost ({})", j.name, j.state.name()),
+                )?;
+            }
+        }
+        gate(
+            report.quarantined_jobs == 1,
+            "exactly one job should be quarantined",
+        )?;
+    }
+    for (s, f) in srtf_report.jobs.iter().zip(&fifo_report.jobs) {
+        gate(
+            s.digest == f.digest,
+            &format!("job {} digest differs between schedules", s.name),
+        )?;
+    }
+    gate(
+        srtf_report.makespan + Duration::from_millis(10) < fifo_report.makespan,
+        &format!(
+            "SRTF makespan {:.1} ms did not beat FIFO {:.1} ms",
+            ms(srtf_report.makespan),
+            ms(fifo_report.makespan)
+        ),
+    )?;
+
+    // ---- Section 2: result cache on resubmission -------------------------
+    let dup = srtf.submit(JobSpec::new("short-1-dup", small_cfg(104, short_n), 12));
+    let cache_report = srtf.run();
+    let dup_job = &cache_report.jobs[dup.0 as usize];
+    let orig = cache_report
+        .jobs
+        .iter()
+        .find(|j| j.name == "short-1")
+        .expect("original short-1");
+    gate(dup_job.cache_hit, "identical resubmission missed the cache")?;
+    gate(
+        dup_job.digest == orig.digest,
+        "cache served a different digest than the original run",
+    )?;
+    let (hits, misses) = srtf.cache_stats();
+    println!("  cache: {hits} hits / {misses} misses after resubmission");
+
+    // ---- Section 3: overload burst against a bounded queue ---------------
+    let mut burst = JobRuntime::new(RuntimeConfig {
+        max_active: 3,
+        quantum_steps: 8,
+        ..RuntimeConfig::default()
+    });
+    let deadlines = [
+        Some(Duration::from_secs(10)),
+        Some(Duration::from_secs(1)),
+        Some(Duration::from_secs(2)),
+        None,
+        Some(Duration::from_secs(3)),
+        None,
+    ];
+    for (i, dl) in deadlines.iter().enumerate() {
+        let mut spec = JobSpec::new(format!("burst-{i}"), small_cfg(200 + i as u64, 1_500), 8);
+        if let Some(d) = dl {
+            spec = spec.with_deadline(*d);
+        }
+        burst.submit(spec);
+    }
+    let burst_report = burst.run();
+    let shed: Vec<&str> = burst_report
+        .jobs
+        .iter()
+        .filter(|j| j.state == JobState::Shed)
+        .map(|j| j.name.as_str())
+        .collect();
+    println!(
+        "  overload burst: {} submitted, {} shed ({})",
+        burst_report.jobs.len(),
+        shed.len(),
+        shed.join(", ")
+    );
+    gate(
+        burst_report.shed_jobs == 3,
+        &format!("expected 3 shed jobs, got {}", burst_report.shed_jobs),
+    )?;
+    gate(
+        burst.ledger().count(FaultKind::Shed) as u64 == burst_report.shed_jobs,
+        "every shed must be ledgered, one event per eviction",
+    )?;
+    for j in &burst_report.jobs {
+        if j.state == JobState::Shed {
+            gate(
+                burst
+                    .ledger()
+                    .events_for_job(j.id.0)
+                    .iter()
+                    .any(|e| e.kind == FaultKind::Shed),
+                &format!("shed job {} has no ledger entry", j.name),
+            )?;
+        } else {
+            gate(
+                j.state == JobState::Done,
+                &format!("survivor {} ended {}", j.name, j.state.name()),
+            )?;
+        }
+    }
+
+    // ---- Report ----------------------------------------------------------
+    let json = Json::obj([
+        ("bench", Json::s("jobs")),
+        ("particles_short", Json::Int(short_n as i64)),
+        ("particles_long", Json::Int(long_n as i64)),
+        policy_json("srtf", &srtf_report),
+        policy_json("fifo", &fifo_report),
+        (
+            "makespan_speedup",
+            Json::Num(ms(fifo_report.makespan) / ms(srtf_report.makespan)),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Int(hits as i64)),
+                ("misses", Json::Int(misses as i64)),
+            ]),
+        ),
+        (
+            "burst",
+            Json::obj([
+                ("submitted", Json::Int(burst_report.jobs.len() as i64)),
+                ("shed", Json::Int(burst_report.shed_jobs as i64)),
+                (
+                    "shed_jobs",
+                    Json::Arr(shed.iter().map(|n| Json::s(*n)).collect()),
+                ),
+            ]),
+        ),
+    ]);
+    let path = results_path("BENCH_jobs.json");
+    write_json_file(&path, &json).map_err(|e| PicError::Io(e.to_string()))?;
+    println!("wrote {}", path.display());
+    println!("job runtime gate: PASS");
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    pic_bench::exit_on_error(run)
+}

@@ -45,6 +45,14 @@ pub enum FaultKind {
     BuddyStore,
     /// A pool worker exceeded the stall deadline.
     WorkerStall,
+    /// A job yielded the executor at a checkpoint boundary (multi-tenant
+    /// runtime; the job resumes bit-exactly from that checkpoint).
+    Preempt,
+    /// A job was isolated after repeated faults within the quarantine
+    /// window — it will not be scheduled again.
+    Quarantine,
+    /// A job was evicted from the admission queue under overload.
+    Shed,
 }
 
 impl FaultKind {
@@ -64,6 +72,9 @@ impl FaultKind {
             FaultKind::Restore => "restore",
             FaultKind::BuddyStore => "buddy_store",
             FaultKind::WorkerStall => "worker_stall",
+            FaultKind::Preempt => "preempt",
+            FaultKind::Quarantine => "quarantine",
+            FaultKind::Shed => "shed",
         }
     }
 }
@@ -81,6 +92,10 @@ pub struct FaultEvent {
     pub op: u64,
     /// Event class.
     pub kind: FaultKind,
+    /// Job the event belongs to, when a multi-tenant runtime recorded it
+    /// (`None` for single-run and transport-level events). Keeps merged
+    /// multi-job ledgers attributable per tenant.
+    pub job: Option<u64>,
     /// Free-form context (peer rank, tag, byte counts, …).
     pub detail: String,
 }
@@ -105,8 +120,45 @@ impl FaultLog {
             rank,
             op,
             kind,
+            job: None,
             detail,
         });
+    }
+
+    /// Append one job-scoped event — [`record`](Self::record) with the
+    /// tenant attached, for multi-tenant runtimes whose ledger interleaves
+    /// many jobs' events.
+    pub fn record_for_job(
+        &mut self,
+        job: u64,
+        step: u64,
+        rank: usize,
+        op: u64,
+        kind: FaultKind,
+        detail: String,
+    ) {
+        self.events.push(FaultEvent {
+            seq: minimpi::next_event_seq(),
+            step,
+            rank,
+            op,
+            kind,
+            job: Some(job),
+            detail,
+        });
+    }
+
+    /// The seq-ordered slice of events belonging to one job — the evidence
+    /// attached to a quarantine verdict.
+    pub fn events_for_job(&self, job: u64) -> Vec<FaultEvent> {
+        let mut out: Vec<FaultEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.job == Some(job))
+            .cloned()
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
     }
 
     /// Fold a batch of transport events (from
@@ -134,6 +186,7 @@ impl FaultLog {
                 rank: e.rank,
                 op: e.op,
                 kind,
+                job: None,
                 detail,
             });
         }
@@ -185,9 +238,17 @@ impl FaultLog {
         for (i, e) in sorted.iter().enumerate() {
             let _ = write!(
                 out,
-                "  {{\"seq\": {}, \"step\": {}, \"rank\": {}, \"op\": {}, \"kind\": \"{}\", \"detail\": ",
-                e.seq, e.step, e.rank, e.op, e.kind.name()
+                "  {{\"seq\": {}, \"step\": {}, \"rank\": {}, \"op\": {}, \"kind\": \"{}\", ",
+                e.seq,
+                e.step,
+                e.rank,
+                e.op,
+                e.kind.name()
             );
+            if let Some(job) = e.job {
+                let _ = write!(out, "\"job\": {job}, ");
+            }
+            out.push_str("\"detail\": ");
             escape_json(&mut out, &e.detail);
             out.push('}');
             out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
@@ -269,6 +330,36 @@ mod tests {
         assert!(s.contains("\"kind\": \"timeout\""), "{s}");
         assert!(s.contains("\\\"x\\\"\\n"), "{s}");
         assert!(s.ends_with("]\n"), "{s}");
+    }
+
+    #[test]
+    fn job_scoped_events_tag_and_filter() {
+        let mut log = FaultLog::new();
+        log.record(1, 0, 0, FaultKind::Checkpoint, "global".into());
+        log.record_for_job(7, 2, 0, 0, FaultKind::Preempt, "yield to job 9".into());
+        log.record_for_job(9, 2, 0, 0, FaultKind::Retry, "attempt 1, \"poison\"".into());
+        log.record_for_job(7, 3, 0, 0, FaultKind::Shed, String::new());
+
+        let seven = log.events_for_job(7);
+        assert_eq!(seven.len(), 2);
+        assert!(seven.iter().all(|e| e.job == Some(7)));
+        assert_eq!(seven[0].kind, FaultKind::Preempt);
+        assert_eq!(seven[1].kind, FaultKind::Shed);
+        assert!(log.events_for_job(3).is_empty());
+
+        // Merged multi-job ledgers stay parseable: the job field is emitted
+        // as a bare number, absent for job-less events, and string payloads
+        // stay escaped.
+        let s = log.to_json();
+        assert!(s.contains("\"job\": 7, \"detail\""), "{s}");
+        assert!(s.contains("\"kind\": \"quarantine\"") || !s.contains("quarantine"));
+        assert!(s.contains("\\\"poison\\\""), "{s}");
+        assert!(
+            s.lines()
+                .filter(|l| l.contains("\"kind\": \"checkpoint\""))
+                .all(|l| !l.contains("\"job\"")),
+            "{s}"
+        );
     }
 
     #[test]

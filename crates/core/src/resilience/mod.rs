@@ -31,4 +31,7 @@ pub use checkpoint::{decode, encode, SimState, FORMAT_VERSION};
 pub use distributed::{
     pack_snaps, run_resilient_distributed, unpack_snaps, DistConfig, DistOutcome,
 };
-pub use watchdog::{check_invariants, run_resilient, ResilientReport, WatchdogConfig};
+pub use watchdog::{
+    check_invariants, run_resilient, scan_violation, ResilientReport, WatchdogConfig,
+    WatchdogViolation,
+};

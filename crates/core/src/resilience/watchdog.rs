@@ -136,6 +136,33 @@ pub fn check_invariants(sim: &Simulation, wcfg: &WatchdogConfig) -> Result<(), P
     Ok(())
 }
 
+/// A structured invariant violation — [`check_invariants`] exported as
+/// data for runtimes that ledger watchdog verdicts per tenant instead of
+/// aborting the process.
+#[derive(Debug, Clone)]
+pub struct WatchdogViolation {
+    /// Step the violation was observed at.
+    pub step: u64,
+    /// Description of the first failed invariant.
+    pub detail: String,
+}
+
+/// Scan invariants and export the verdict: `None` means healthy, `Some`
+/// carries the step and the first failed invariant — the shape a
+/// multi-tenant runtime records into its [`crate::faultlog::FaultLog`]
+/// and attaches to quarantine evidence. Syncs AoS-layout particles first,
+/// so it is safe to call mid-run on either layout.
+pub fn scan_violation(sim: &mut Simulation, wcfg: &WatchdogConfig) -> Option<WatchdogViolation> {
+    sim.sync_particles();
+    match check_invariants(sim, wcfg) {
+        Ok(()) => None,
+        Err(e) => Some(WatchdogViolation {
+            step: sim.steps() as u64,
+            detail: e.to_string(),
+        }),
+    }
+}
+
 /// Run `nsteps` steps under watchdog protection (single-process loop).
 pub fn run_resilient(
     sim: &mut Simulation,

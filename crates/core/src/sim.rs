@@ -26,6 +26,7 @@ use crate::sort;
 use crate::PicError;
 use sfc::{CellLayout, Hilbert, Morton, Ordering, RowMajor, L4D};
 use spectral::poisson::{PoissonSolver2D, SolveScratch};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Electron charge in normalized units.
@@ -480,7 +481,10 @@ pub struct Simulation {
     charge_ref: f64,
     /// Persistent worker pool for the particle loops (`threads > 1` only);
     /// workers park between steps, so fork-join costs no thread spawns.
-    pool: Option<ThreadPool>,
+    /// Shared (`Arc`) so a multi-tenant runtime can run many simulations
+    /// over one pool ([`new_shared`](Self::new_shared)); determinism depends
+    /// only on the pool width, never on which jobs share it.
+    pool: Option<Arc<ThreadPool>>,
     /// Per-worker private ρ₄ copies for the pooled deposition reduction,
     /// reused every step (zero steady-state allocation).
     rho_arenas: Vec<RedundantRho>,
@@ -505,6 +509,50 @@ impl Simulation {
         cfg: PicConfig,
         reduce: impl FnOnce(&mut [f64]),
     ) -> Result<Self, PicError> {
+        Self::init(Self::shell(cfg, None)?, reduce)
+    }
+
+    /// Like [`new`](Self::new), but runs the particle loops over a worker
+    /// pool shared with other simulations instead of building a private one.
+    /// Trajectories depend only on the pool *width* (the deterministic
+    /// i-mod-n striping), never on which tenants share the pool, so a run
+    /// over a shared width-`n` pool is bit-identical to a private
+    /// `threads = n` run.
+    pub fn new_shared(cfg: PicConfig, pool: Arc<ThreadPool>) -> Result<Self, PicError> {
+        Self::init(Self::shell(cfg, Some(pool))?, |_| {})
+    }
+
+    /// Rebuild a simulation directly from a checkpoint snapshot, without
+    /// sampling and initializing a throwaway particle population first.
+    /// The snapshot must carry `cfg`'s fingerprint
+    /// ([`restore`](Self::restore) verifies checksum, version, fingerprint,
+    /// and array shapes before touching anything); derived structures are
+    /// rebuilt from the restored state, and stepping on is bit-exact
+    /// against the run that took the snapshot.
+    pub fn from_snapshot(cfg: PicConfig, snapshot: &[u8]) -> Result<Self, PicError> {
+        let mut sim = Self::shell(cfg, None)?;
+        sim.restore(snapshot)?;
+        Ok(sim)
+    }
+
+    /// [`from_snapshot`](Self::from_snapshot) over a shared pool — the
+    /// resume path of a multi-tenant job runtime re-admitting a preempted
+    /// job.
+    pub fn from_snapshot_shared(
+        cfg: PicConfig,
+        snapshot: &[u8],
+        pool: Arc<ThreadPool>,
+    ) -> Result<Self, PicError> {
+        let mut sim = Self::shell(cfg, Some(pool))?;
+        sim.restore(snapshot)?;
+        Ok(sim)
+    }
+
+    /// Validate `cfg` and build the simulation chassis — grid, layout,
+    /// solver, field arrays, executor, scratch — with an empty particle
+    /// store. The caller either initializes a fresh population
+    /// ([`init`](Self::init)) or restores a snapshot into it.
+    fn shell(cfg: PicConfig, shared: Option<Arc<ThreadPool>>) -> Result<Self, PicError> {
         cfg.validate()?;
         let grid = Grid2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)?;
         if !cfg.hoisted && (grid.dx() - grid.dy()).abs() > 1e-12 * grid.dx() {
@@ -515,20 +563,70 @@ impl Simulation {
         let layout = AnyLayout::build(cfg.ordering, cfg.grid_nx, cfg.grid_ny)?;
         let solver = PoissonSolver2D::new(cfg.grid_nx, cfg.grid_ny, cfg.lx, cfg.ly)?;
         let weight = particles::particle_weight(&grid, cfg.n_particles);
+        let field = Field2D::new(&grid);
+        let e8 = RedundantE::new(layout.as_dyn());
+        let rho4 = RedundantRho::new(layout.as_dyn());
 
-        let mut rng = Rng::seed_from_u64(cfg.seed);
+        // The persistent executor: a shared pool if one was handed in, else
+        // a private pool for the whole simulation lifetime (`threads > 1`),
+        // plus the per-worker deposition arenas it reduces over (sized by
+        // the executing pool's width, not `cfg.threads`).
+        let pool = match shared {
+            Some(p) => Some(p),
+            None => (cfg.threads > 1).then(|| Arc::new(ThreadPool::new(cfg.threads))),
+        };
+        let rho_arenas = match (&pool, cfg.field_layout) {
+            (Some(p), FieldLayout::Redundant) => (0..p.nthreads())
+                .map(|_| RedundantRho::new(layout.as_dyn()))
+                .collect(),
+            _ => Vec::new(),
+        };
+
+        Ok(Self {
+            // Deposition magnitude: macro-charge per unit area, so that the
+            // accumulated grid values are a charge *density* (the CIC
+            // weights sum to 1 per particle, and each grid point represents
+            // a Δx·Δy patch).
+            wq: weight * QE.abs() / (grid.dx() * grid.dy()),
+            weight,
+            grid,
+            layout,
+            solver,
+            particles: ParticlesSoA::zeroed(0),
+            particles_aos: None,
+            scratch: ParticlesSoA::zeroed(0),
+            field,
+            e8,
+            rho4,
+            step_count: 0,
+            timers: PhaseTimes::default(),
+            diag: Diagnostics::default(),
+            rng: Rng::seed_from_u64(cfg.seed),
+            charge_ref: 0.0,
+            pool,
+            rho_arenas,
+            sort_arena: sort::SortArena::new(),
+            solve_scratch: SolveScratch::new(),
+            cfg,
+        })
+    }
+
+    /// Initialize a [`shell`](Self::shell): sample the particle population,
+    /// apply the `keep_range`/`keep_cells` filters, sort, deposit, solve the
+    /// initial field, and take the leap-frog half-step back.
+    fn init(mut sim: Self, reduce: impl FnOnce(&mut [f64])) -> Result<Self, PicError> {
         let mut particles = particles::initialize_with_rng(
-            &grid,
-            layout.as_dyn(),
-            cfg.distribution,
-            cfg.n_particles,
-            &mut rng,
+            &sim.grid,
+            sim.layout.as_dyn(),
+            sim.cfg.distribution,
+            sim.cfg.n_particles,
+            &mut sim.rng,
         );
-        if let Some((start, end)) = cfg.keep_range {
-            if start >= end || end > cfg.n_particles {
+        if let Some((start, end)) = sim.cfg.keep_range {
+            if start >= end || end > sim.cfg.n_particles {
                 return Err(PicError::Config(format!(
                     "keep_range {start}..{end} out of bounds for {} particles",
-                    cfg.n_particles
+                    sim.cfg.n_particles
                 )));
             }
             let take = |v: &mut Vec<u32>| *v = v[start..end].to_vec();
@@ -541,8 +639,8 @@ impl Simulation {
             takef(&mut particles.vx);
             takef(&mut particles.vy);
         }
-        if let Some((lo, hi)) = cfg.keep_cells {
-            let ncells = layout.as_dyn().ncells();
+        if let Some((lo, hi)) = sim.cfg.keep_cells {
+            let ncells = sim.layout.as_dyn().ncells();
             if lo >= hi || hi as usize > ncells {
                 return Err(PicError::Config(format!(
                     "keep_cells {lo}..{hi} out of bounds for {ncells} cells"
@@ -570,48 +668,6 @@ impl Simulation {
                 )));
             }
         }
-
-        let field = Field2D::new(&grid);
-        let e8 = RedundantE::new(layout.as_dyn());
-        let rho4 = RedundantRho::new(layout.as_dyn());
-
-        // The persistent executor: one pool for the whole simulation
-        // lifetime, plus the per-worker deposition arenas it reduces over.
-        let pool = (cfg.threads > 1).then(|| ThreadPool::new(cfg.threads));
-        let rho_arenas = match (&pool, cfg.field_layout) {
-            (Some(p), FieldLayout::Redundant) => (0..p.nthreads())
-                .map(|_| RedundantRho::new(layout.as_dyn()))
-                .collect(),
-            _ => Vec::new(),
-        };
-
-        let mut sim = Self {
-            // Deposition magnitude: macro-charge per unit area, so that the
-            // accumulated grid values are a charge *density* (the CIC
-            // weights sum to 1 per particle, and each grid point represents
-            // a Δx·Δy patch).
-            wq: weight * QE.abs() / (grid.dx() * grid.dy()),
-            weight,
-            grid,
-            layout,
-            solver,
-            particles: ParticlesSoA::zeroed(0),
-            particles_aos: None,
-            scratch: ParticlesSoA::zeroed(0),
-            field,
-            e8,
-            rho4,
-            step_count: 0,
-            timers: PhaseTimes::default(),
-            diag: Diagnostics::default(),
-            rng,
-            charge_ref: 0.0,
-            pool,
-            rho_arenas,
-            sort_arena: sort::SortArena::new(),
-            solve_scratch: SolveScratch::new(),
-            cfg,
-        };
 
         // Initial sort (paper's initialization line 1).
         let ncells = sim.layout.as_dyn().ncells();
@@ -877,7 +933,7 @@ impl Simulation {
                 &mut self.field.ex,
                 &mut self.field.ey,
                 &mut self.solve_scratch,
-                pool,
+                pool.as_ref(),
             ),
             None => self.solver.solve_e_with(
                 &self.field.rho,

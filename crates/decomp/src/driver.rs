@@ -58,6 +58,11 @@ pub struct DecompConfig {
     pub weighted: bool,
     /// Field-solve distribution strategy.
     pub solver: SolverMode,
+    /// Per-job tag-namespace block ([`minimpi::job_tag_block`]), folded
+    /// into every tag this driver uses. Concurrent decomposed jobs
+    /// sharing one world must carry distinct blocks so their step tags
+    /// never alias; 0 (the default) is the single-job legacy namespace.
+    pub tag_block: u64,
 }
 
 impl Default for DecompConfig {
@@ -66,6 +71,7 @@ impl Default for DecompConfig {
             halo_width: 2,
             weighted: false,
             solver: SolverMode::Slab,
+            tag_block: 0,
         }
     }
 }
@@ -252,8 +258,9 @@ impl DecomposedSimulation {
             .collect();
 
         let mut comm_err = None;
+        let init_tag = INIT_TAG + dcfg.tag_block;
         let sim = Simulation::new_with_reduce(cfg.clone(), |rho| {
-            if let Err(e) = comm.try_allreduce_sum_tree(rho, INIT_TAG) {
+            if let Err(e) = comm.try_allreduce_sum_tree(rho, init_tag) {
                 comm_err = Some(e);
             }
         })?;
@@ -432,10 +439,14 @@ impl DecomposedSimulation {
             .expect("rank hosts a slot")
     }
 
-    /// First tag of this step's block, with the communicator epoch folded
-    /// in (see [`EPOCH_TAG_SHIFT`]).
+    /// First tag of this step's block, with the communicator epoch and the
+    /// job's tag block folded in (see [`EPOCH_TAG_SHIFT`] and
+    /// [`DecompConfig::tag_block`]).
     fn tag0(&self, comm: &Comm) -> u64 {
-        TAG_BASE + (comm.epoch() << EPOCH_TAG_SHIFT) + TAGS_PER_STEP * self.step
+        TAG_BASE
+            + self.dcfg.tag_block
+            + (comm.epoch() << EPOCH_TAG_SHIFT)
+            + TAGS_PER_STEP * self.step
     }
 
     /// Advance one step on every rank (collective).

@@ -519,6 +519,30 @@ const JOIN_TAG_BASE: u64 = 1 << 44;
 /// offset a single collective adds to its base tag.
 const CTL_TAG_STRIDE: u64 = 4096;
 
+/// Bit position of the per-job tag block inside application tag
+/// namespaces. A multi-tenant runtime driving several decomposed
+/// simulations over one world folds `job_tag_block(job)` into every tag,
+/// so concurrent jobs never alias each other's step traffic. Bits 0–23
+/// remain for step-indexed tags (2²⁰ steps at 16 tags/step), bits 24–35
+/// carry the job, and the decomposition driver's epoch fold (bit 36+) and
+/// the control namespaces (bit 44+) sit safely above.
+pub const JOB_TAG_SHIFT: u32 = 24;
+/// Exclusive upper bound on job ids representable in a tag block.
+pub const MAX_TAG_JOBS: u64 = 1 << 12;
+
+/// The tag-namespace block reserved for `job` (see [`JOB_TAG_SHIFT`]).
+///
+/// # Panics
+/// If `job >= MAX_TAG_JOBS` — the runtime must recycle job ids (modulo
+/// `MAX_TAG_JOBS` is safe once a job's traffic has drained).
+pub fn job_tag_block(job: u64) -> u64 {
+    assert!(
+        job < MAX_TAG_JOBS,
+        "job id {job} exceeds the {MAX_TAG_JOBS}-entry tag-block space"
+    );
+    job << JOB_TAG_SHIFT
+}
+
 impl Comm {
     fn new(
         rank: usize,

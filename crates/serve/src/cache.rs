@@ -1,0 +1,160 @@
+//! Fingerprint-keyed result cache.
+//!
+//! Two jobs with identical [`PicConfig`](pic_core::sim::PicConfig)
+//! fingerprints and step counts necessarily produce bit-identical
+//! trajectories (the whole workspace is deterministic given the config and
+//! pool width), so the second submission can be served from the first
+//! completed job's trajectory digest without burning executor time.
+
+/// Cache key: the config fingerprint
+/// ([`config_fingerprint`](pic_core::resilience::checkpoint::config_fingerprint))
+/// plus the requested step count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// FNV-1a fingerprint of the canonical config string.
+    pub fingerprint: u64,
+    /// Steps the job ran.
+    pub steps: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: CacheKey,
+    digest: u64,
+    last_used: u64,
+}
+
+/// A small LRU map from [`CacheKey`] to trajectory digest.
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    tick: u64,
+    entries: Vec<Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` completed trajectories (`cap == 0`
+    /// disables caching).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            tick: 0,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a digest, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: CacheKey) -> Option<u64> {
+        self.tick += 1;
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(e.digest)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a completed trajectory's digest, evicting the
+    /// least-recently-used entry at capacity.
+    pub fn insert(&mut self, key: CacheKey, digest: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.digest = digest;
+            e.last_used = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(lru);
+            }
+        }
+        self.entries.push(Entry {
+            key,
+            digest,
+            last_used: self.tick,
+        });
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(f: u64, s: u64) -> CacheKey {
+        CacheKey {
+            fingerprint: f,
+            steps: s,
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters_and_key_separation() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(k(1, 10)), None);
+        c.insert(k(1, 10), 0xabc);
+        assert_eq!(c.get(k(1, 10)), Some(0xabc));
+        // Same config, different step count: distinct trajectory.
+        assert_eq!(c.get(k(1, 20)), None);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest() {
+        let mut c = ResultCache::new(2);
+        c.insert(k(1, 1), 11);
+        c.insert(k(2, 1), 22);
+        assert_eq!(c.get(k(1, 1)), Some(11)); // refresh 1
+        c.insert(k(3, 1), 33); // evicts 2
+        assert_eq!(c.get(k(2, 1)), None);
+        assert_eq!(c.get(k(1, 1)), Some(11));
+        assert_eq!(c.get(k(3, 1)), Some(33));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.insert(k(1, 1), 11);
+        assert_eq!(c.get(k(1, 1)), None);
+        assert!(c.is_empty());
+    }
+}

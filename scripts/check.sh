@@ -26,6 +26,13 @@ cargo run --release -q -p pic-bench --bin fault_matrix
 echo "==> elastic gate (weighted re-cut load bound, kill -> rejoin timing)"
 cargo run --release -q -p pic-bench --bin bench_elastic
 
+echo "==> job runtime gate (multi-tenant fault isolation, SRTF vs FIFO makespan)"
+# The makespan comparison is wall-clock; retry once like perf_smoke.
+cargo run --release -q -p pic-bench --bin bench_jobs || {
+    echo "job runtime gate failed once; retrying"
+    cargo run --release -q -p pic-bench --bin bench_jobs
+}
+
 echo "==> deposition parity matrix (DepositPath x layout x threads, release)"
 cargo test -q --release --test parity_kernel_path
 

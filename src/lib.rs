@@ -13,6 +13,9 @@
 //! * [`pic_core`] — the PIC library itself (particles, fields, kernels, sort, sim)
 //! * [`decomp`] — spatial domain decomposition (SFC partitions, halo exchange,
 //!   particle migration) layered on `minimpi` point-to-point messaging
+//! * [`serve`] — multi-tenant job runtime: many simulations over one shared
+//!   pool, with checkpoint preemption, deadlines, retry/backoff, quarantine,
+//!   load shedding, and fingerprint-keyed result caching
 //!
 //! ## Quickstart
 //!
@@ -29,6 +32,7 @@ pub use cachesim;
 pub use decomp;
 pub use minimpi;
 pub use pic_core;
+pub use serve;
 pub use sfc;
 pub use spectral;
 

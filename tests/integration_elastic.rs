@@ -31,8 +31,8 @@ fn cfg(ord: Ordering) -> PicConfig {
 fn dcfg(mode: SolverMode) -> DecompConfig {
     DecompConfig {
         halo_width: 2,
-        weighted: false,
         solver: mode,
+        ..DecompConfig::default()
     }
 }
 
