@@ -11,6 +11,7 @@
 //! per-step wall time of short trial windows at several candidate periods
 //! on the *live* simulation state and returns the cheapest.
 
+use crate::em::EmSimulation;
 use crate::sim::{DepositPath, KernelPath, Simulation};
 use crate::PicError;
 use std::time::Instant;
@@ -48,6 +49,40 @@ pub fn autotune_sort_period(
     candidates: &[usize],
     window: usize,
 ) -> Result<TuneReport, PicError> {
+    tune_period_with(
+        &mut |s: &mut Simulation| s.force_sort(),
+        &mut |s: &mut Simulation| s.step(),
+        sim,
+        candidates,
+        window,
+    )
+}
+
+/// [`autotune_sort_period`] for the multi-species 2d3v driver — identical
+/// trial schedule, measured over [`EmSimulation::step`].
+pub fn autotune_em_sort_period(
+    sim: &mut EmSimulation,
+    candidates: &[usize],
+    window: usize,
+) -> Result<TuneReport, PicError> {
+    tune_period_with(
+        &mut |s: &mut EmSimulation| s.force_sort(),
+        &mut |s: &mut EmSimulation| s.step(),
+        sim,
+        candidates,
+        window,
+    )
+}
+
+/// The shared trial loop: emulate "sort every `period`" within a window on
+/// the live simulation `sim` (any driver) and time the steps.
+fn tune_period_with<S>(
+    force_sort: &mut dyn FnMut(&mut S),
+    step: &mut dyn FnMut(&mut S),
+    sim: &mut S,
+    candidates: &[usize],
+    window: usize,
+) -> Result<TuneReport, PicError> {
     if candidates.is_empty() {
         return Err(PicError::Config(
             "autotune needs at least one candidate period".into(),
@@ -69,9 +104,9 @@ pub fn autotune_sort_period(
             let run = period.min(left);
             for i in 0..run {
                 if i == run - 1 && run == period {
-                    sim.force_sort();
+                    force_sort(sim);
                 }
-                sim.step();
+                step(sim);
             }
             left -= run;
         }
@@ -190,6 +225,67 @@ pub fn autotune_hot_path(
     })
 }
 
+/// Tune the kernel path × deposit path × sort period grid on a live
+/// multi-species 2d3v simulation — the EM counterpart of
+/// [`autotune_hot_path`], with the same restore-after-trials contract. The
+/// grid now also covers the Boris push and current-deposit kernels, which
+/// share the `KernelPath`/`DepositPath` knobs with the ρ deposit.
+pub fn autotune_em_hot_path(
+    sim: &mut EmSimulation,
+    periods: &[usize],
+    paths: &[KernelPath],
+    deposits: &[DepositPath],
+    window: usize,
+) -> Result<HotPathReport, PicError> {
+    if paths.is_empty() {
+        return Err(PicError::Config(
+            "autotune needs at least one kernel path".into(),
+        ));
+    }
+    if deposits.is_empty() {
+        return Err(PicError::Config(
+            "autotune needs at least one deposit path".into(),
+        ));
+    }
+    let original = sim.config().kernel_path;
+    let original_deposit = sim.config().deposit_path;
+    let restore = |sim: &mut EmSimulation| {
+        sim.set_kernel_path(original);
+        sim.set_deposit_path(original_deposit);
+    };
+    let mut trials = Vec::with_capacity(paths.len() * deposits.len() * periods.len());
+    for &path in paths {
+        sim.set_kernel_path(path);
+        for &dep in deposits {
+            sim.set_deposit_path(dep);
+            let report = match autotune_em_sort_period(sim, periods, window) {
+                Ok(r) => r,
+                Err(e) => {
+                    restore(sim);
+                    return Err(e);
+                }
+            };
+            trials.extend(report.trials.iter().map(|t| HotPathTrial {
+                path,
+                deposit: dep,
+                period: t.period,
+                secs_per_step: t.secs_per_step,
+            }));
+        }
+    }
+    restore(sim);
+    let best = trials
+        .iter()
+        .min_by(|a, b| a.secs_per_step.total_cmp(&b.secs_per_step))
+        .expect("paths, deposits, and periods verified non-empty");
+    Ok(HotPathReport {
+        best_path: best.path,
+        best_deposit: best.deposit,
+        best_period: best.period,
+        trials,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +375,31 @@ mod tests {
             autotune_hot_path(&mut s, &[], &[KernelPath::Lanes], &deposits, 5),
             Err(crate::PicError::Config(_))
         ));
+    }
+
+    #[test]
+    fn em_hot_path_tunes_and_restores() {
+        let mut cfg = crate::em::EmConfig::ion_acoustic(800);
+        cfg.grid_nx = 16;
+        cfg.grid_ny = 16;
+        cfg.lx = 4.0 * std::f64::consts::PI;
+        cfg.ly = 4.0 * std::f64::consts::PI;
+        cfg.sort_period = 0;
+        let mut s = EmSimulation::new(cfg).unwrap();
+        let configured = s.config().kernel_path;
+        let configured_deposit = s.config().deposit_path;
+        let report = autotune_em_hot_path(
+            &mut s,
+            &[4, 8],
+            &[KernelPath::Scalar, KernelPath::Lanes],
+            &[DepositPath::Exact, DepositPath::LaneReduce],
+            8,
+        )
+        .unwrap();
+        assert_eq!(report.trials.len(), 8);
+        assert_eq!(s.config().kernel_path, configured);
+        assert_eq!(s.config().deposit_path, configured_deposit);
+        assert!(report.trials.iter().all(|t| t.secs_per_step > 0.0));
     }
 
     #[test]

@@ -59,6 +59,43 @@ impl<W: Write> DiagStream<W> {
         self.pending_records += 1;
     }
 
+    /// Buffer one per-species moments sample as a complete JSON line —
+    /// the multi-species streaming record. Species are identified by name;
+    /// the same commit/discard transaction rules as
+    /// [`record`](DiagStream::record) apply.
+    pub fn record_species(
+        &mut self,
+        job: Option<u64>,
+        step: u64,
+        species: &str,
+        m: &crate::species::SpeciesMoments,
+    ) {
+        self.pending.push('{');
+        if let Some(j) = job {
+            let _ = write!(self.pending, "\"job\": {j}, ");
+        }
+        let _ = write!(
+            self.pending,
+            "\"step\": {step}, \"species\": {species:?}, \"number\": {}, \"charge\": {}, \
+             \"momentum\": [{}, {}, {}], \"mean_v\": [{}, {}, {}], \
+             \"temperature\": [{}, {}, {}], \"kinetic\": {}}}",
+            m.number,
+            m.charge,
+            m.momentum[0],
+            m.momentum[1],
+            m.momentum[2],
+            m.mean_v[0],
+            m.mean_v[1],
+            m.mean_v[2],
+            m.temperature[0],
+            m.temperature[1],
+            m.temperature[2],
+            m.kinetic
+        );
+        self.pending.push('\n');
+        self.pending_records += 1;
+    }
+
     /// Flush every pending line to the sink (whole lines only — a reader
     /// tailing the sink never observes a partial record).
     pub fn commit(&mut self) -> io::Result<()> {

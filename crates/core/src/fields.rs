@@ -169,6 +169,84 @@ impl RedundantRho {
     }
 }
 
+/// Redundant cell-based accumulator for the current density **J**
+/// (12 doubles per cell): the 2d3v analogue of [`RedundantRho`], storing
+/// `[Jx at corners 0..4, Jy at corners 0..4, Jz at corners 0..4]`
+/// contiguously so a particle's whole current deposit writes one cache-line
+/// pair, exactly like the 8-double E block on the gather side.
+#[derive(Debug, Clone)]
+pub struct RedundantJ {
+    /// Per-cell corner accumulators, indexed by the active layout's
+    /// `icell`: `[Jx₀..Jx₃, Jy₀..Jy₃, Jz₀..Jz₃]`.
+    pub j12: Vec<[f64; 12]>,
+}
+
+impl RedundantJ {
+    /// Allocate zeroed storage sized for `layout`.
+    pub fn new(layout: &dyn CellLayout) -> Self {
+        Self {
+            j12: vec![[0.0; 12]; layout.ncells()],
+        }
+    }
+
+    /// Zero all accumulators.
+    pub fn clear(&mut self) {
+        self.j12.fill([0.0; 12]);
+    }
+
+    /// Scatter the per-cell corner accumulators back onto grid points
+    /// (periodic), overwriting `jx`, `jy`, `jz` (row-major).
+    pub fn reduce_to_grid(
+        &self,
+        layout: &dyn CellLayout,
+        jx: &mut [f64],
+        jy: &mut [f64],
+        jz: &mut [f64],
+    ) {
+        let (ncx, ncy) = (layout.ncx(), layout.ncy());
+        assert_eq!(jx.len(), ncx * ncy);
+        assert_eq!(jy.len(), ncx * ncy);
+        assert_eq!(jz.len(), ncx * ncy);
+        jx.fill(0.0);
+        jy.fill(0.0);
+        jz.fill(0.0);
+        for ix in 0..ncx {
+            let ixp = (ix + 1) & (ncx - 1);
+            for iy in 0..ncy {
+                let iyp = (iy + 1) & (ncy - 1);
+                let c = layout.encode(ix, iy);
+                let v = &self.j12[c];
+                let g00 = ix * ncy + iy;
+                let g01 = ix * ncy + iyp;
+                let g10 = ixp * ncy + iy;
+                let g11 = ixp * ncy + iyp;
+                jx[g00] += v[0];
+                jx[g01] += v[1];
+                jx[g10] += v[2];
+                jx[g11] += v[3];
+                jy[g00] += v[4];
+                jy[g01] += v[5];
+                jy[g10] += v[6];
+                jy[g11] += v[7];
+                jz[g00] += v[8];
+                jz[g01] += v[9];
+                jz[g10] += v[10];
+                jz[g11] += v[11];
+            }
+        }
+    }
+
+    /// Element-wise add another accumulator (per-worker arena merge).
+    pub fn add_assign(&mut self, other: &RedundantJ) {
+        assert_eq!(self.j12.len(), other.j12.len());
+        for (a, b) in self.j12.iter_mut().zip(&other.j12) {
+            for k in 0..12 {
+                a[k] += b[k];
+            }
+        }
+    }
+}
+
 /// Evaluate the four CIC corner weights for offsets `(dx, dy)`.
 #[inline]
 pub fn cic_weights(dx: f64, dy: f64) -> [f64; 4] {

@@ -30,7 +30,9 @@
 
 pub mod accumulate;
 pub mod aos;
+pub mod boris;
 pub mod boundary;
+pub mod current;
 pub mod deposit;
 pub mod fused;
 pub mod position;

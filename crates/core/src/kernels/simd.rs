@@ -55,7 +55,7 @@ pub(crate) fn block<T>(s: &[T], o: usize) -> &[T; LANES] {
 
 /// Mutable counterpart of [`block`].
 #[inline(always)]
-fn block_mut<T>(s: &mut [T], o: usize) -> &mut [T; LANES] {
+pub(crate) fn block_mut<T>(s: &mut [T], o: usize) -> &mut [T; LANES] {
     (&mut s[o..o + LANES])
         .try_into()
         .expect("block within bounds")

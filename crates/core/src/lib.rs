@@ -51,6 +51,7 @@
 
 pub mod autotune;
 pub mod diag;
+pub mod em;
 pub mod faultlog;
 pub mod fields;
 pub mod grid;
@@ -62,6 +63,7 @@ pub mod resilience;
 pub mod rng;
 pub mod sim;
 pub mod sort;
+pub mod species;
 pub mod trace;
 
 /// Errors produced when configuring, constructing, or running a simulation.

@@ -165,6 +165,32 @@ pub enum InitialDistribution {
     /// Spatially uniform Maxwellian (no perturbation) — useful for
     /// performance runs where physics is irrelevant.
     Uniform,
+    /// A single drifting Maxwellian: density `∝ 1 + α cos(k x)`, mean
+    /// x-velocity `v0x`, isotropic thermal spread `vt`. The building block
+    /// for multi-species scenarios (beams, cold ion populations).
+    DriftingMaxwellian {
+        /// Perturbation amplitude.
+        alpha: f64,
+        /// Perturbation wavenumber along x.
+        k: f64,
+        /// Mean drift velocity along x.
+        v0x: f64,
+        /// Isotropic thermal spread.
+        vt: f64,
+    },
+}
+
+impl InitialDistribution {
+    /// The thermal spread this distribution samples velocities with —
+    /// used to sample out-of-plane `vz` consistently with the in-plane
+    /// components in 2d3v runs.
+    pub fn thermal_spread(&self) -> f64 {
+        match *self {
+            InitialDistribution::Landau { .. } | InitialDistribution::Uniform => 1.0,
+            InitialDistribution::TwoStream { vt, .. } => vt,
+            InitialDistribution::DriftingMaxwellian { vt, .. } => vt,
+        }
+    }
 }
 
 /// Rejection-sample x in `[0, lx)` with density `∝ 1 + α cos(k x)`.
@@ -222,6 +248,15 @@ pub fn initialize_with_rng(
                 rng.normal(),
                 rng.normal(),
             ),
+            InitialDistribution::DriftingMaxwellian { alpha, k, v0x, vt } => {
+                let x = if alpha == 0.0 {
+                    rng.range(0.0, grid.lx)
+                } else {
+                    sample_perturbed_x(rng, grid.lx, alpha, k)
+                };
+                let y = rng.range(0.0, grid.ly);
+                (x, y, v0x + vt * rng.normal(), vt * rng.normal())
+            }
         };
         let (cx, ox) = grid.split_x(grid.to_grid_x(x_phys));
         let (cy, oy) = grid.split_y(grid.to_grid_y(y_phys));

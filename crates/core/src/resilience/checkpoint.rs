@@ -422,6 +422,250 @@ pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
     fnv1a(canon.as_bytes())
 }
 
+// ---------------- multi-species (EM) snapshots ----------------
+//
+// The 2d3v multi-species world gets its own magic and encoder so the v1
+// single-species wire format above stays byte-identical — a legacy
+// checkpoint taken before the species subsystem landed still decodes (and
+// hashes) exactly as it did, and the two formats can never be confused:
+// the first eight bytes differ.
+
+/// EM snapshot format version (independent of [`FORMAT_VERSION`]).
+pub const EM_FORMAT_VERSION: u32 = 1;
+
+const EM_MAGIC: [u8; 8] = *b"PIC2DEMS";
+
+/// One species' checkpointed storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmSpeciesState {
+    /// In-plane SoA store.
+    pub particles: ParticlesSoA,
+    /// Out-of-plane velocities, index-parallel.
+    pub vz: Vec<f64>,
+}
+
+/// The complete restorable state of an [`crate::em::EmSimulation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmState {
+    /// Fingerprint of the owning [`crate::em::EmConfig`] (covers the
+    /// species table).
+    pub config_fingerprint: u64,
+    /// Steps taken when the snapshot was captured.
+    pub step_count: u64,
+    /// RNG stream position.
+    pub rng_state: [u64; 4],
+    /// Total-charge reference captured at initialization.
+    pub charge_ref: f64,
+    /// Per-species particle stores, in species-table order.
+    pub species: Vec<EmSpeciesState>,
+    /// Charge density on grid points.
+    pub rho: Vec<f64>,
+    /// Electric field components on grid points.
+    pub ex: Vec<f64>,
+    /// See [`ex`](Self::ex).
+    pub ey: Vec<f64>,
+    /// Current density components on grid points.
+    pub jx: Vec<f64>,
+    /// See [`jx`](Self::jx).
+    pub jy: Vec<f64>,
+    /// See [`jx`](Self::jx).
+    pub jz: Vec<f64>,
+    /// Diagnostics history.
+    pub diag: Vec<DiagSample>,
+}
+
+/// Serialize an [`EmState`] into a self-contained checksummed snapshot
+/// (same integrity scheme as [`encode`]: trailing [`snapshot_hash`] over
+/// every preceding byte, raw IEEE-754 bit patterns throughout).
+pub fn encode_em(state: &EmState) -> Vec<u8> {
+    let np: usize = state.species.iter().map(|s| s.particles.len()).sum();
+    let mut buf = Vec::with_capacity(96 + np * 52 + state.rho.len() * 48 + state.diag.len() * 32);
+    buf.extend_from_slice(&EM_MAGIC);
+    put_u32(&mut buf, EM_FORMAT_VERSION);
+    put_u64(&mut buf, state.config_fingerprint);
+    put_u64(&mut buf, state.step_count);
+    for w in state.rng_state {
+        put_u64(&mut buf, w);
+    }
+    put_f64(&mut buf, state.charge_ref);
+
+    put_u64(&mut buf, state.species.len() as u64);
+    for sp in &state.species {
+        let n = sp.particles.len();
+        assert_eq!(sp.vz.len(), n, "vz must be index-parallel");
+        put_u64(&mut buf, n as u64);
+        put_u32_slice(&mut buf, &sp.particles.icell);
+        put_u32_slice(&mut buf, &sp.particles.ix);
+        put_u32_slice(&mut buf, &sp.particles.iy);
+        put_f64_slice(&mut buf, &sp.particles.dx);
+        put_f64_slice(&mut buf, &sp.particles.dy);
+        put_f64_slice(&mut buf, &sp.particles.vx);
+        put_f64_slice(&mut buf, &sp.particles.vy);
+        put_f64_slice(&mut buf, &sp.vz);
+    }
+
+    put_u64(&mut buf, state.rho.len() as u64);
+    put_f64_slice(&mut buf, &state.rho);
+    put_f64_slice(&mut buf, &state.ex);
+    put_f64_slice(&mut buf, &state.ey);
+    put_f64_slice(&mut buf, &state.jx);
+    put_f64_slice(&mut buf, &state.jy);
+    put_f64_slice(&mut buf, &state.jz);
+
+    put_u64(&mut buf, state.diag.len() as u64);
+    for s in &state.diag {
+        put_f64(&mut buf, s.time);
+        put_f64(&mut buf, s.kinetic);
+        put_f64(&mut buf, s.field);
+        put_f64(&mut buf, s.ex_mode);
+    }
+
+    let sum = snapshot_hash(&buf);
+    put_u64(&mut buf, sum);
+    buf
+}
+
+/// True when `bytes` starts with the EM snapshot magic — how a runtime
+/// holding an opaque snapshot routes it to the right decoder.
+pub fn is_em_snapshot(bytes: &[u8]) -> bool {
+    bytes.len() >= 8 && bytes[..8] == EM_MAGIC
+}
+
+/// Parse and validate a snapshot produced by [`encode_em`].
+pub fn decode_em(bytes: &[u8]) -> Result<EmState, PicError> {
+    if bytes.len() < EM_MAGIC.len() + 4 + 8 {
+        return Err(PicError::Checkpoint(format!(
+            "EM snapshot too small ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("split_at(len-8) leaves 8 bytes"));
+    let actual = snapshot_hash(payload);
+    if stored != actual {
+        return Err(PicError::Checkpoint(format!(
+            "EM snapshot checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let magic = r.take(8)?;
+    if magic != EM_MAGIC {
+        return Err(PicError::Checkpoint("bad EM snapshot magic".into()));
+    }
+    let version = r.u32()?;
+    if version != EM_FORMAT_VERSION {
+        return Err(PicError::Checkpoint(format!(
+            "unsupported EM snapshot version {version} (expected {EM_FORMAT_VERSION})"
+        )));
+    }
+    let config_fingerprint = r.u64()?;
+    let step_count = r.u64()?;
+    let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    let charge_ref = r.f64()?;
+
+    let nsp = r.len_prefix(8)?; // at least the length prefix per species
+    let mut species = Vec::with_capacity(nsp);
+    for _ in 0..nsp {
+        let n = r.len_prefix(52)?; // 3×u32 + 5×f64 per particle
+        species.push(EmSpeciesState {
+            particles: ParticlesSoA {
+                icell: r.u32_vec(n)?,
+                ix: r.u32_vec(n)?,
+                iy: r.u32_vec(n)?,
+                dx: r.f64_vec(n)?,
+                dy: r.f64_vec(n)?,
+                vx: r.f64_vec(n)?,
+                vy: r.f64_vec(n)?,
+            },
+            vz: r.f64_vec(n)?,
+        });
+    }
+
+    let ng = r.len_prefix(48)?; // 6×f64 per grid point
+    let rho = r.f64_vec(ng)?;
+    let ex = r.f64_vec(ng)?;
+    let ey = r.f64_vec(ng)?;
+    let jx = r.f64_vec(ng)?;
+    let jy = r.f64_vec(ng)?;
+    let jz = r.f64_vec(ng)?;
+
+    let nd = r.len_prefix(32)?;
+    let mut diag = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        diag.push(DiagSample {
+            time: r.f64()?,
+            kinetic: r.f64()?,
+            field: r.f64()?,
+            ex_mode: r.f64()?,
+        });
+    }
+
+    if r.pos != payload.len() {
+        return Err(PicError::Checkpoint(format!(
+            "EM snapshot has {} trailing bytes",
+            payload.len() - r.pos
+        )));
+    }
+
+    Ok(EmState {
+        config_fingerprint,
+        step_count,
+        rng_state,
+        charge_ref,
+        species,
+        rho,
+        ex,
+        ey,
+        jx,
+        jy,
+        jz,
+        diag,
+    })
+}
+
+/// Fingerprint an [`crate::em::EmConfig`] over an explicit canonical field
+/// list — the multi-species analogue of [`config_fingerprint`]. The
+/// species table is part of the canonical string (name, charge, mass,
+/// density, marker count, and distribution of every species, in order), so
+/// two worlds that differ in any species never share a fingerprint and
+/// snapshots can never cross-restore between them. `threads` is excluded
+/// for the same portability reason as the legacy fingerprint.
+pub fn em_config_fingerprint(cfg: &crate::em::EmConfig) -> u64 {
+    use std::fmt::Write as _;
+    let mut canon = format!(
+        "em;grid_nx={};grid_ny={};lx={:?};ly={:?};dt={:?};b0={:?};\
+         solve_e={:?};ordering={:?};kernel_path={:?};deposit_path={:?};\
+         sort_period={};seed={};replica={:?};nspecies={}",
+        cfg.grid_nx,
+        cfg.grid_ny,
+        cfg.lx,
+        cfg.ly,
+        cfg.dt,
+        cfg.b0,
+        cfg.solve_e,
+        cfg.ordering,
+        cfg.kernel_path,
+        cfg.deposit_path,
+        cfg.sort_period,
+        cfg.seed,
+        cfg.replica,
+        cfg.species.len(),
+    );
+    for s in &cfg.species {
+        write!(
+            canon,
+            ";species[name={};charge={:?};mass={:?};density={:?};n={};dist={:?}]",
+            s.name, s.charge, s.mass, s.density, s.n_particles, s.distribution
+        )
+        .expect("writing to a String cannot fail");
+    }
+    fnv1a(canon.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

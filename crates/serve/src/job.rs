@@ -1,5 +1,7 @@
 //! Job identity, specification, lifecycle state machine, and reports.
 
+use crate::tenant::Workload;
+use pic_core::em::EmConfig;
 use pic_core::faultlog::FaultEvent;
 use pic_core::sim::PicConfig;
 use std::fmt;
@@ -140,8 +142,9 @@ pub enum FaultInjection {
 pub struct JobSpec {
     /// Human-readable label (reports only; identity is the [`JobId`]).
     pub name: String,
-    /// The simulation to run. Its fingerprint keys the result cache.
-    pub cfg: PicConfig,
+    /// The simulation to run — either kind. Its fingerprint keys the
+    /// result cache and verifies checkpoints on re-admission.
+    pub workload: Workload,
     /// Steps to run.
     pub steps: u64,
     /// Wall-clock budget from submission to completion; blown deadlines
@@ -166,12 +169,22 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A spec with defaults: no deadline, no slice timeout, 3 retries, no
-    /// injection, no streaming.
+    /// A single-species electrostatic spec with defaults: no deadline, no
+    /// slice timeout, 3 retries, no injection, no streaming.
     pub fn new(name: impl Into<String>, cfg: PicConfig, steps: u64) -> Self {
+        Self::with_workload(name, Workload::Single(cfg), steps)
+    }
+
+    /// A multi-species electromagnetic spec with the same defaults.
+    pub fn new_em(name: impl Into<String>, cfg: EmConfig, steps: u64) -> Self {
+        Self::with_workload(name, Workload::MultiSpecies(cfg), steps)
+    }
+
+    /// A spec around an already-wrapped [`Workload`].
+    pub fn with_workload(name: impl Into<String>, workload: Workload, steps: u64) -> Self {
         Self {
             name: name.into(),
-            cfg,
+            workload,
             steps,
             deadline: None,
             slice_timeout: None,

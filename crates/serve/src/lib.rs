@@ -1,7 +1,9 @@
 //! # serve — multi-tenant simulation job runtime
 //!
-//! An async-free serving layer that runs many
-//! [`Simulation`](pic_core::sim::Simulation)s over one shared
+//! An async-free serving layer that runs many simulations — single-species
+//! electrostatic [`Simulation`](pic_core::sim::Simulation)s and
+//! multi-species electromagnetic [`EmSimulation`](pic_core::em::EmSimulation)s
+//! behind one [`Tenant`] abstraction — over one shared
 //! [`ThreadPool`](pic_core::pool::ThreadPool), built on the workspace's
 //! resilience primitives: bit-exact versioned checkpoints, config
 //! fingerprints, invariant watchdogs, and the job-scoped fault ledger.
@@ -31,6 +33,11 @@
 //!   shed is ledgered.
 //! * **Result caching.** Identical config fingerprints (same steps) are
 //!   served from the completed trajectory's digest without re-running.
+//! * **Calibrated cost-based scheduling.** SRTF ranks jobs by estimated
+//!   remaining wall seconds from a [`CostEstimator`] — per-particle and
+//!   per-cell compute terms plus the LogGP allreduce term of
+//!   [`minimpi::cost::CostModel`] — recalibrated online from every
+//!   committed quantum, instead of trusting declared step counts.
 //!
 //! Decomposed (`DecomposedSimulation`) tenants multiplex one minimpi
 //! world by carrying distinct tag blocks
@@ -41,10 +48,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cost;
 pub mod job;
 pub mod runtime;
+pub mod tenant;
 
 pub use cache::{CacheKey, ResultCache};
+pub use cost::CostEstimator;
 pub use job::{FaultInjection, JobId, JobReport, JobSpec, JobState};
 pub use minimpi::{job_tag_block, JOB_TAG_SHIFT, MAX_TAG_JOBS};
 pub use runtime::{JobRuntime, RunReport, RuntimeConfig, SchedPolicy};
+pub use tenant::{Tenant, Workload};

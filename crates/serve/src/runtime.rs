@@ -1,14 +1,15 @@
 //! The scheduler: admission, slicing, preemption, retry, quarantine.
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::cost::CostEstimator;
 use crate::job::{FaultInjection, JobId, JobReport, JobSpec, JobState};
+use crate::tenant::Tenant;
 use pic_core::diag::DiagStream;
 use pic_core::faultlog::{FaultEvent, FaultKind, FaultLog};
 use pic_core::pool::ThreadPool;
 use pic_core::resilience::checkpoint::{self as ckpt};
-use pic_core::resilience::watchdog::{scan_violation, WatchdogConfig};
+use pic_core::resilience::watchdog::WatchdogConfig;
 use pic_core::rng::Rng;
-use pic_core::sim::Simulation;
 use std::fs::File;
 use std::io::BufWriter;
 use std::sync::Arc;
@@ -18,10 +19,13 @@ use std::time::{Duration, Instant};
 /// Which scheduling discipline [`JobRuntime::run`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedPolicy {
-    /// Shortest-remaining-steps-first with preemption at checkpoint
-    /// boundaries: a running job yields when a runnable job with fewer
-    /// remaining steps is waiting, and faulted jobs back off *off* the
-    /// executor — other tenants run during the wait. The default.
+    /// Shortest-remaining-*time*-first with preemption at checkpoint
+    /// boundaries: jobs are ranked by estimated remaining wall seconds
+    /// from the online-calibrated [`CostEstimator`] (particles, cells,
+    /// reduced arrays — not declared step counts), a running job yields
+    /// when a cheaper runnable job is waiting, and faulted jobs back off
+    /// *off* the executor — other tenants run during the wait. The
+    /// default.
     SrtfPreempt,
     /// Naive baseline: strict submission order, each job runs to a
     /// terminal state before the next starts, and the head's backoff
@@ -129,7 +133,7 @@ struct Job {
     fingerprint: u64,
     /// Live simulation while `Running`; dropped on preemption, fault, or
     /// completion (resume always goes through the checkpoint).
-    sim: Option<Box<Simulation>>,
+    sim: Option<Box<Tenant>>,
     /// Last clean checkpoint — the rollback and resume target.
     snapshot: Option<Vec<u8>>,
     stream: Option<DiagStream<BufWriter<File>>>,
@@ -228,6 +232,7 @@ pub struct JobRuntime {
     log: FaultLog,
     cache: ResultCache,
     rng: Rng,
+    estimator: CostEstimator,
 }
 
 impl JobRuntime {
@@ -236,6 +241,7 @@ impl JobRuntime {
         let pool = Arc::new(ThreadPool::new(rcfg.threads));
         let cache = ResultCache::new(rcfg.cache_capacity);
         let rng = Rng::seed_from_u64(rcfg.backoff_seed);
+        let estimator = CostEstimator::new(rcfg.threads);
         Self {
             rcfg,
             pool,
@@ -243,7 +249,31 @@ impl JobRuntime {
             log: FaultLog::new(),
             cache,
             rng,
+            estimator,
         }
+    }
+
+    /// The admission cost model, calibrated so far from committed quanta.
+    pub fn estimator(&self) -> &CostEstimator {
+        &self.estimator
+    }
+
+    /// Estimated wall seconds the job still needs (its workload priced by
+    /// the calibrated model over its remaining steps). `None` for unknown
+    /// ids.
+    pub fn estimated_remaining(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(id.0 as usize).map(|j| self.remaining_cost(j))
+    }
+
+    /// Price a job's remaining work with the calibrated cost model.
+    fn remaining_cost(&self, job: &Job) -> f64 {
+        let wl = &job.spec.workload;
+        self.estimator.estimate(
+            wl.particles(),
+            wl.cells(),
+            wl.reduced_arrays(),
+            job.remaining(),
+        )
     }
 
     /// The shared worker pool (width decides every tenant's trajectory).
@@ -275,7 +305,7 @@ impl JobRuntime {
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
         let now = Instant::now();
         let id = JobId(self.jobs.len() as u64);
-        let fingerprint = ckpt::config_fingerprint(&spec.cfg);
+        let fingerprint = spec.workload.fingerprint();
         let key = CacheKey {
             fingerprint,
             steps: spec.steps,
@@ -456,7 +486,14 @@ impl JobRuntime {
                         continue;
                     }
                     best = Some(match best {
-                        Some(b) if (self.jobs[b].remaining(), b) <= (j.remaining(), i) => b,
+                        Some(b)
+                            if self
+                                .remaining_cost(&self.jobs[b])
+                                .total_cmp(&self.remaining_cost(j))
+                                .is_le() =>
+                        {
+                            b
+                        }
                         _ => i,
                     });
                 }
@@ -469,14 +506,15 @@ impl JobRuntime {
         }
     }
 
-    /// Is a runnable job with strictly fewer remaining steps waiting?
+    /// Is a runnable job with strictly cheaper estimated remaining time
+    /// waiting?
     fn shorter_job_waiting(&self, j: usize, now: Instant) -> bool {
-        let rem = self.jobs[j].remaining();
+        let rem = self.remaining_cost(&self.jobs[j]);
         self.jobs.iter().enumerate().any(|(i, o)| {
             i != j
                 && !o.state.is_terminal()
                 && o.not_before.is_none_or(|t| t <= now)
-                && o.remaining() < rem
+                && self.remaining_cost(o) < rem
         })
     }
 
@@ -522,8 +560,8 @@ impl JobRuntime {
             let id = job.id;
             let inject = job.spec.inject;
             let sim = job.sim.as_mut().expect("materialized");
-            while (sim.steps() as u64) < quantum_end {
-                let next = sim.steps() as u64 + 1;
+            while sim.steps() < quantum_end {
+                let next = sim.steps() + 1;
                 match inject {
                     FaultInjection::Hang { at_step, millis }
                         if job.hang_armed && next == at_step =>
@@ -545,24 +583,22 @@ impl JobRuntime {
                 }
                 sim.step();
                 if let Some(stream) = job.stream.as_mut() {
-                    if let Some(s) = sim.diagnostics().history.last() {
-                        stream.record(Some(id.0), sim.steps() as u64, s);
-                    }
+                    sim.record_stream(stream, id.0);
                 }
             }
             if !killed {
                 // Corruption injections land at the checkpoint scan — the
                 // detection point — so replays are deterministic.
-                let reached = sim.steps() as u64;
+                let reached = sim.steps();
                 match inject {
                     FaultInjection::CorruptOnce { at_step }
                         if job.corrupt_armed && reached >= at_step =>
                     {
                         job.corrupt_armed = false;
-                        sim.rho_mut()[0] = f64::NAN;
+                        sim.corrupt_rho();
                     }
                     FaultInjection::Poison { at_step } if reached >= at_step => {
-                        sim.rho_mut()[0] = f64::NAN;
+                        sim.corrupt_rho();
                     }
                     _ => {}
                 }
@@ -600,9 +636,29 @@ impl JobRuntime {
             )));
         } else {
             let sim = self.jobs[j].sim.as_mut().expect("live");
-            if let Some(v) = scan_violation(sim, &self.rcfg.watchdog) {
+            if let Some(v) = sim.scan(&self.rcfg.watchdog) {
                 fault = Some(SliceFault::Violation(v.detail));
             }
+        }
+
+        if fault.is_none() {
+            // Calibrate the admission model from this committed quantum's
+            // wall time (faulted quanta measure containment, not
+            // throughput, and are skipped).
+            let stepped = self.jobs[j]
+                .sim
+                .as_ref()
+                .expect("live")
+                .steps()
+                .saturating_sub(self.jobs[j].steps_done);
+            let wl = &self.jobs[j].spec.workload;
+            self.estimator.observe(
+                wl.particles(),
+                wl.cells(),
+                wl.reduced_arrays(),
+                stepped,
+                elapsed.as_secs_f64(),
+            );
         }
 
         match fault {
@@ -628,17 +684,14 @@ impl JobRuntime {
         match self.jobs[j].snapshot.take() {
             Some(snap) => {
                 // Verify the snapshot still belongs to this tenant's
-                // config before re-admitting it to the executor.
-                let st = ckpt::decode(&snap).map_err(|e| format!("decode checkpoint: {e}"))?;
-                if st.config_fingerprint != self.jobs[j].fingerprint {
-                    return Err("checkpoint fingerprint does not match job config".into());
-                }
-                let sim = Simulation::from_snapshot_shared(
-                    self.jobs[j].spec.cfg.clone(),
+                // config (kind and fingerprint) before re-admitting it to
+                // the executor.
+                let sim = Tenant::from_snapshot_shared(
+                    &self.jobs[j].spec.workload,
                     &snap,
+                    self.jobs[j].fingerprint,
                     self.pool.clone(),
-                )
-                .map_err(|e| format!("restore: {e}"))?;
+                )?;
                 let job = &mut self.jobs[j];
                 job.sim = Some(Box::new(sim));
                 job.snapshot = Some(snap);
@@ -655,8 +708,7 @@ impl JobRuntime {
                 Ok(())
             }
             None => {
-                let sim = Simulation::new_shared(self.jobs[j].spec.cfg.clone(), self.pool.clone())
-                    .map_err(|e| format!("init: {e}"))?;
+                let sim = Tenant::new_shared(&self.jobs[j].spec.workload, self.pool.clone())?;
                 let job = &mut self.jobs[j];
                 let snap = sim.checkpoint();
                 job.sim = Some(Box::new(sim));
@@ -680,7 +732,7 @@ impl JobRuntime {
         let job = &mut self.jobs[j];
         let id = job.id;
         let sim = job.sim.as_mut().expect("live");
-        job.steps_done = sim.steps() as u64;
+        job.steps_done = sim.steps();
         let snap = sim.checkpoint();
         job.snapshot = Some(snap);
         if let Some(s) = job.stream.as_mut() {

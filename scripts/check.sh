@@ -33,6 +33,14 @@ cargo run --release -q -p pic-bench --bin bench_jobs || {
     cargo run --release -q -p pic-bench --bin bench_jobs
 }
 
+echo "==> species gate (2d3v scenarios: conservation, cyclotron vs analytic, lane parity)"
+# Physics gates are seeded and deterministic, but keep the standing
+# one-retry policy of the other release-binary gates.
+cargo run --release -q -p pic-bench --bin bench_species || {
+    echo "species gate failed once; retrying"
+    cargo run --release -q -p pic-bench --bin bench_species
+}
+
 echo "==> deposition parity matrix (DepositPath x layout x threads, release)"
 cargo test -q --release --test parity_kernel_path
 

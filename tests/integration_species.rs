@@ -1,0 +1,196 @@
+//! Integration of the multi-species 2d3v electromagnetic subsystem:
+//! cyclotron motion against the analytic gyro-circle on both kernel
+//! dispatch paths, bit-exact equivalence with the legacy electrostatic
+//! driver at `B = 0`, per-species conservation laws, and electrostatic and
+//! electromagnetic tenants sharing one job runtime under the calibrated
+//! cost-based scheduler.
+
+use pic2d::pic_core::em::{EmConfig, EmSimulation};
+use pic2d::pic_core::kernels::deposit::DepositPath;
+use pic2d::pic_core::resilience::checkpoint::snapshot_hash;
+use pic2d::pic_core::sim::{KernelPath, PicConfig, Simulation};
+use pic2d::serve::{JobRuntime, JobSpec, JobState, RuntimeConfig};
+use std::f64::consts::PI;
+
+#[test]
+fn cyclotron_period_and_radius_match_analytic_on_both_kernel_paths() {
+    // Ω = |q|B/m = 1, v₀ = 0.5 ⇒ period 2π, gyro-radius 0.5. The Boris
+    // rotation angle 2·atan(ΩΔt/2) carries an O((ΩΔt)²) period error,
+    // ≈ 2·10⁻⁵ relative at Δt = 0.05 — far inside the 1 % gates.
+    for path in [KernelPath::Scalar, KernelPath::Lanes] {
+        let mut cfg = EmConfig::cyclotron(512);
+        cfg.kernel_path = path;
+        let dt = cfg.dt;
+        let mut sim = EmSimulation::new(cfg).unwrap();
+
+        let steps = 126; // just past one analytic period
+        let mut prev = sim.moments()[0].mean_v;
+        let mut rotation = 0.0;
+        let (mut x, mut xmin, mut xmax) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..steps {
+            sim.step();
+            let cur = sim.moments()[0].mean_v;
+            let da = cur[1].atan2(cur[0]) - prev[1].atan2(prev[0]);
+            rotation += (da + PI).rem_euclid(2.0 * PI) - PI;
+            prev = cur;
+            // Integrate the mean x-displacement: its extent over a full
+            // turn is the gyro-diameter.
+            x += dt * cur[0];
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+        }
+
+        let period = steps as f64 * dt * 2.0 * PI / rotation.abs();
+        let rel_period = (period - 2.0 * PI).abs() / (2.0 * PI);
+        assert!(rel_period < 0.01, "{path:?}: gyro-period {period} vs 2π");
+
+        let radius = (xmax - xmin) / 2.0;
+        assert!(
+            (radius - 0.5).abs() / 0.5 < 0.01,
+            "{path:?}: gyro-radius {radius} vs analytic 0.5"
+        );
+
+        // E = 0: the Boris rotation preserves |v| exactly.
+        let m = sim.moments()[0];
+        let speed = (m.mean_v[0].powi(2) + m.mean_v[1].powi(2)).sqrt();
+        assert!((speed - 0.5).abs() < 1e-12, "{path:?}: speed {speed}");
+    }
+}
+
+#[test]
+fn lane_blocked_em_trajectory_is_bit_identical_to_scalar() {
+    // With the Exact deposit the lane-blocked Boris push and current
+    // deposition must reproduce the scalar trajectory to the last bit.
+    // (The checkpoint bytes themselves differ — the fingerprint covers
+    // `kernel_path` — so compare the state arrays.)
+    let run = |path: KernelPath| {
+        let mut cfg = EmConfig::ion_acoustic(2_000);
+        cfg.kernel_path = path;
+        cfg.deposit_path = DepositPath::Exact;
+        let mut sim = EmSimulation::new(cfg).unwrap();
+        sim.run(10);
+        sim
+    };
+    let a = run(KernelPath::Scalar);
+    let b = run(KernelPath::Lanes);
+    assert_eq!(a.rho(), b.rho());
+    assert_eq!(a.j_field(), b.j_field());
+    for (sa, sb) in a.species().iter().zip(b.species()) {
+        assert_eq!(sa.p.icell, sb.p.icell, "{}", sa.def.name);
+        assert_eq!(sa.p.vx, sb.p.vx, "{}", sa.def.name);
+        assert_eq!(sa.p.vy, sb.p.vy, "{}", sa.def.name);
+        assert_eq!(sa.vz, sb.vz, "{}", sa.def.name);
+    }
+}
+
+#[test]
+fn em_driver_reproduces_legacy_two_stream_at_zero_field() {
+    // `EmConfig::from_legacy` lifts a single-species electrostatic config
+    // into the 2d3v driver with B = 0; the extra machinery (Boris push,
+    // three-component current, vz) must change nothing about the physics.
+    let mut cfg = PicConfig::two_stream(20_000);
+    cfg.grid_nx = 32;
+    cfg.grid_ny = 32;
+    cfg.hoisted = false; // the EM arenas store physical velocities
+    let mut legacy = Simulation::new(cfg.clone()).unwrap();
+    legacy.run(120);
+
+    let mut em = EmSimulation::new(EmConfig::from_legacy(&cfg)).unwrap();
+    em.run(120);
+
+    let lh = &legacy.diagnostics().history;
+    let eh = &em.diagnostics().history;
+    assert_eq!(lh.len(), eh.len());
+    for (l, e) in lh.iter().zip(eh.iter()) {
+        assert!(
+            (l.ex_mode - e.ex_mode).abs() <= 1e-12 * l.ex_mode.abs().max(1.0),
+            "ex_mode diverged: legacy {} vs em {}",
+            l.ex_mode,
+            e.ex_mode
+        );
+    }
+}
+
+#[test]
+fn per_species_conservation_in_ion_acoustic() {
+    let mut sim = EmSimulation::new(EmConfig::ion_acoustic(4_000)).unwrap();
+    let before = sim.moments();
+    let p0 = sim.total_momentum();
+    sim.run(100);
+    let after = sim.moments();
+
+    // Markers are never created or lost: per-species number and charge
+    // are exact.
+    for (b, a) in before.iter().zip(after.iter()) {
+        assert_eq!(b.number, a.number);
+        assert_eq!(b.charge, a.charge);
+    }
+    // The deposited charge density always integrates to the species
+    // table's total charge.
+    let rel =
+        (sim.total_charge() - sim.charge_reference()).abs() / sim.charge_reference().abs().max(1.0);
+    assert!(rel < 1e-9, "deposited charge drifted {rel}");
+
+    // Total momentum: compare the drift against the thermal momentum
+    // scale m·w·√(n·Σ|v|²) ≥ |Σ m·w·v| (Cauchy–Schwarz).
+    let scale: f64 = after
+        .iter()
+        .zip(sim.species())
+        .map(|(m, s)| (2.0 * m.kinetic * s.def.mass * m.number).sqrt())
+        .sum();
+    let p1 = sim.total_momentum();
+    let drift = (0..3).map(|c| (p1[c] - p0[c]).powi(2)).sum::<f64>().sqrt();
+    assert!(
+        drift < 1e-6 * scale,
+        "momentum drift {drift} vs scale {scale}"
+    );
+}
+
+#[test]
+fn mixed_tenants_share_the_runtime_and_calibrate_the_cost_model() {
+    let rcfg = RuntimeConfig {
+        quantum_steps: 8,
+        ..RuntimeConfig::default()
+    };
+    let threads = rcfg.threads;
+    let mut rt = JobRuntime::new(rcfg);
+
+    let es_cfg = {
+        let mut c = PicConfig::landau_table1(3_000);
+        c.grid_nx = 32;
+        c.grid_ny = 32;
+        c
+    };
+    let em_cfg = EmConfig::ion_acoustic(1_500);
+    let es = rt.submit(JobSpec::new("electrostatic", es_cfg.clone(), 20));
+    let em = rt.submit(JobSpec::new_em("electromagnetic", em_cfg.clone(), 20));
+    let report = rt.run();
+
+    let es_job = &report.jobs[es.0 as usize];
+    let em_job = &report.jobs[em.0 as usize];
+    assert_eq!(es_job.state, JobState::Done);
+    assert_eq!(em_job.state, JobState::Done);
+    assert_eq!(es_job.steps_done, 20);
+    assert_eq!(em_job.steps_done, 20);
+
+    // Each tenant kind reproduces its solo trajectory bit-exactly.
+    let em_solo = {
+        let mut cfg = em_cfg;
+        cfg.threads = threads;
+        let mut sim = EmSimulation::new(cfg).unwrap();
+        sim.run(20);
+        snapshot_hash(&sim.checkpoint())
+    };
+    assert_eq!(em_job.digest, Some(em_solo), "EM tenant diverged from solo");
+    let es_solo = {
+        let mut cfg = es_cfg;
+        cfg.threads = threads;
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.run(20);
+        snapshot_hash(&sim.checkpoint())
+    };
+    assert_eq!(es_job.digest, Some(es_solo));
+
+    // Every committed quantum fed the cost estimator.
+    assert!(rt.estimator().samples() > 0, "no calibration samples");
+}
