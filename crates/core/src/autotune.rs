@@ -10,11 +10,80 @@
 //! particle-loop time creeps up. [`autotune_sort_period`] measures the
 //! per-step wall time of short trial windows at several candidate periods
 //! on the *live* simulation state and returns the cheapest.
+//!
+//! These stop-the-world trial windows are the *calibration fallback*; the
+//! closed-loop successor that retunes continuously from per-step disorder
+//! observations is [`crate::control`]. Both drivers plug in through the
+//! [`Tunable`] trait, so every tuner here is written once and works on
+//! either simulation kind.
 
 use crate::em::EmSimulation;
 use crate::sim::{DepositPath, KernelPath, Simulation};
 use crate::PicError;
 use std::time::Instant;
+
+/// The handful of operations a trial-window tuner needs from a simulation:
+/// sort now, advance one step, and get/set the two hot-path knobs. Both
+/// [`Simulation`] and [`EmSimulation`] implement it, so the trial loops
+/// below are generic instead of being duplicated per driver behind
+/// parallel `&mut dyn FnMut` closures.
+pub trait Tunable {
+    /// Sort the particle store(s) now, regardless of the configured period.
+    fn force_sort(&mut self);
+    /// Advance one time step.
+    fn advance(&mut self);
+    /// The active kernel path.
+    fn kernel_path(&self) -> KernelPath;
+    /// Switch the kernel path (bit-identical arms, safe mid-run).
+    fn set_kernel_path(&mut self, path: KernelPath);
+    /// The active deposition path.
+    fn deposit_path(&self) -> DepositPath;
+    /// Switch the deposition path (rounding changes within the per-cell
+    /// FP bound unless moving between exact forms).
+    fn set_deposit_path(&mut self, path: DepositPath);
+}
+
+impl Tunable for Simulation {
+    fn force_sort(&mut self) {
+        Simulation::force_sort(self);
+    }
+    fn advance(&mut self) {
+        self.step();
+    }
+    fn kernel_path(&self) -> KernelPath {
+        self.config().kernel_path
+    }
+    fn set_kernel_path(&mut self, path: KernelPath) {
+        Simulation::set_kernel_path(self, path);
+    }
+    fn deposit_path(&self) -> DepositPath {
+        self.config().deposit_path
+    }
+    fn set_deposit_path(&mut self, path: DepositPath) {
+        Simulation::set_deposit_path(self, path);
+    }
+}
+
+impl Tunable for EmSimulation {
+    fn force_sort(&mut self) {
+        EmSimulation::force_sort(self);
+    }
+    fn advance(&mut self) {
+        self.step();
+    }
+    fn kernel_path(&self) -> KernelPath {
+        self.config().kernel_path
+    }
+    fn set_kernel_path(&mut self, path: KernelPath) {
+        EmSimulation::set_kernel_path(self, path);
+    }
+    fn deposit_path(&self) -> DepositPath {
+        self.config().deposit_path
+    }
+    fn set_deposit_path(&mut self, path: DepositPath) {
+        EmSimulation::set_deposit_path(self, path);
+    }
+}
 
 /// Result of one tuning trial.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,13 +118,7 @@ pub fn autotune_sort_period(
     candidates: &[usize],
     window: usize,
 ) -> Result<TuneReport, PicError> {
-    tune_period_with(
-        &mut |s: &mut Simulation| s.force_sort(),
-        &mut |s: &mut Simulation| s.step(),
-        sim,
-        candidates,
-        window,
-    )
+    tune_sort_period(sim, candidates, window)
 }
 
 /// [`autotune_sort_period`] for the multi-species 2d3v driver — identical
@@ -65,20 +128,13 @@ pub fn autotune_em_sort_period(
     candidates: &[usize],
     window: usize,
 ) -> Result<TuneReport, PicError> {
-    tune_period_with(
-        &mut |s: &mut EmSimulation| s.force_sort(),
-        &mut |s: &mut EmSimulation| s.step(),
-        sim,
-        candidates,
-        window,
-    )
+    tune_sort_period(sim, candidates, window)
 }
 
-/// The shared trial loop: emulate "sort every `period`" within a window on
-/// the live simulation `sim` (any driver) and time the steps.
-fn tune_period_with<S>(
-    force_sort: &mut dyn FnMut(&mut S),
-    step: &mut dyn FnMut(&mut S),
+/// The generic trial loop behind [`autotune_sort_period`]: emulate "sort
+/// every `period`" within a window on the live simulation and time the
+/// steps.
+pub fn tune_sort_period<S: Tunable>(
     sim: &mut S,
     candidates: &[usize],
     window: usize,
@@ -104,9 +160,9 @@ fn tune_period_with<S>(
             let run = period.min(left);
             for i in 0..run {
                 if i == run - 1 && run == period {
-                    force_sort(sim);
+                    sim.force_sort();
                 }
-                step(sim);
+                sim.advance();
             }
             left -= run;
         }
@@ -176,53 +232,7 @@ pub fn autotune_hot_path(
     deposits: &[DepositPath],
     window: usize,
 ) -> Result<HotPathReport, PicError> {
-    if paths.is_empty() {
-        return Err(PicError::Config(
-            "autotune needs at least one kernel path".into(),
-        ));
-    }
-    if deposits.is_empty() {
-        return Err(PicError::Config(
-            "autotune needs at least one deposit path".into(),
-        ));
-    }
-    let original = sim.config().kernel_path;
-    let original_deposit = sim.config().deposit_path;
-    let restore = |sim: &mut Simulation| {
-        sim.set_kernel_path(original);
-        sim.set_deposit_path(original_deposit);
-    };
-    let mut trials = Vec::with_capacity(paths.len() * deposits.len() * periods.len());
-    for &path in paths {
-        sim.set_kernel_path(path);
-        for &dep in deposits {
-            sim.set_deposit_path(dep);
-            let report = match autotune_sort_period(sim, periods, window) {
-                Ok(r) => r,
-                Err(e) => {
-                    restore(sim);
-                    return Err(e);
-                }
-            };
-            trials.extend(report.trials.iter().map(|t| HotPathTrial {
-                path,
-                deposit: dep,
-                period: t.period,
-                secs_per_step: t.secs_per_step,
-            }));
-        }
-    }
-    restore(sim);
-    let best = trials
-        .iter()
-        .min_by(|a, b| a.secs_per_step.total_cmp(&b.secs_per_step))
-        .expect("paths, deposits, and periods verified non-empty");
-    Ok(HotPathReport {
-        best_path: best.path,
-        best_deposit: best.deposit,
-        best_period: best.period,
-        trials,
-    })
+    tune_hot_path(sim, periods, paths, deposits, window)
 }
 
 /// Tune the kernel path × deposit path × sort period grid on a live
@@ -232,6 +242,19 @@ pub fn autotune_hot_path(
 /// share the `KernelPath`/`DepositPath` knobs with the ρ deposit.
 pub fn autotune_em_hot_path(
     sim: &mut EmSimulation,
+    periods: &[usize],
+    paths: &[KernelPath],
+    deposits: &[DepositPath],
+    window: usize,
+) -> Result<HotPathReport, PicError> {
+    tune_hot_path(sim, periods, paths, deposits, window)
+}
+
+/// The generic grid loop behind [`autotune_hot_path`] /
+/// [`autotune_em_hot_path`] — one implementation for every [`Tunable`]
+/// driver.
+pub fn tune_hot_path<S: Tunable>(
+    sim: &mut S,
     periods: &[usize],
     paths: &[KernelPath],
     deposits: &[DepositPath],
@@ -247,9 +270,9 @@ pub fn autotune_em_hot_path(
             "autotune needs at least one deposit path".into(),
         ));
     }
-    let original = sim.config().kernel_path;
-    let original_deposit = sim.config().deposit_path;
-    let restore = |sim: &mut EmSimulation| {
+    let original = sim.kernel_path();
+    let original_deposit = sim.deposit_path();
+    let restore = |sim: &mut S| {
         sim.set_kernel_path(original);
         sim.set_deposit_path(original_deposit);
     };
@@ -258,7 +281,7 @@ pub fn autotune_em_hot_path(
         sim.set_kernel_path(path);
         for &dep in deposits {
             sim.set_deposit_path(dep);
-            let report = match autotune_em_sort_period(sim, periods, window) {
+            let report = match tune_sort_period(sim, periods, window) {
                 Ok(r) => r,
                 Err(e) => {
                     restore(sim);

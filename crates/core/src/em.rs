@@ -33,6 +33,7 @@ use crate::pool::ThreadPool;
 use crate::resilience::checkpoint::{self as ckpt, EmSpeciesState, EmState};
 use crate::resilience::watchdog::{WatchdogConfig, WatchdogViolation};
 use crate::rng::Rng;
+use crate::control::{self, ControllerConfig, HotPathController, SwitchEvent};
 use crate::sim::{AnyLayout, DiagSample, Diagnostics, KernelPath};
 use crate::species::{
     species_moments, split_species_mut, SpeciesArena, SpeciesDef, SpeciesMoments,
@@ -41,6 +42,7 @@ use crate::PicError;
 use sfc::Ordering;
 use spectral::poisson::{PoissonSolver2D, SolveScratch};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a multi-species 2d3v run.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +82,11 @@ pub struct EmConfig {
     /// `1/nranks` of *each* species; the per-step ρ/J reductions
     /// ([`EmSimulation::step_with_reduce`]) restore the global densities.
     pub replica: Option<(usize, usize)>,
+    /// Online adaptive hot-path control ([`crate::control`]) — same
+    /// semantics as [`crate::sim::PicConfig::controller`]: `Some` drives
+    /// the sort schedule from observed disorder and retunes the
+    /// kernel/deposit paths at sort boundaries.
+    pub controller: Option<crate::control::ControllerConfig>,
 }
 
 impl EmConfig {
@@ -100,6 +107,7 @@ impl EmConfig {
             threads: 1,
             seed: 0xB1C0DE,
             replica: None,
+            controller: None,
         }
     }
 
@@ -248,6 +256,7 @@ impl EmConfig {
             threads: cfg.threads,
             seed: cfg.seed,
             replica: None,
+            controller: cfg.controller.clone(),
         }
     }
 
@@ -335,6 +344,8 @@ pub struct EmSimulation {
     rng: Rng,
     charge_ref: f64,
     solve_scratch: SolveScratch,
+    /// Online adaptive controller (present when `cfg.controller` is set).
+    controller: Option<HotPathController>,
 }
 
 impl EmSimulation {
@@ -457,6 +468,10 @@ impl EmSimulation {
             ),
             None => (Vec::new(), Vec::new()),
         };
+        let controller = cfg
+            .controller
+            .clone()
+            .map(|cc| HotPathController::new(cc, cfg.kernel_path, cfg.deposit_path));
         Ok(Self {
             grid,
             layout,
@@ -478,6 +493,7 @@ impl EmSimulation {
             rng: Rng::seed_from_u64(cfg.seed),
             charge_ref: 0.0,
             solve_scratch: SolveScratch::new(),
+            controller,
             cfg,
         })
     }
@@ -654,6 +670,33 @@ impl EmSimulation {
         self.sort_all();
     }
 
+    /// Attach an online adaptive controller ([`crate::control`]) starting
+    /// from the currently active kernel/deposit knobs; the profile is also
+    /// recorded in the configuration so checkpoints fingerprint the
+    /// controller-enabled run.
+    pub fn enable_controller(&mut self, ccfg: ControllerConfig) {
+        self.cfg.controller = Some(ccfg.clone());
+        self.controller = Some(HotPathController::new(
+            ccfg,
+            self.cfg.kernel_path,
+            self.cfg.deposit_path,
+        ));
+    }
+
+    /// The attached adaptive controller, if any.
+    pub fn controller(&self) -> Option<&HotPathController> {
+        self.controller.as_ref()
+    }
+
+    /// Drain the hot-path switch events applied since the last call
+    /// (empty when no controller is attached).
+    pub fn take_hot_path_events(&mut self) -> Vec<SwitchEvent> {
+        self.controller
+            .as_mut()
+            .map(|c| c.take_events())
+            .unwrap_or_default()
+    }
+
     // ---------------- stepping ----------------
 
     /// Advance one step.
@@ -680,13 +723,68 @@ impl EmSimulation {
     /// finish with [`step_post_reduce`](Self::step_post_reduce).
     pub fn step_pre_reduce(&mut self) {
         self.step_count += 1;
-        if self.cfg.sort_period > 0 && self.step_count.is_multiple_of(self.cfg.sort_period) {
+        let sort_now = match &self.controller {
+            Some(c) => c.should_sort(),
+            None => {
+                self.cfg.sort_period > 0 && self.step_count.is_multiple_of(self.cfg.sort_period)
+            }
+        };
+        if sort_now {
             self.sort_all();
+            // Hot-path decisions commit only at sort boundaries (same
+            // bit-exactness contract as the electrostatic driver).
+            if let Some(mut c) = self.controller.take() {
+                let (k, d) = c.on_sort(self.step_count as u64);
+                self.cfg.kernel_path = k;
+                self.cfg.deposit_path = d;
+                self.controller = Some(c);
+            }
         }
+        let t = self.controller.is_some().then(Instant::now);
         self.push_velocities();
         self.push_positions();
         self.deposit_rho();
         self.deposit_current();
+        if let Some(t) = t {
+            self.observe_controller(t.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Feed the attached controller this step's observables: the
+    /// count-weighted mean disorder across the species arenas and the
+    /// particle-loop wall seconds.
+    fn observe_controller(&mut self, secs: f64) {
+        let Some(c) = self.controller.as_mut() else {
+            return;
+        };
+        let stride = c.config().stride;
+        let cells = self.grid.ncells();
+        let mut weight = 0.0;
+        let mut descent = 0.0;
+        let mut jump = 0.0;
+        let mut uniform = 0.0;
+        for arena in &self.species {
+            let n = arena.p.len();
+            if n < 2 {
+                continue;
+            }
+            let d = control::measure_disorder(&arena.p.icell, stride, cells);
+            let w = n as f64;
+            weight += w;
+            descent += w * d.descent_frac;
+            jump += w * d.jump_frac;
+            uniform += w * d.uniform_block_frac;
+        }
+        let d = if weight > 0.0 {
+            control::Disorder {
+                descent_frac: descent / weight,
+                jump_frac: jump / weight,
+                uniform_block_frac: uniform / weight,
+            }
+        } else {
+            control::Disorder::NONE
+        };
+        c.observe(d, secs);
     }
 
     /// Second half of a step: field solve on the (reduced) ρ, redundant
@@ -986,6 +1084,16 @@ impl EmSimulation {
             step_count: self.step_count as u64,
             rng_state: self.rng.state(),
             charge_ref: self.charge_ref,
+            hot_path: ckpt::HotPathMeta {
+                kernel_path: self.cfg.kernel_path,
+                deposit_path: self.cfg.deposit_path,
+                sort_period: self.cfg.sort_period as u64,
+                controller: self
+                    .controller
+                    .as_ref()
+                    .map(|c| c.encode_state())
+                    .unwrap_or_default(),
+            },
             species: self
                 .species
                 .iter()
@@ -1036,6 +1144,27 @@ impl EmSimulation {
                 )));
             }
         }
+        // Resume the snapshot's controller decision state before adopting
+        // anything (a bad blob must reject without touching live state).
+        let restored_ctrl = match &self.controller {
+            Some(c) if !state.hot_path.controller.is_empty() => {
+                let mut nc = c.clone();
+                nc.restore_state(&state.hot_path.controller)?;
+                Some(nc)
+            }
+            Some(c) => Some(HotPathController::new(
+                c.config().clone(),
+                state.hot_path.kernel_path,
+                state.hot_path.deposit_path,
+            )),
+            None => None,
+        };
+        // Adopt the hot-path metadata so the resumed run continues from
+        // the controller's (or autotuner's) last decision.
+        self.cfg.kernel_path = state.hot_path.kernel_path;
+        self.cfg.deposit_path = state.hot_path.deposit_path;
+        self.cfg.sort_period = state.hot_path.sort_period as usize;
+        self.controller = restored_ctrl;
         self.species = state
             .species
             .into_iter()

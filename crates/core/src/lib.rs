@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod autotune;
+pub mod control;
 pub mod diag;
 pub mod em;
 pub mod faultlog;

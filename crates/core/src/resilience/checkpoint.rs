@@ -11,6 +11,11 @@
 //! step_count       u64
 //! rng_state        4×u64 xoshiro256++ stream position
 //! charge_ref       f64   total-charge reference for the watchdog
+//! kernel_path      u32   active hot-path knobs at capture time — metadata,
+//! deposit_path     u32   not fingerprint: the adaptive controller may have
+//! sort_period      u64   moved them off the configured defaults, and a
+//! ctrl_len, ctrl   u64+n restored run must resume the last decision (plus
+//!                        the controller's serialized decision state)
 //! n_particles      u64
 //! icell,ix,iy      3×n×u32
 //! dx,dy,vx,vy      4×n×f64
@@ -28,14 +33,85 @@
 //! silently corrupting a resumed run.
 
 use crate::particles::ParticlesSoA;
-use crate::sim::DiagSample;
+use crate::sim::{DepositPath, DiagSample, KernelPath};
 use crate::PicError;
 
 /// Current snapshot format version. Bumped on any layout change; decoding
-/// rejects snapshots from other versions.
-pub const FORMAT_VERSION: u32 = 1;
+/// rejects snapshots from other versions. v2 added the hot-path metadata
+/// block (active kernel/deposit/sort-period plus adaptive-controller state)
+/// between the charge reference and the particle store.
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 8] = *b"PIC2DCKP";
+
+/// Active hot-path knobs at capture time, carried as snapshot *metadata*
+/// rather than folded into the config fingerprint: the adaptive controller
+/// ([`crate::control::HotPathController`]) may have moved the kernel,
+/// deposit, or sort period off the configured defaults, and a restored run
+/// must resume the controller's last decision instead of silently
+/// reverting. `controller` is the serialized decision state
+/// ([`crate::control::HotPathController::encode_state`]); empty when no
+/// controller is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotPathMeta {
+    /// Kernel path in effect when the snapshot was captured.
+    pub kernel_path: KernelPath,
+    /// Deposit path in effect when the snapshot was captured.
+    pub deposit_path: DepositPath,
+    /// Sort period in effect (the legacy fixed cadence; ignored while a
+    /// controller drives the sort schedule).
+    pub sort_period: u64,
+    /// Serialized controller decision state, or empty.
+    pub controller: Vec<u8>,
+}
+
+impl HotPathMeta {
+    /// Metadata for a config-driven run (no adaptation has happened).
+    pub fn fixed(kernel_path: KernelPath, deposit_path: DepositPath, sort_period: u64) -> Self {
+        Self {
+            kernel_path,
+            deposit_path,
+            sort_period,
+            controller: Vec::new(),
+        }
+    }
+}
+
+fn kernel_code(p: KernelPath) -> u32 {
+    match p {
+        KernelPath::Scalar => 0,
+        KernelPath::Lanes => 1,
+    }
+}
+
+fn kernel_from_code(c: u32) -> Result<KernelPath, PicError> {
+    match c {
+        0 => Ok(KernelPath::Scalar),
+        1 => Ok(KernelPath::Lanes),
+        _ => Err(PicError::Checkpoint(format!(
+            "snapshot has unknown kernel-path code {c}"
+        ))),
+    }
+}
+
+fn deposit_code(p: DepositPath) -> u32 {
+    match p {
+        DepositPath::Exact => 0,
+        DepositPath::LaneReduce => 1,
+        DepositPath::SortedBlock => 2,
+    }
+}
+
+fn deposit_from_code(c: u32) -> Result<DepositPath, PicError> {
+    match c {
+        0 => Ok(DepositPath::Exact),
+        1 => Ok(DepositPath::LaneReduce),
+        2 => Ok(DepositPath::SortedBlock),
+        _ => Err(PicError::Checkpoint(format!(
+            "snapshot has unknown deposit-path code {c}"
+        ))),
+    }
+}
 
 /// The complete restorable state of a [`crate::sim::Simulation`], as plain
 /// data. [`crate::sim::Simulation::checkpoint`] gathers one of these and
@@ -50,6 +126,8 @@ pub struct SimState {
     pub rng_state: [u64; 4],
     /// Total-charge reference captured at initialization.
     pub charge_ref: f64,
+    /// Active hot-path knobs and controller state at capture time.
+    pub hot_path: HotPathMeta,
     /// Particle store (SoA canonical form; AoS runs convert losslessly).
     pub particles: ParticlesSoA,
     /// Charge density on grid points.
@@ -144,6 +222,14 @@ fn put_f64_slice(buf: &mut Vec<u8>, s: &[f64]) {
     }
 }
 
+fn put_hot_path(buf: &mut Vec<u8>, hp: &HotPathMeta) {
+    put_u32(buf, kernel_code(hp.kernel_path));
+    put_u32(buf, deposit_code(hp.deposit_path));
+    put_u64(buf, hp.sort_period);
+    put_u64(buf, hp.controller.len() as u64);
+    buf.extend_from_slice(&hp.controller);
+}
+
 /// Borrowed form of [`SimState`]: everything [`encode_view`] needs,
 /// without owning (or cloning) any of the arrays. A multi-megabyte
 /// particle store copied once per coordinated checkpoint was the dominant
@@ -158,6 +244,8 @@ pub struct SimStateView<'a> {
     pub rng_state: [u64; 4],
     /// Total-charge reference captured at initialization.
     pub charge_ref: f64,
+    /// Active hot-path knobs and controller state at capture time.
+    pub hot_path: &'a HotPathMeta,
     /// Particle store (SoA canonical form).
     pub particles: &'a ParticlesSoA,
     /// Charge density on grid points.
@@ -177,6 +265,7 @@ pub fn encode(state: &SimState) -> Vec<u8> {
         step_count: state.step_count,
         rng_state: state.rng_state,
         charge_ref: state.charge_ref,
+        hot_path: &state.hot_path,
         particles: &state.particles,
         rho: &state.rho,
         ex: &state.ex,
@@ -197,6 +286,7 @@ pub fn encode_view(state: &SimStateView<'_>) -> Vec<u8> {
         put_u64(&mut buf, w);
     }
     put_f64(&mut buf, state.charge_ref);
+    put_hot_path(&mut buf, state.hot_path);
 
     put_u64(&mut buf, n as u64);
     put_u32_slice(&mut buf, &state.particles.icell);
@@ -279,6 +369,20 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
+    fn hot_path(&mut self) -> Result<HotPathMeta, PicError> {
+        let kernel_path = kernel_from_code(self.u32()?)?;
+        let deposit_path = deposit_from_code(self.u32()?)?;
+        let sort_period = self.u64()?;
+        let n = self.len_prefix(1)?;
+        let controller = self.take(n)?.to_vec();
+        Ok(HotPathMeta {
+            kernel_path,
+            deposit_path,
+            sort_period,
+            controller,
+        })
+    }
+
     /// Bounded length prefix: a corrupted count must not drive a huge
     /// allocation before the checksum gets a chance to reject the buffer.
     fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, PicError> {
@@ -333,6 +437,7 @@ pub fn decode(bytes: &[u8]) -> Result<SimState, PicError> {
     let step_count = r.u64()?;
     let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
     let charge_ref = r.f64()?;
+    let hot_path = r.hot_path()?;
 
     let n = r.len_prefix(44)?; // 3×u32 + 4×f64 per particle
     let particles = ParticlesSoA {
@@ -373,6 +478,7 @@ pub fn decode(bytes: &[u8]) -> Result<SimState, PicError> {
         step_count,
         rng_state,
         charge_ref,
+        hot_path,
         particles,
         rho,
         ex,
@@ -382,22 +488,25 @@ pub fn decode(bytes: &[u8]) -> Result<SimState, PicError> {
 }
 
 /// Fingerprint a configuration over an explicit canonical field list:
-/// every knob that shapes the physics or the data layout — including
-/// [`KernelPath`](crate::sim::KernelPath), so a snapshot taken under
-/// `Scalar` cannot silently restore into a `Lanes` simulation, and
-/// [`DepositPath`](crate::sim::DepositPath), so an exact-deposit run and a
-/// reassociated one never cross-restore silently — but *not* `threads`,
-/// which only partitions work across the pool without changing what is
-/// computed, so a checkpoint written on an 8-thread run restores into a
-/// 1-thread run (and a shrunken distributed survivor can adopt a dead
-/// rank's snapshot regardless of its pool size).
+/// every knob that shapes the physics or the data layout. The hot-path
+/// knobs — `kernel_path`, `deposit_path`, `sort_period` — are deliberately
+/// *excluded* since snapshot format v2: the adaptive controller
+/// ([`crate::control::HotPathController`]) retunes them at runtime, and a
+/// checkpoint taken mid-adaptation must restore into the same job (the
+/// active values travel as [`HotPathMeta`] instead). The controller
+/// *profile* is included — it shapes the sort schedule and therefore the
+/// trajectory. `threads` stays excluded: it only partitions work across
+/// the pool without changing what is computed, so a checkpoint written on
+/// an 8-thread run restores into a 1-thread run (and a shrunken
+/// distributed survivor can adopt a dead rank's snapshot regardless of its
+/// pool size).
 pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
     let canon = format!(
         "grid_nx={};grid_ny={};lx={:?};ly={:?};n_particles={};dt={:?};\
          distribution={:?};ordering={:?};particle_layout={:?};\
          field_layout={:?};loop_structure={:?};position_update={:?};\
-         kernel_path={:?};deposit_path={:?};hoisted={:?};sort_period={};\
-         sort_out_of_place={:?};seed={};keep_range={:?};keep_cells={:?}",
+         hoisted={:?};sort_out_of_place={:?};seed={};keep_range={:?};\
+         keep_cells={:?};controller={:?}",
         cfg.grid_nx,
         cfg.grid_ny,
         cfg.lx,
@@ -410,14 +519,12 @@ pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
         cfg.field_layout,
         cfg.loop_structure,
         cfg.position_update,
-        cfg.kernel_path,
-        cfg.deposit_path,
         cfg.hoisted,
-        cfg.sort_period,
         cfg.sort_out_of_place,
         cfg.seed,
         cfg.keep_range,
         cfg.keep_cells,
+        cfg.controller,
     );
     fnv1a(canon.as_bytes())
 }
@@ -430,8 +537,9 @@ pub fn config_fingerprint(cfg: &crate::sim::PicConfig) -> u64 {
 // hashes) exactly as it did, and the two formats can never be confused:
 // the first eight bytes differ.
 
-/// EM snapshot format version (independent of [`FORMAT_VERSION`]).
-pub const EM_FORMAT_VERSION: u32 = 1;
+/// EM snapshot format version (independent of [`FORMAT_VERSION`]). v2
+/// added the same hot-path metadata block as the single-species format.
+pub const EM_FORMAT_VERSION: u32 = 2;
 
 const EM_MAGIC: [u8; 8] = *b"PIC2DEMS";
 
@@ -456,6 +564,8 @@ pub struct EmState {
     pub rng_state: [u64; 4],
     /// Total-charge reference captured at initialization.
     pub charge_ref: f64,
+    /// Active hot-path knobs and controller state at capture time.
+    pub hot_path: HotPathMeta,
     /// Per-species particle stores, in species-table order.
     pub species: Vec<EmSpeciesState>,
     /// Charge density on grid points.
@@ -488,6 +598,7 @@ pub fn encode_em(state: &EmState) -> Vec<u8> {
         put_u64(&mut buf, w);
     }
     put_f64(&mut buf, state.charge_ref);
+    put_hot_path(&mut buf, &state.hot_path);
 
     put_u64(&mut buf, state.species.len() as u64);
     for sp in &state.species {
@@ -566,6 +677,7 @@ pub fn decode_em(bytes: &[u8]) -> Result<EmState, PicError> {
     let step_count = r.u64()?;
     let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
     let charge_ref = r.f64()?;
+    let hot_path = r.hot_path()?;
 
     let nsp = r.len_prefix(8)?; // at least the length prefix per species
     let mut species = Vec::with_capacity(nsp);
@@ -616,6 +728,7 @@ pub fn decode_em(bytes: &[u8]) -> Result<EmState, PicError> {
         step_count,
         rng_state,
         charge_ref,
+        hot_path,
         species,
         rho,
         ex,
@@ -633,13 +746,17 @@ pub fn decode_em(bytes: &[u8]) -> Result<EmState, PicError> {
 /// density, marker count, and distribution of every species, in order), so
 /// two worlds that differ in any species never share a fingerprint and
 /// snapshots can never cross-restore between them. `threads` is excluded
-/// for the same portability reason as the legacy fingerprint.
+/// for the same portability reason as the legacy fingerprint, and the
+/// hot-path knobs (`kernel_path`/`deposit_path`/`sort_period`) are
+/// excluded for the same adaptive-restore reason as
+/// [`config_fingerprint`] — they travel as [`HotPathMeta`] instead, while
+/// the controller profile (which shapes the sort schedule) is covered.
 pub fn em_config_fingerprint(cfg: &crate::em::EmConfig) -> u64 {
     use std::fmt::Write as _;
     let mut canon = format!(
         "em;grid_nx={};grid_ny={};lx={:?};ly={:?};dt={:?};b0={:?};\
-         solve_e={:?};ordering={:?};kernel_path={:?};deposit_path={:?};\
-         sort_period={};seed={};replica={:?};nspecies={}",
+         solve_e={:?};ordering={:?};seed={};replica={:?};\
+         controller={:?};nspecies={}",
         cfg.grid_nx,
         cfg.grid_ny,
         cfg.lx,
@@ -648,11 +765,9 @@ pub fn em_config_fingerprint(cfg: &crate::em::EmConfig) -> u64 {
         cfg.b0,
         cfg.solve_e,
         cfg.ordering,
-        cfg.kernel_path,
-        cfg.deposit_path,
-        cfg.sort_period,
         cfg.seed,
         cfg.replica,
+        cfg.controller,
         cfg.species.len(),
     );
     for s in &cfg.species {
@@ -686,6 +801,12 @@ mod tests {
             step_count: 42,
             rng_state: [1, 2, 3, 4],
             charge_ref: -1024.0,
+            hot_path: HotPathMeta {
+                kernel_path: KernelPath::Lanes,
+                deposit_path: DepositPath::SortedBlock,
+                sort_period: 17,
+                controller: vec![0xA5, 0x5A, 0x3C, 0xC3],
+            },
             particles: p,
             rho: vec![0.25; 16],
             ex: vec![1.0; 16],
@@ -744,8 +865,9 @@ mod tests {
     fn corrupt_length_prefix_cannot_drive_huge_allocation() {
         let mut bytes = encode(&sample_state());
         // n_particles sits after magic(8) + version(4) + fprint(8) +
-        // steps(8) + rng(32) + charge(8) = offset 68.
-        bytes[68..76].copy_from_slice(&u64::MAX.to_le_bytes());
+        // steps(8) + rng(32) + charge(8) + hot-path meta (4+4+8+8 plus the
+        // 4-byte controller blob of `sample_state`) = offset 96.
+        bytes[96..104].copy_from_slice(&u64::MAX.to_le_bytes());
         let n = bytes.len();
         let sum = snapshot_hash(&bytes[..n - 8]);
         bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
@@ -763,14 +885,46 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_covers_kernel_path() {
-        // A Scalar snapshot must not restore into a Lanes simulation: the
-        // kernel path is part of the fingerprint.
+    fn fingerprint_ignores_hot_path_knobs() {
+        // The adaptive controller retunes kernel/deposit/sort-period at
+        // runtime; since format v2 they are snapshot metadata, not config
+        // identity — a checkpoint taken mid-adaptation restores into the
+        // job that configured it.
         let mut a = crate::sim::PicConfig::landau_table1(1000);
         a.kernel_path = crate::sim::KernelPath::Scalar;
+        a.deposit_path = crate::sim::DepositPath::Exact;
+        a.sort_period = 10;
         let mut b = a.clone();
         b.kernel_path = crate::sim::KernelPath::Lanes;
+        b.deposit_path = crate::sim::DepositPath::SortedBlock;
+        b.sort_period = 50;
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_covers_controller_profile() {
+        // The controller profile shapes the sort schedule — and with it
+        // the particle ordering and reassociated-deposit trajectories —
+        // so it is part of config identity.
+        let a = crate::sim::PicConfig::landau_table1(1000);
+        let mut b = a.clone();
+        b.controller = Some(crate::control::ControllerConfig::deterministic());
         assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn hot_path_metadata_roundtrips() {
+        let s = sample_state();
+        let t = decode(&encode(&s)).unwrap();
+        assert_eq!(t.hot_path, s.hot_path);
+        // Unknown path codes are rejected even with a valid checksum.
+        let mut bytes = encode(&s);
+        bytes[68..72].copy_from_slice(&7u32.to_le_bytes()); // kernel code
+        let n = bytes.len();
+        let sum = snapshot_hash(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(matches!(err, PicError::Checkpoint(ref m) if m.contains("kernel-path")));
     }
 
     #[test]

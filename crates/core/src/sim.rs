@@ -15,6 +15,7 @@
 //! loops (and requires square cells, `Δx = Δy`, as all the paper's test
 //! cases have).
 
+use crate::control::{self, ControllerConfig, HotPathController, SwitchEvent};
 use crate::fields::{Field2D, RedundantE, RedundantRho};
 use crate::grid::Grid2D;
 use crate::kernels::{self, accumulate, aos, deposit, fused, position, simd, velocity, SoaViewMut};
@@ -351,6 +352,14 @@ pub struct PicConfig {
     /// a contiguous range of the SFC cell ordering instead of a fixed index
     /// slice of the particle population. `None` keeps everything.
     pub keep_cells: Option<(u32, u32)>,
+    /// Online adaptive hot-path control ([`crate::control`]). `Some`
+    /// attaches a [`HotPathController`] that drives the sort schedule from
+    /// the observed particle disorder and retunes
+    /// `kernel_path`/`deposit_path` at sort boundaries; `None` keeps the
+    /// fixed `sort_period` cadence and the configured paths. The profile
+    /// is part of the checkpoint fingerprint (it shapes the trajectory);
+    /// the knobs it moves travel as snapshot metadata.
+    pub controller: Option<crate::control::ControllerConfig>,
 }
 
 impl PicConfig {
@@ -382,6 +391,7 @@ impl PicConfig {
             seed: 0xB1C0DE,
             keep_range: None,
             keep_cells: None,
+            controller: None,
         }
     }
 
@@ -492,6 +502,10 @@ pub struct Simulation {
     sort_arena: sort::SortArena,
     /// Reusable spectral workspaces for the per-step Poisson solve.
     solve_scratch: SolveScratch,
+    /// Online adaptive controller (present when `cfg.controller` is set):
+    /// drives the sort schedule from observed disorder and retunes the
+    /// kernel/deposit paths at sort boundaries.
+    controller: Option<HotPathController>,
 }
 
 impl Simulation {
@@ -582,6 +596,11 @@ impl Simulation {
             _ => Vec::new(),
         };
 
+        let controller = cfg
+            .controller
+            .clone()
+            .map(|cc| HotPathController::new(cc, cfg.kernel_path, cfg.deposit_path));
+
         Ok(Self {
             // Deposition magnitude: macro-charge per unit area, so that the
             // accumulated grid values are a charge *density* (the CIC
@@ -607,6 +626,7 @@ impl Simulation {
             rho_arenas,
             sort_arena: sort::SortArena::new(),
             solve_scratch: SolveScratch::new(),
+            controller,
             cfg,
         })
     }
@@ -832,11 +852,22 @@ impl Simulation {
             }
             None => &self.particles,
         };
+        let hot_path = ckpt::HotPathMeta {
+            kernel_path: self.cfg.kernel_path,
+            deposit_path: self.cfg.deposit_path,
+            sort_period: self.cfg.sort_period as u64,
+            controller: self
+                .controller
+                .as_ref()
+                .map(|c| c.encode_state())
+                .unwrap_or_default(),
+        };
         ckpt::encode_view(&ckpt::SimStateView {
             config_fingerprint: ckpt::config_fingerprint(&self.cfg),
             step_count: self.step_count as u64,
             rng_state: self.rng.state(),
             charge_ref: self.charge_ref,
+            hot_path: &hot_path,
             particles,
             rho: &self.field.rho,
             ex: &self.field.ex,
@@ -874,6 +905,31 @@ impl Simulation {
                 "snapshot particle cell index out of range".into(),
             ));
         }
+        // Resume the snapshot's controller decision state before adopting
+        // anything (a bad blob must reject without touching live state).
+        // An empty blob means the snapshot was taken without a controller:
+        // start this one fresh from the recorded knobs.
+        let restored_ctrl = match &self.controller {
+            Some(c) if !st.hot_path.controller.is_empty() => {
+                let mut nc = c.clone();
+                nc.restore_state(&st.hot_path.controller)?;
+                Some(nc)
+            }
+            Some(c) => Some(HotPathController::new(
+                c.config().clone(),
+                st.hot_path.kernel_path,
+                st.hot_path.deposit_path,
+            )),
+            None => None,
+        };
+
+        // Adopt the hot-path metadata: the controller (or the autotuner)
+        // may have moved these off the configured defaults, and a resumed
+        // run must continue from the last decision, not silently revert.
+        self.cfg.kernel_path = st.hot_path.kernel_path;
+        self.cfg.deposit_path = st.hot_path.deposit_path;
+        self.cfg.sort_period = st.hot_path.sort_period as usize;
+        self.controller = restored_ctrl;
 
         self.step_count = st.step_count as usize;
         self.rng = Rng::from_state(st.rng_state);
@@ -1038,16 +1094,55 @@ impl Simulation {
     pub fn step_pre_reduce(&mut self) {
         self.step_count += 1;
 
-        // Periodic sort (lines 4–6).
-        if self.cfg.sort_period > 0 && self.step_count.is_multiple_of(self.cfg.sort_period) {
+        // Periodic sort (lines 4–6): disorder-driven when a controller is
+        // attached, the fixed configured cadence otherwise.
+        let sort_now = match &self.controller {
+            Some(c) => c.should_sort(),
+            None => {
+                self.cfg.sort_period > 0 && self.step_count.is_multiple_of(self.cfg.sort_period)
+            }
+        };
+        if sort_now {
             self.sort_particles();
+            // Hot-path decisions are committed only at sort boundaries, so
+            // `Exact`-path runs stay bit-exact between them and the deposit
+            // always sees freshly sorted runs.
+            if let Some(mut c) = self.controller.take() {
+                let (k, d) = c.on_sort(self.step_count as u64);
+                self.cfg.kernel_path = k;
+                self.cfg.deposit_path = d;
+                self.controller = Some(c);
+            }
         }
 
         // Particle loops (lines 7–12).
+        let before = self.timers;
         match self.cfg.particle_layout {
             ParticleLayout::Soa => self.step_soa(),
             ParticleLayout::Aos => self.step_aos(),
         }
+        self.observe_controller(before);
+    }
+
+    /// Feed the attached controller this step's observables: the sampled
+    /// particle disorder and the particle-loop wall seconds (the timer
+    /// delta across the loops — sort ran before `before` was captured and
+    /// the solve/convert phases run after, so the delta is exactly the
+    /// kick/push/deposit time).
+    fn observe_controller(&mut self, before: PhaseTimes) {
+        let Some(c) = self.controller.as_mut() else {
+            return;
+        };
+        let secs = self.timers.total() - before.total();
+        let stride = c.config().stride;
+        let cells = self.grid.ncells();
+        let d = match &self.particles_aos {
+            Some(aos) => {
+                control::measure_disorder_with(aos.p.len(), stride, cells, |i| aos.p[i].icell)
+            }
+            None => control::measure_disorder(&self.particles.icell, stride, cells),
+        };
+        c.observe(d, secs);
     }
 
     /// Second half of a step: Poisson solve on the (reduced) ρ and
@@ -1107,10 +1202,54 @@ impl Simulation {
     /// rounding of subsequent steps (within the per-cell FP bound of
     /// [`crate::kernels::deposit`]) unless switching between the two exact
     /// forms; the autotuner restores the configured value after its trials,
-    /// and the checkpoint fingerprint covers the knob so mixed-path runs
-    /// never cross-restore silently.
+    /// and checkpoints record the active value as metadata so a restored
+    /// run resumes it.
     pub fn set_deposit_path(&mut self, path: DepositPath) {
         self.cfg.deposit_path = path;
+    }
+
+    /// Change the fixed sort cadence at runtime (0 = never). Ignored while
+    /// a controller is attached — the controller owns the sort schedule.
+    pub fn set_sort_period(&mut self, period: usize) {
+        self.cfg.sort_period = period;
+    }
+
+    /// Attach an online adaptive controller ([`crate::control`]) starting
+    /// from the currently active kernel/deposit knobs. Also records the
+    /// profile in the configuration, so subsequent checkpoints fingerprint
+    /// the controller-enabled run.
+    pub fn enable_controller(&mut self, ccfg: ControllerConfig) {
+        self.cfg.controller = Some(ccfg.clone());
+        self.controller = Some(HotPathController::new(
+            ccfg,
+            self.cfg.kernel_path,
+            self.cfg.deposit_path,
+        ));
+    }
+
+    /// The attached adaptive controller, if any.
+    pub fn controller(&self) -> Option<&HotPathController> {
+        self.controller.as_ref()
+    }
+
+    /// Drain the hot-path switch events applied since the last call
+    /// (empty when no controller is attached). Drivers ledger these
+    /// through [`crate::faultlog::FaultLog`] /
+    /// [`crate::diag::DiagStream`].
+    pub fn take_hot_path_events(&mut self) -> Vec<SwitchEvent> {
+        self.controller
+            .as_mut()
+            .map(|c| c.take_events())
+            .unwrap_or_default()
+    }
+
+    /// Tell the attached controller that an external mechanism (rank
+    /// migration, a live re-partition) just reordered the particle store,
+    /// so the next eligible boundary sorts. No-op without a controller.
+    pub fn note_external_shuffle(&mut self) {
+        if let Some(c) = self.controller.as_mut() {
+            c.note_shuffle();
+        }
     }
 
     /// Pre-reserve diagnostic-history capacity for `n` further steps so

@@ -475,6 +475,21 @@ impl DecomposedSimulation {
         let t0 = self.tag0(comm);
         let res = self.step_inner(comm, t0);
         self.faults.ingest_transport(self.step, comm.take_events());
+        // Ledger this rank's adaptive hot-path switches (if a controller is
+        // enabled) alongside the transport events, so per-rank decision
+        // histories are auditable after the run.
+        for ev in self.sim.take_hot_path_events() {
+            self.faults.record(
+                ev.step,
+                self.rank,
+                comm.op_count(),
+                FaultKind::Adapt,
+                format!(
+                    "{} {} -> {} (disorder {:.3}, uniform {:.3}, period {})",
+                    ev.what, ev.from, ev.to, ev.disorder, ev.uniform, ev.period
+                ),
+            );
+        }
         res
     }
 
@@ -896,7 +911,12 @@ impl DecomposedSimulation {
                 }
             }
         }
-        // 4. Adopt the new partition and rebuild plans + backend.
+        // 4. Adopt the new partition and rebuild plans + backend. A re-cut
+        //    appends arrivals out of cell order, so tell the adaptive
+        //    controller (if any) the population was externally shuffled —
+        //    the next eligible boundary sorts instead of waiting for the
+        //    disorder EWMA to catch up.
+        self.sim.note_external_shuffle();
         self.apply_partition(comm, new_part, new_hosts, new_my_slot)?;
         self.faults.record(
             self.step,
@@ -1057,6 +1077,22 @@ impl DecomposedSimulation {
     /// the configured [`DecompConfig::solver`]).
     pub fn solver_mode(&self) -> SolverMode {
         self.mode
+    }
+
+    /// Enable the online adaptive hot-path controller on this rank's local
+    /// simulation ([`pic_core::control`]). Decisions are strictly per-rank
+    /// — each rank tracks its own disorder and phase timings, so a rank
+    /// whose subdomain drifts can shorten its sort period without forcing
+    /// the quiet ranks to follow. Step counts stay collective, so the tag
+    /// schedule is untouched; every applied switch lands in
+    /// [`fault_log`](Self::fault_log) as [`FaultKind::Adapt`].
+    pub fn enable_hot_path_controller(&mut self, ccfg: pic_core::control::ControllerConfig) {
+        self.sim.enable_controller(ccfg);
+    }
+
+    /// This rank's adaptive controller, when one is enabled.
+    pub fn hot_path_controller(&self) -> Option<&pic_core::control::HotPathController> {
+        self.sim.controller()
     }
 
     /// The partition slot this rank hosts.

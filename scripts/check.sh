@@ -55,6 +55,13 @@ cargo run --release -q -p pic-bench --bin perf_smoke || {
     cargo run --release -q -p pic-bench --bin perf_smoke
 }
 
+echo "==> adaptive gate (controller vs static grid, steady + drifting workloads)"
+# Wall-clock gates on a shared box jitter; retry once like perf_smoke.
+cargo run --release -q -p pic-bench --bin bench_adaptive || {
+    echo "adaptive gate failed once; retrying"
+    cargo run --release -q -p pic-bench --bin bench_adaptive
+}
+
 echo "==> scaling gate (replication vs decomposition comm volume)"
 cargo run --release -q -p pic-bench --bin bench_scaling
 

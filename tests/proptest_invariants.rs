@@ -5,6 +5,7 @@
 //! fixed seed — deterministic (failures reproduce exactly) and free of the
 //! proptest dependency, which this offline environment cannot fetch.
 
+use pic2d::pic_core::control::measure_disorder;
 use pic2d::pic_core::fields::cic_weights;
 use pic2d::pic_core::grid::{split_periodic, wrap_grid};
 use pic2d::pic_core::particles::ParticlesSoA;
@@ -484,6 +485,85 @@ fn deposit_paths_conserve_total_charge() {
                 (total - expect).abs() <= tol,
                 "case={case} {name}: total {total} vs {expect} (n={n}, w={w})"
             );
+        }
+    }
+}
+
+// ---------------- adaptive disorder metric ----------------
+
+#[test]
+fn disorder_metric_is_bounded() {
+    let mut rng = Rng::seed_from_u64(0xd150);
+    for case in 0..CASES {
+        let n = rng.below(4000) as usize;
+        let ncells = rng.below(512) as u64 + 1;
+        let stride = rng.below(8) as usize + 1;
+        let icell: Vec<u32> = (0..n).map(|_| rng.below(ncells) as u32).collect();
+        let d = measure_disorder(&icell, stride, ncells as usize);
+        assert!(
+            (0.0..=1.0).contains(&d.descent_frac),
+            "case={case} n={n} stride={stride}: descent {}",
+            d.descent_frac
+        );
+        assert!(
+            (0.0..=1.0).contains(&d.uniform_block_frac),
+            "case={case} n={n} stride={stride}: uniform {}",
+            d.uniform_block_frac
+        );
+        assert!(
+            (0.0..=1.0).contains(&d.jump_frac),
+            "case={case} n={n} stride={stride}: far {}",
+            d.jump_frac
+        );
+    }
+}
+
+#[test]
+fn disorder_metric_is_zero_on_sorted_populations() {
+    let mut rng = Rng::seed_from_u64(0xd151);
+    for case in 0..CASES {
+        let n = rng.below(4000) as usize;
+        let ncells = rng.below(512) as u64 + 1;
+        let stride = rng.below(8) as usize + 1;
+        let mut icell: Vec<u32> = (0..n).map(|_| rng.below(ncells) as u32).collect();
+        icell.sort_unstable();
+        let d = measure_disorder(&icell, stride, ncells as usize);
+        assert_eq!(
+            d.descent_frac, 0.0,
+            "case={case} n={n} stride={stride}: sorted population must measure ordered"
+        );
+    }
+}
+
+#[test]
+fn disorder_metric_is_monotone_under_progressive_shuffling() {
+    // Start sorted and cumulatively apply disjoint adjacent-pair swaps:
+    // each batch strictly adds descents (an adjacent swap of unequal
+    // sorted values creates exactly one new descent and destroys none at
+    // full sampling), so the stride-1 metric must be non-decreasing.
+    let mut rng = Rng::seed_from_u64(0xd152);
+    for case in 0..CASES / 4 {
+        let n = rng.below(2000) as usize + 64;
+        let mut icell: Vec<u32> = (0..n as u32).collect();
+        let mut swapped = vec![false; n];
+        let mut prev = measure_disorder(&icell, 1, n).descent_frac;
+        assert_eq!(prev, 0.0, "case={case}");
+        for round in 0..8 {
+            // One batch of fresh disjoint adjacent transpositions.
+            for _ in 0..n / 16 {
+                let i = rng.below(n as u64 - 1) as usize;
+                if !swapped[i] && !swapped[i + 1] {
+                    icell.swap(i, i + 1);
+                    swapped[i] = true;
+                    swapped[i + 1] = true;
+                }
+            }
+            let d = measure_disorder(&icell, 1, n).descent_frac;
+            assert!(
+                d >= prev,
+                "case={case} round={round}: disorder regressed {prev} -> {d}"
+            );
+            prev = d;
         }
     }
 }
